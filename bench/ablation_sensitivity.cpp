@@ -1,0 +1,84 @@
+// Sensitivity ablation (DESIGN.md E9): how the headline speedups move with
+// the three platform constants the substitution rule had to pick — host-link
+// bandwidth, internal NAND bandwidth, and CSE per-core speed.
+//
+// The paper's qualitative claims should be robust: ISP wins grow with the
+// internal/external bandwidth gap, shrink as the link catches up, and
+// Algorithm 1 offloads less as the CSE slows.
+#include <cstdio>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "baseline/baselines.hpp"
+#include "bench/bench_util.hpp"
+#include "runtime/active_runtime.hpp"
+
+namespace {
+
+double activecpp_speedup(const isp::system::SystemConfig& config,
+                         const isp::ir::Program& program,
+                         std::size_t* lines_on_csd) {
+  using namespace isp;
+  system::SystemModel base_system(config);
+  const auto baseline = baseline::run_host_only(base_system, program);
+
+  system::SystemModel system(config);
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(program);
+  if (lines_on_csd != nullptr) {
+    *lines_on_csd = result.plan.csd_line_count();
+  }
+  return baseline.total.value() / result.end_to_end().value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace isp;
+
+  for (const char* app : {"tpch-q6", "kmeans"}) {
+    apps::AppConfig app_config;
+    const auto program = apps::make_app(app, app_config);
+
+    bench::print_header(std::string("Sensitivity of ") + app +
+                        " ActiveCpp speedup to platform constants");
+
+    std::printf("link bandwidth sweep (internal NAND fixed at 9 GB/s):\n");
+    std::printf("%-12s %10s %8s\n", "BW_D2H", "speedup", "csd");
+    for (const double gbps : {2.5, 4.0, 5.0, 7.0, 9.0, 12.0}) {
+      auto config = system::SystemConfig::paper_platform();
+      config.link.bandwidth = gb_per_s(gbps);
+      std::size_t csd = 0;
+      const double x = activecpp_speedup(config, program, &csd);
+      std::printf("%9.1fGB/s %9.2fx %7zu\n", gbps, x, csd);
+    }
+
+    std::printf("\ninternal NAND bandwidth sweep (link fixed at 5 GB/s):\n");
+    std::printf("%-12s %10s %8s\n", "internal", "speedup", "csd");
+    for (const double gbps : {4.5, 6.0, 9.0, 12.0, 16.0}) {
+      auto config = system::SystemConfig::paper_platform();
+      // Scale the channel bus to move the effective array bandwidth.
+      config.csd.nand_timing.channel_bus = gb_per_s(gbps / 8.0 * 1.0667);
+      config.csd.nand_timing.page_read = Seconds{58e-6 * 9.0 / gbps};
+      std::size_t csd = 0;
+      const double x = activecpp_speedup(config, program, &csd);
+      std::printf("%9.1fGB/s %9.2fx %7zu\n", gbps, x, csd);
+    }
+
+    std::printf("\nCSE per-core speed sweep (ipc_vs_host; clock fixed):\n");
+    std::printf("%-12s %10s %8s\n", "ipc ratio", "speedup", "csd");
+    for (const double ipc : {0.2, 0.35, 0.5, 0.75, 1.0}) {
+      auto config = system::SystemConfig::paper_platform();
+      config.csd.cse.ipc_vs_host = ipc;
+      std::size_t csd = 0;
+      const double x = activecpp_speedup(config, program, &csd);
+      std::printf("%12.2f %9.2fx %7zu\n", ipc, x, csd);
+    }
+  }
+
+  std::printf(
+      "\nexpected shapes: speedup falls as BW_D2H catches up with the "
+      "internal\nbandwidth; rises with internal bandwidth and CSE speed; "
+      "Algorithm 1 offloads\nfewer lines as the CSE slows.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Machine-readable export of the headline experiments.
+//
+//   $ ./bench/export_results [output-dir]      (default ./results)
+//
+// Writes CSV series for Figures 2/4/5 plus per-app JSON execution reports —
+// the artefacts a plotting pipeline or CI trend tracker consumes.  The same
+// code paths as the printing benches; only the output format differs.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "baseline/baselines.hpp"
+#include "common/error.hpp"
+#include "runtime/active_runtime.hpp"
+
+namespace {
+
+using namespace isp;
+
+std::ofstream open_csv(const std::filesystem::path& path,
+                       const std::string& header) {
+  std::ofstream out(path);
+  ISP_CHECK(out.good(), "cannot open " << path.string());
+  out << header << "\n";
+  return out;
+}
+
+void export_fig4(const std::filesystem::path& dir) {
+  auto csv = open_csv(dir / "fig4_overall.csv",
+                      "app,baseline_s,directed_speedup,activecpp_speedup,"
+                      "overhead_s,plans_identical,csd_lines");
+  for (const auto& app : apps::table1_apps()) {
+    apps::AppConfig config;
+    const auto program = apps::make_app(app.name, config);
+    system::SystemModel system;
+    const auto baseline = baseline::run_host_only(system, program);
+    const auto oracle = baseline::programmer_directed_plan(system, program);
+    const auto directed = baseline::run_static_isp(
+        system, program, oracle.best, sim::AvailabilitySchedule::constant(1.0));
+    runtime::ActiveRuntime active(system);
+    const auto result = active.run(program);
+
+    csv << app.name << "," << baseline.total.value() << ","
+        << baseline.total.value() / directed.total.value() << ","
+        << baseline.total.value() / result.end_to_end().value() << ","
+        << (result.sampling_overhead + result.report.compile_overhead).value()
+        << ","
+        << (result.plan.placement == oracle.best.placement ? 1 : 0) << ","
+        << result.plan.csd_line_count() << "\n";
+
+    // Per-app execution report for deep dives.
+    std::ofstream json(dir / ("report_" + app.name + ".json"));
+    json << result.report.to_json();
+  }
+}
+
+void export_fig2(const std::filesystem::path& dir) {
+  auto csv = open_csv(dir / "fig2_static_isp.csv",
+                      "app,availability,speedup");
+  for (const char* name : {"tpch-q1", "tpch-q6", "tpch-q14"}) {
+    apps::AppConfig config;
+    const auto program = apps::make_app(name, config);
+    system::SystemModel system;
+    const auto baseline = baseline::run_host_only(system, program);
+    const auto oracle = baseline::programmer_directed_plan(system, program);
+    for (int pct = 100; pct >= 10; pct -= 10) {
+      system::SystemModel run_system;
+      const auto report = baseline::run_static_isp(
+          run_system, program, oracle.best,
+          sim::AvailabilitySchedule::constant(pct / 100.0));
+      csv << name << "," << pct << ","
+          << baseline.total.value() / report.total.value() << "\n";
+    }
+  }
+}
+
+void export_fig5(const std::filesystem::path& dir) {
+  auto csv = open_csv(dir / "fig5_migration.csv",
+                      "app,availability,with_migration_speedup,"
+                      "without_migration_speedup,migrated");
+  for (const auto& app : apps::all_apps()) {
+    apps::AppConfig config;
+    const auto program = apps::make_app(app.name, config);
+    system::SystemModel base_system;
+    const auto baseline = baseline::run_host_only(base_system, program);
+    for (const double avail : {0.5, 0.1}) {
+      runtime::RunConfig rc;
+      rc.engine.contention.enabled = true;
+      rc.engine.contention.at_csd_progress = 0.5;
+      rc.engine.contention.availability = avail;
+
+      system::SystemModel with_system;
+      runtime::ActiveRuntime with_runtime(with_system);
+      const auto with = with_runtime.run(program, rc);
+
+      auto no_mig = rc;
+      no_mig.engine.migration = false;
+      system::SystemModel without_system;
+      runtime::ActiveRuntime without_runtime(without_system);
+      const auto without = without_runtime.run(program, no_mig);
+
+      csv << app.name << "," << avail << ","
+          << baseline.total.value() / with.end_to_end().value() << ","
+          << baseline.total.value() / without.end_to_end().value() << ","
+          << (with.report.migrations > 0 ? 1 : 0) << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "results";
+  std::filesystem::create_directories(dir);
+  export_fig4(dir);
+  std::printf("wrote %s/fig4_overall.csv + per-app JSON reports\n",
+              dir.string().c_str());
+  export_fig2(dir);
+  std::printf("wrote %s/fig2_static_isp.csv\n", dir.string().c_str());
+  export_fig5(dir);
+  std::printf("wrote %s/fig5_migration.csv\n", dir.string().c_str());
+  return 0;
+}

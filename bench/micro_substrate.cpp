@@ -1,0 +1,134 @@
+// Substrate microbenchmarks (DESIGN.md E8), on google-benchmark.
+//
+// These measure the *simulator's own* cost — how fast the FTL, queue pairs,
+// allocator, curve fitter and availability integrator run on the build
+// machine — so regressions in the substrate are caught independently of the
+// modelled experiment results.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fit/curve_fit.hpp"
+#include "flash/flash_array.hpp"
+#include "flash/ftl.hpp"
+#include "mem/allocator.hpp"
+#include "nvme/call_queue.hpp"
+#include "nvme/queue.hpp"
+#include "sim/availability.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace isp;
+
+void BM_FtlWriteWithGc(benchmark::State& state) {
+  flash::FtlConfig config;
+  config.geometry.channels = 2;
+  config.geometry.dies_per_channel = 2;
+  config.geometry.blocks_per_die = 64;
+  config.geometry.pages_per_block = 64;
+  flash::Ftl ftl(config);
+  Rng rng(7);
+  const auto span = ftl.logical_pages();
+  for (auto _ : state) {
+    ftl.write(rng.uniform_u64(0, span - 1));
+  }
+  state.counters["write_amp"] = ftl.stats().write_amplification();
+}
+BENCHMARK(BM_FtlWriteWithGc);
+
+void BM_QueuePairRoundTrip(benchmark::State& state) {
+  nvme::QueuePair qp(1, 64);
+  std::uint16_t id = 0;
+  for (auto _ : state) {
+    qp.sq().push(nvme::SubmissionEntry{.opcode = nvme::Opcode::Read,
+                                       .command_id = id});
+    const auto sub = qp.sq().pop();
+    qp.cq().push(nvme::CompletionEntry{sub->command_id});
+    benchmark::DoNotOptimize(qp.cq().pop());
+    ++id;
+  }
+}
+BENCHMARK(BM_QueuePairRoundTrip);
+
+void BM_StatusQueuePost(benchmark::State& state) {
+  nvme::StatusQueue queue(256);
+  std::uint32_t chunk = 0;
+  for (auto _ : state) {
+    nvme::StatusEntry entry;
+    entry.line = 1;
+    entry.chunk = chunk++;
+    queue.post(entry);
+    benchmark::DoNotOptimize(queue.poll());
+  }
+}
+BENCHMARK(BM_StatusQueuePost);
+
+void BM_CurveFit(benchmark::State& state) {
+  const std::vector<double> n = {1000, 2000, 4000, 8000};
+  const std::vector<double> y = {10.1, 19.8, 40.5, 79.9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::fit_best(n, y));
+  }
+}
+BENCHMARK(BM_CurveFit);
+
+void BM_AllocatorChurn(benchmark::State& state) {
+  const mem::Window window{mem::MemKind::HostDram, 0, 64_MiB};
+  mem::Allocator allocator(window);
+  Rng rng(13);
+  std::vector<mem::Allocation> live;
+  for (auto _ : state) {
+    if (live.size() < 32 || rng.next_double() < 0.5) {
+      const auto alloc =
+          allocator.allocate(Bytes{rng.uniform_u64(64, 64 * 1024)});
+      if (alloc) live.push_back(*alloc);
+    } else {
+      const auto idx = rng.uniform_u64(0, live.size() - 1);
+      allocator.release(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+}
+BENCHMARK(BM_AllocatorChurn);
+
+void BM_AvailabilityIntegrate(benchmark::State& state) {
+  std::vector<std::pair<SimTime, double>> steps;
+  for (int i = 0; i < 64; ++i) {
+    steps.emplace_back(SimTime{i * 0.5}, (i % 2) == 0 ? 1.0 : 0.25);
+  }
+  const auto schedule = sim::AvailabilitySchedule::steps(std::move(steps));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        schedule.finish_time(SimTime{0.1}, Seconds{7.3}));
+  }
+}
+BENCHMARK(BM_AvailabilityIntegrate);
+
+void BM_SimulatorEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int remaining = 1000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) simulator.schedule(Seconds{1e-6}, tick);
+    };
+    simulator.schedule(Seconds{1e-6}, tick);
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.events_executed());
+  }
+}
+BENCHMARK(BM_SimulatorEvents);
+
+void BM_FlashAnalyticRead(benchmark::State& state) {
+  flash::FlashArray array;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.read_seconds(gigabytes(6.9)));
+  }
+}
+BENCHMARK(BM_FlashAnalyticRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Table I: the applications, their input data sizes and their
+// single-entry-single-exit code regions.
+//
+// Regenerates the table from the actual registered programs: the storage
+// footprint each program references and the code-region (line) inventory the
+// runtime sees.  SparseMV is listed separately (it appears in §V's analysis
+// and Figure 5 but not in Table I).
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace isp;
+
+  bench::print_header(
+      "Table I: applications, input data sizes, SESE code regions");
+  std::printf("%-14s %10s %10s %8s  %s\n", "app", "paper", "measured",
+              "regions", "description");
+  bench::print_rule();
+
+  for (const auto& app : apps::all_apps()) {
+    apps::AppConfig config;
+    const auto program = apps::make_app(app.name, config);
+    program.validate();
+    std::printf("%-14s %8.1fGB %8.2fGB %8zu  %s%s\n", app.name.c_str(),
+                app.table1_bytes.as_double() / 1e9,
+                program.total_storage_bytes().as_double() / 1e9,
+                program.line_count(), app.description.c_str(),
+                app.in_table1 ? "" : "  [not in Table I]");
+  }
+
+  bench::print_rule();
+  std::printf("\nper-application code regions (the runtime's placement unit):\n");
+  for (const auto& app : apps::all_apps()) {
+    apps::AppConfig config;
+    const auto program = apps::make_app(app.name, config);
+    std::printf("\n%s:\n", app.name.c_str());
+    for (std::size_t i = 0; i < program.line_count(); ++i) {
+      const auto& line = program.lines()[i];
+      std::printf("  [%zu] %s\n", i, line.name.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Work-sharing comparator (DESIGN extension): Summarizer-style host/CSD
+// splitting versus whole-line placement.
+//
+// The splitter's model runs host and CSD shares *concurrently* — an axis
+// the paper's sequential whole-line execution deliberately forgoes — so its
+// absolute speedups sit above the whole-line columns and are not directly
+// comparable.  What the sweep demonstrates:
+//   * graceful degradation — as availability shrinks, the tuner drives
+//     f → 0 and work sharing approaches host-only, while the static
+//     whole-line plan falls off Figure 2's cliff; ActiveCpp recovers the
+//     same robustness at whole-line granularity via migration;
+//   * the whole-line rationale — without concurrency the splitting
+//     objective is linear in f and always lands at an endpoint, i.e.
+//     fractional placement collapses into exactly the whole-line decisions
+//     Algorithm 1 makes (see work_sharing.hpp).
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "baseline/baselines.hpp"
+#include "baseline/work_sharing.hpp"
+#include "bench/bench_util.hpp"
+#include "runtime/active_runtime.hpp"
+
+int main() {
+  using namespace isp;
+
+  bench::print_header(
+      "Work sharing vs whole-line offload (speedup over the no-ISP "
+      "baseline)");
+  std::printf("%-10s %8s %12s %12s %12s %10s\n", "query", "avail",
+              "static ISP", "work-share", "activecpp", "mean f");
+  bench::print_rule();
+
+  for (const char* name : {"tpch-q1", "tpch-q6", "tpch-q14"}) {
+    apps::AppConfig config;
+    const auto program = apps::make_app(name, config);
+
+    system::SystemModel base_system;
+    const auto baseline = baseline::run_host_only(base_system, program);
+    system::SystemModel oracle_system;
+    const auto oracle =
+        baseline::programmer_directed_plan(oracle_system, program);
+
+    for (const double avail : {1.0, 0.6, 0.3, 0.1}) {
+      system::SystemModel static_system;
+      const auto static_run = baseline::run_static_isp(
+          static_system, program, oracle.best,
+          sim::AvailabilitySchedule::constant(avail));
+
+      system::SystemModel share_system;
+      const auto shared =
+          baseline::run_work_sharing(share_system, program, avail);
+
+      system::SystemModel active_system;
+      runtime::RunConfig rc;
+      rc.engine.cse_availability =
+          sim::AvailabilitySchedule::constant(avail);
+      runtime::ActiveRuntime active(active_system);
+      const auto activecpp = active.run(program, rc);
+
+      std::printf("%-10s %7.0f%% %11.2fx %11.2fx %11.2fx %9.2f\n", name,
+                  avail * 100.0,
+                  baseline.total.value() / static_run.total.value(),
+                  baseline.total.value() / shared.total.value(),
+                  baseline.total.value() / activecpp.end_to_end().value(),
+                  shared.mean_csd_fraction());
+    }
+    bench::print_rule();
+  }
+
+  std::printf(
+      "expected: the splitter's columns exceed whole-line because its model "
+      "overlaps\nhost and CSD work (an axis the paper's sequential execution "
+      "forgoes). The\nshapes that matter: static ISP collapses with "
+      "availability while the splitter\ndegrades gracefully (f -> 0) and "
+      "ActiveCpp re-plans; and without concurrency\nfractional splitting "
+      "degenerates to exactly Algorithm 1's whole-line choices.\n");
+  return 0;
+}

@@ -1,0 +1,189 @@
+// activecpp_cli — run any registered workload under any configuration.
+//
+//   $ ./examples/activecpp_cli --app tpch-q6
+//   $ ./examples/activecpp_cli --app kmeans --availability 0.5
+//         --contention 0.1 --no-migration --json          (one line)
+//   $ ./examples/activecpp_cli --app pagerank --trace /tmp/pagerank.json
+//   $ ./examples/activecpp_cli --list
+//
+// Flags:
+//   --app NAME           workload (see --list)
+//   --mode MODE          nativec | interpreted | compiled | nocopy (default)
+//   --availability F     constant CSE availability in (0, 1]
+//   --contention F       drop CSE availability to F at 50% ISP progress
+//   --host-availability F  constant host availability in (0, 1]
+//   --no-migration       disable the migration machinery
+//   --no-monitoring      disable status updates + the monitor
+//   --static             run the exhaustive programmer-directed plan instead
+//   --baseline           run host-only (no ISP) in the chosen mode
+//   --nvmeof             attach the CSD over NVMe-oF/RDMA instead of PCIe
+//   --size-factor F      scale the Table-I dataset (default 1.0)
+//   --seed N             dataset seed
+//   --json               print the execution report as JSON
+//   --trace PATH         write a chrome://tracing timeline
+//   --list               list registered workloads and exit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "baseline/baselines.hpp"
+#include "runtime/active_runtime.hpp"
+#include "runtime/trace.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string app = "tpch-q6";
+  isp::codegen::ExecMode mode = isp::codegen::ExecMode::CompiledNoCopy;
+  double availability = 1.0;
+  double contention = 0.0;  // 0 = disabled
+  double host_availability = 1.0;
+  bool migration = true;
+  bool monitoring = true;
+  bool run_static = false;
+  bool run_baseline = false;
+  bool nvmeof = false;
+  double size_factor = 1.0;
+  std::uint64_t seed = 42;
+  bool json = false;
+  std::string trace_path;
+};
+
+isp::codegen::ExecMode parse_mode(const std::string& mode) {
+  if (mode == "nativec") return isp::codegen::ExecMode::NativeC;
+  if (mode == "interpreted") return isp::codegen::ExecMode::Interpreted;
+  if (mode == "compiled") return isp::codegen::ExecMode::Compiled;
+  if (mode == "nocopy") return isp::codegen::ExecMode::CompiledNoCopy;
+  std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+  std::exit(2);
+}
+
+[[noreturn]] void list_apps() {
+  std::printf("registered workloads:\n");
+  for (const auto& app : isp::apps::all_apps()) {
+    std::printf("  %-14s %5.1f GB  %s\n", app.name.c_str(),
+                app.table1_bytes.as_double() / 1e9, app.description.c_str());
+  }
+  std::exit(0);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions options;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--app") {
+      options.app = value(i);
+    } else if (arg == "--mode") {
+      options.mode = parse_mode(value(i));
+    } else if (arg == "--availability") {
+      options.availability = std::atof(value(i));
+    } else if (arg == "--contention") {
+      options.contention = std::atof(value(i));
+    } else if (arg == "--host-availability") {
+      options.host_availability = std::atof(value(i));
+    } else if (arg == "--no-migration") {
+      options.migration = false;
+    } else if (arg == "--no-monitoring") {
+      options.monitoring = false;
+    } else if (arg == "--static") {
+      options.run_static = true;
+    } else if (arg == "--baseline") {
+      options.run_baseline = true;
+    } else if (arg == "--nvmeof") {
+      options.nvmeof = true;
+    } else if (arg == "--size-factor") {
+      options.size_factor = std::atof(value(i));
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--trace") {
+      options.trace_path = value(i);
+    } else if (arg == "--list") {
+      list_apps();
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (see header comment)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace isp;
+  const CliOptions options = parse(argc, argv);
+
+  apps::AppConfig app_config;
+  app_config.size_factor = options.size_factor;
+  app_config.seed = options.seed;
+  const auto program = apps::make_app(options.app, app_config);
+
+  const auto sys_config = options.nvmeof
+                              ? system::SystemConfig::paper_platform_nvmeof()
+                              : system::SystemConfig::paper_platform();
+  system::SystemModel system(sys_config);
+
+  runtime::ExecutionReport report;
+  if (options.run_baseline) {
+    report = baseline::run_host_only(system, program, options.mode);
+  } else if (options.run_static) {
+    const auto oracle = baseline::programmer_directed_plan(system, program);
+    runtime::ContentionTrigger trigger;
+    if (options.contention > 0.0) {
+      trigger.enabled = true;
+      trigger.availability = options.contention;
+    }
+    report = baseline::run_static_isp(
+        system, program, oracle.best,
+        sim::AvailabilitySchedule::constant(options.availability), trigger);
+  } else {
+    runtime::RunConfig rc;
+    rc.mode = options.mode;
+    rc.engine.migration = options.migration;
+    rc.engine.monitoring = options.monitoring;
+    rc.engine.cse_availability =
+        sim::AvailabilitySchedule::constant(options.availability);
+    rc.engine.host_availability =
+        sim::AvailabilitySchedule::constant(options.host_availability);
+    if (options.contention > 0.0) {
+      rc.engine.contention.enabled = true;
+      rc.engine.contention.at_csd_progress = 0.5;
+      rc.engine.contention.availability = options.contention;
+    }
+    runtime::ActiveRuntime active(system);
+    const auto result = active.run(program, rc);
+    report = result.report;
+    if (!options.json) {
+      std::printf("plan: ");
+      for (const auto p : result.plan.placement) {
+        std::printf("%c", p == ir::Placement::Csd ? 'C' : 'h');
+      }
+      std::printf("  (sampling %.3f s, device factor %.2f)\n",
+                  result.sampling_overhead.value(), result.device_factor);
+    }
+  }
+
+  if (options.json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    std::printf("%s", report.to_string().c_str());
+  }
+  if (!options.trace_path.empty()) {
+    runtime::write_chrome_trace(report, options.trace_path);
+    std::fprintf(stderr, "trace written to %s\n",
+                 options.trace_path.c_str());
+  }
+  return 0;
+}

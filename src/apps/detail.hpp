@@ -1,0 +1,25 @@
+// Internal helpers shared by the application builders.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/registry.hpp"
+#include "common/units.hpp"
+
+namespace isp::apps::detail {
+
+/// Table-I data size (decimal GB) scaled by the config's size factor.
+inline Bytes table_bytes(double gigabytes, const AppConfig& config) {
+  return Bytes{static_cast<std::uint64_t>(gigabytes * 1e9 *
+                                          config.size_factor)};
+}
+
+/// Physical element count backing a virtual volume.
+inline std::size_t phys_elems(Bytes virtual_bytes, const AppConfig& config,
+                              std::size_t elem_bytes) {
+  const double phys = virtual_bytes.as_double() / config.virtual_scale;
+  const auto n = static_cast<std::size_t>(phys / elem_bytes);
+  return n > 0 ? n : 1;
+}
+
+}  // namespace isp::apps::detail

@@ -1,0 +1,163 @@
+// LightGBM: gradient-boosted-decision-tree inference (Table I: 7.1 GB).
+//
+// A 40-tree, depth-6 forest scores 32-feature rows; the margin vector is
+// squashed and thresholded into labels and summarised into a tiny histogram.
+// Inference is branchy per row — the kind of code the CSE's in-order cores
+// run at a disadvantage — so only part of the pipeline offloads profitably.
+#include <array>
+#include <cmath>
+#include <span>
+
+#include "apps/data_gen.hpp"
+#include "apps/detail.hpp"
+
+namespace isp::apps {
+
+namespace {
+
+constexpr std::uint32_t kFeatures = 32;
+constexpr std::size_t kTrees = 40;
+constexpr std::uint32_t kDepth = 6;
+/// On-disk rows carry double-precision features (the ETL output)...
+constexpr std::size_t kFileRowBytes = kFeatures * sizeof(double);
+/// ...inference runs on single-precision rows.
+constexpr std::size_t kRowBytes = kFeatures * sizeof(float);
+constexpr std::size_t kNodesPerTree = (std::size_t{1} << kDepth) - 1;
+
+float score_row(const float* row, std::span<const TreeNode> forest) {
+  float margin = 0.0F;
+  for (std::size_t t = 0; t < kTrees; ++t) {
+    const TreeNode* tree = forest.data() + t * kNodesPerTree;
+    std::size_t node = 0;
+    while (tree[node].feature >= 0) {
+      const float v = row[tree[node].feature];
+      node = 2 * node + (v <= tree[node].threshold ? 1 : 2);
+    }
+    margin += tree[node].threshold;  // leaf value
+  }
+  return margin;
+}
+
+}  // namespace
+
+ir::Program make_lightgbm(const AppConfig& config) {
+  ir::Program program("lightgbm", config.virtual_scale);
+
+  const Bytes size = detail::table_bytes(7.1, config);
+  const std::size_t rows = detail::phys_elems(size, config, kFileRowBytes);
+  program.add_dataset(storage_dataset(
+      "features_file", size, rows * kFileRowBytes,
+      static_cast<std::uint32_t>(kFileRowBytes), [&](mem::Buffer& b) {
+        fill_doubles(b, rows * kFeatures, Rng{config.seed}.fork(0x16b0));
+      }));
+
+  // The trained model: a small memory-resident dataset the sampler must not
+  // truncate.
+  {
+    ir::Dataset model;
+    model.object.name = "model";
+    model.object.location = mem::Location::HostDram;
+    model.object.virtual_bytes = 8_MiB;
+    fill_forest(model.object.physical, kTrees, kDepth, kFeatures,
+                Rng{config.seed}.fork(0xf07e));
+    model.elem_bytes = sizeof(TreeNode);
+    model.sampler = [](const mem::DataObject& full, double) { return full; };
+    program.add_dataset(std::move(model));
+  }
+
+  {
+    ir::CodeRegion line;
+    line.name = "features = load_f32(features_file)";
+    line.inputs = {"features_file"};
+    line.outputs = {"features"};
+    line.elem_bytes = kFileRowBytes;
+    line.cost.cycles_per_elem = 512.0;  // 2 cycles/byte decode+narrow
+    line.host_threads = 1;
+    line.csd_threads = 6;
+    line.chunks = 64;
+    line.kernel = [](ir::KernelCtx& ctx) {
+      const auto in = ctx.input(0).physical.as<double>();
+      auto& out = ctx.output(0);
+      out.physical.resize_elems<float>(in.size());
+      auto dst = out.physical.as<float>();
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        dst[i] = static_cast<float>(in[i]);
+      }
+    };
+    program.add_line(std::move(line));
+  }
+
+  {
+    ir::CodeRegion line;
+    line.name = "margins = forest_predict(features, model)";
+    line.inputs = {"features", "model"};
+    line.outputs = {"margins"};
+    line.elem_bytes = kRowBytes;
+    line.cost.cycles_per_elem = 1920.0;  // trees × depth × branchy hops
+    line.host_threads = 1;
+    line.csd_threads = 6;  // in-order cores lose on branchy traversal
+    line.chunks = 128;
+    line.kernel = [](ir::KernelCtx& ctx) {
+      const auto feats = ctx.input(0).physical.as<float>();
+      const auto forest = ctx.input(1).physical.as<TreeNode>();
+      const std::size_t n = feats.size() / kFeatures;
+      auto& out = ctx.output(0);
+      out.physical.resize_elems<float>(n);
+      auto dst = out.physical.as<float>();
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = score_row(feats.data() + i * kFeatures, forest);
+      }
+    };
+    program.add_line(std::move(line));
+  }
+
+  {
+    ir::CodeRegion line;
+    line.name = "labels = sigmoid_threshold(margins)";
+    line.inputs = {"margins"};
+    line.outputs = {"labels"};
+    line.elem_bytes = sizeof(float);
+    line.cost.cycles_per_elem = 20.0;  // exp + compare
+    line.host_threads = 1;
+    line.csd_threads = 8;
+    line.chunks = 8;
+    line.kernel = [](ir::KernelCtx& ctx) {
+      const auto margins = ctx.input(0).physical.as<float>();
+      auto& out = ctx.output(0);
+      out.physical.resize_elems<std::uint8_t>(margins.size());
+      auto dst = out.physical.as<std::uint8_t>();
+      for (std::size_t i = 0; i < margins.size(); ++i) {
+        const float p = 1.0F / (1.0F + std::exp(-margins[i]));
+        dst[i] = p >= 0.5F ? 1 : 0;
+      }
+    };
+    program.add_line(std::move(line));
+  }
+
+  {
+    ir::CodeRegion line;
+    line.name = "summary = histogram(labels)";
+    line.inputs = {"labels"};
+    line.outputs = {"label_summary"};
+    line.elem_bytes = 1.0;
+    line.cost.cycles_per_elem = 2.0;
+    line.host_threads = 1;
+    line.csd_threads = 8;
+    line.chunks = 4;
+    line.kernel = [](ir::KernelCtx& ctx) {
+      const auto labels = ctx.input(0).physical.as<std::uint8_t>();
+      std::array<std::uint64_t, 2> histogram{};
+      for (const auto label : labels) histogram[label & 1] += 1;
+      auto& out = ctx.output(0);
+      out.physical.resize_elems<std::uint64_t>(2);
+      auto dst = out.physical.as<std::uint64_t>();
+      dst[0] = histogram[0];
+      dst[1] = histogram[1];
+    };
+    program.add_line(std::move(line));
+  }
+
+  return program;
+}
+
+}  // namespace isp::apps

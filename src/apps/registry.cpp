@@ -1,0 +1,56 @@
+#include "apps/registry.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace isp::apps {
+
+const std::vector<AppInfo>& all_apps() {
+  static const std::vector<AppInfo> apps = {
+      {"blackscholes", gigabytes(9.1),
+       "European option pricing over a 9.1 GB parameter table", true,
+       make_blackscholes},
+      {"kmeans", gigabytes(5.3),
+       "Lloyd's algorithm, 8-d points, 6 iterations (longest baseline)", true,
+       make_kmeans},
+      {"lightgbm", gigabytes(7.1),
+       "GBDT forest inference over 32-feature rows", true, make_lightgbm},
+      {"matrixmul", gigabytes(6.0),
+       "batched 32x32 dense matrix multiplication with BLAS epilogue", true, make_matmul},
+      {"mixedgemm", gigabytes(9.4),
+       "mixed-precision batched GEMM with GELU epilogue and reduction", true,
+       make_mixedgemm},
+      {"pagerank", gigabytes(7.7),
+       "edge list -> compacted CSR -> damped power iterations", true,
+       make_pagerank},
+      {"tpch-q1", gigabytes(6.9),
+       "TPC-H Q1 pricing summary (98% filter, 6-group aggregate)", true,
+       make_tpch_q1},
+      {"tpch-q6", gigabytes(6.9),
+       "TPC-H Q6 forecast revenue (2% filter, sum)", true, make_tpch_q6},
+      {"tpch-q14", gigabytes(7.1),
+       "TPC-H Q14 promotion effect (month filter + part join)", true,
+       make_tpch_q14},
+      {"sparsemv", gigabytes(6.5),
+       "triplets -> compacted CSR -> power iteration (second CSR workload)",
+       false, make_sparsemv},
+  };
+  return apps;
+}
+
+std::vector<AppInfo> table1_apps() {
+  std::vector<AppInfo> out;
+  for (const auto& app : all_apps()) {
+    if (app.in_table1) out.push_back(app);
+  }
+  return out;
+}
+
+ir::Program make_app(const std::string& name, const AppConfig& config) {
+  for (const auto& app : all_apps()) {
+    if (app.name == name) return app.make(config);
+  }
+  throw Error("unknown application '" + name + "'");
+}
+
+}  // namespace isp::apps

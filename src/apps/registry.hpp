@@ -1,0 +1,60 @@
+// The evaluation workloads (Table I of the paper) and their registry.
+//
+// Every application is a real C++ program expressed as ActiveCpp lines: the
+// kernels compute actual results on the physically scaled payloads, while
+// each DataObject carries its Table-I virtual size for timing.  The nine
+// Table-I applications are joined by SparseMV, which §V discusses alongside
+// PageRank (the CSR-construction estimation outlier) and lists among the
+// Figure-5 migration decisions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace isp::apps {
+
+struct AppConfig {
+  /// Virtual bytes represented by one physical byte.  128 reproduces the
+  /// paper's data sizes with payloads small enough to run everywhere yet
+  /// fine-grained enough that 2^-10 sampling fractions stay proportional.
+  double virtual_scale = 128.0;
+  /// Scales the Table-I dataset size (tests use small fractions).
+  double size_factor = 1.0;
+  std::uint64_t seed = 42;
+};
+
+struct AppInfo {
+  std::string name;
+  Bytes table1_bytes;        // "Data Size" column of Table I (0 = not listed)
+  std::string description;
+  bool in_table1 = true;
+  std::function<ir::Program(const AppConfig&)> make;
+};
+
+/// All registered applications (Table I order, then SparseMV).
+[[nodiscard]] const std::vector<AppInfo>& all_apps();
+
+/// Only the nine Table-I applications.
+[[nodiscard]] std::vector<AppInfo> table1_apps();
+
+/// Build one application by name; throws isp::Error for unknown names.
+[[nodiscard]] ir::Program make_app(const std::string& name,
+                                   const AppConfig& config = {});
+
+// Individual constructors (one per translation unit).
+[[nodiscard]] ir::Program make_blackscholes(const AppConfig& config);
+[[nodiscard]] ir::Program make_kmeans(const AppConfig& config);
+[[nodiscard]] ir::Program make_lightgbm(const AppConfig& config);
+[[nodiscard]] ir::Program make_matmul(const AppConfig& config);
+[[nodiscard]] ir::Program make_mixedgemm(const AppConfig& config);
+[[nodiscard]] ir::Program make_pagerank(const AppConfig& config);
+[[nodiscard]] ir::Program make_sparsemv(const AppConfig& config);
+[[nodiscard]] ir::Program make_tpch_q1(const AppConfig& config);
+[[nodiscard]] ir::Program make_tpch_q6(const AppConfig& config);
+[[nodiscard]] ir::Program make_tpch_q14(const AppConfig& config);
+
+}  // namespace isp::apps

@@ -1,0 +1,35 @@
+#include "apps/tpch_data.hpp"
+
+#include "apps/detail.hpp"
+
+namespace isp::apps {
+
+ir::Dataset make_lineitem_dataset(const AppConfig& config, Bytes virtual_bytes,
+                                  std::uint32_t part_keys) {
+  const std::size_t rows =
+      detail::phys_elems(virtual_bytes, config, sizeof(LineitemRow));
+  ir::Dataset d;
+  d.object.name = "lineitem";
+  d.object.location = mem::Location::Storage;
+  d.object.virtual_bytes = virtual_bytes;
+  fill_lineitem(d.object.physical, rows, part_keys,
+                Rng{config.seed}.fork(0x71c4));
+  d.elem_bytes = sizeof(LineitemRow);
+  return d;
+}
+
+ir::Dataset make_part_dataset(const AppConfig& config, Bytes virtual_bytes,
+                              std::size_t& phys_rows_out) {
+  const std::size_t rows =
+      detail::phys_elems(virtual_bytes, config, sizeof(PartRow));
+  phys_rows_out = rows;
+  ir::Dataset d;
+  d.object.name = "part";
+  d.object.location = mem::Location::Storage;
+  d.object.virtual_bytes = virtual_bytes;
+  fill_part(d.object.physical, rows, Rng{config.seed}.fork(0x9a27));
+  d.elem_bytes = sizeof(PartRow);
+  return d;
+}
+
+}  // namespace isp::apps

@@ -1,0 +1,35 @@
+#include "baseline/baselines.hpp"
+
+namespace isp::baseline {
+
+runtime::ExecutionReport run_host_only(system::SystemModel& system,
+                                       const ir::Program& program,
+                                       codegen::ExecMode mode) {
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+  const auto plan = ir::Plan::host_only(program.line_count());
+  return runtime::run_program(system, program, plan, mode, options);
+}
+
+plan::OracleResult programmer_directed_plan(system::SystemModel& system,
+                                            const ir::Program& program) {
+  plan::OracleOptions options;
+  options.engine.cse_availability = sim::AvailabilitySchedule::constant(1.0);
+  return plan::exhaustive_oracle(system, program, options);
+}
+
+runtime::ExecutionReport run_static_isp(
+    system::SystemModel& system, const ir::Program& program,
+    const ir::Plan& plan, const sim::AvailabilitySchedule& availability,
+    const runtime::ContentionTrigger& contention) {
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+  options.cse_availability = availability;
+  options.contention = contention;
+  return runtime::run_program(system, program, plan,
+                              codegen::ExecMode::NativeC, options);
+}
+
+}  // namespace isp::baseline

@@ -1,0 +1,38 @@
+// The paper's comparison points (§V):
+//   * the no-ISP C baseline every speedup is normalised to;
+//   * the unoptimised interpreted baseline (stock Python, +41%);
+//   * the Cython-compiled baseline (+20%);
+//   * the static programmer-directed C ISP configuration: the exhaustive
+//     oracle's plan frozen at 100% CSD availability, executed without any
+//     monitoring or migration capability (conventional frameworks "have
+//     almost zero capability in dynamically adjusting workloads", §I).
+#pragma once
+
+#include "codegen/exec_mode.hpp"
+#include "ir/plan.hpp"
+#include "ir/program.hpp"
+#include "plan/oracle.hpp"
+#include "runtime/engine.hpp"
+#include "system/model.hpp"
+
+namespace isp::baseline {
+
+/// Host-only run in the given language mode (NativeC = the C baseline).
+[[nodiscard]] runtime::ExecutionReport run_host_only(
+    system::SystemModel& system, const ir::Program& program,
+    codegen::ExecMode mode = codegen::ExecMode::NativeC);
+
+/// The optimal programmer-directed plan, found the way the paper's authors
+/// found it: exhaustively, with the CSD fully dedicated.
+[[nodiscard]] plan::OracleResult programmer_directed_plan(
+    system::SystemModel& system, const ir::Program& program);
+
+/// Execute a frozen static ISP plan (no monitoring, no migration) under the
+/// given CSE availability and optional mid-run contention — the setup of
+/// Figures 2 and 5's "w/o migration" bars.
+[[nodiscard]] runtime::ExecutionReport run_static_isp(
+    system::SystemModel& system, const ir::Program& program,
+    const ir::Plan& plan, const sim::AvailabilitySchedule& availability,
+    const runtime::ContentionTrigger& contention = {});
+
+}  // namespace isp::baseline

@@ -1,0 +1,103 @@
+#include "baseline/work_sharing.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "plan/oracle.hpp"
+
+namespace isp::baseline {
+
+double WorkSharingResult::mean_csd_fraction() const {
+  if (lines.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& l : lines) sum += l.csd_fraction;
+  return sum / static_cast<double>(lines.size());
+}
+
+namespace {
+
+struct SideRates {
+  // Seconds per unit fraction of the line on each side.
+  double host = 0.0;
+  double csd = 0.0;
+  double merge = 0.0;  // per unit fraction on the CSD
+};
+
+/// Minimise max(host·(1-f), csd·f) + merge·f over f ∈ [0, 1].
+double best_fraction(const SideRates& rates) {
+  // The balanced point equalises the two sides; the merge term then favours
+  // slightly less than balance.  The objective is piecewise-linear convex,
+  // so checking the balance point and the endpoints suffices, with a small
+  // bias search around balance for the merge term.
+  const double denom = rates.host + rates.csd;
+  double best_f = 0.0;
+  double best_t = rates.host;  // f = 0
+  auto consider = [&](double f) {
+    f = std::clamp(f, 0.0, 1.0);
+    const double t =
+        std::max(rates.host * (1.0 - f), rates.csd * f) + rates.merge * f;
+    if (t < best_t) {
+      best_t = t;
+      best_f = f;
+    }
+  };
+  if (denom > 0.0) {
+    const double balance = rates.host / denom;
+    consider(balance);
+    // The merge term can pull the optimum below balance; probe the kink of
+    // max(...) plus the merge-adjusted stationary candidates.
+    consider(balance * 0.9);
+    consider(balance * 0.75);
+  }
+  consider(1.0);
+  return best_f;
+}
+
+}  // namespace
+
+WorkSharingResult run_work_sharing(system::SystemModel& system,
+                                   const ir::Program& program,
+                                   double availability) {
+  ISP_CHECK(availability > 0.0 && availability <= 1.0,
+            "availability out of (0,1]");
+  // True per-line volumes and compute times from a functional reference run.
+  const auto truth = plan::measure_true_estimates(system, program);
+
+  const double link = system.link().effective_bandwidth().value();
+  const double nand = system.storage_to_csd_bandwidth().value();
+  const double host_storage = system.storage_to_host_bandwidth().value();
+
+  WorkSharingResult result;
+  for (std::size_t i = 0; i < program.line_count(); ++i) {
+    const auto& est = truth[i];
+
+    SideRates rates;
+    // Host side: its share of stored data crosses the link; inter-line
+    // inputs are already host-resident in this model.
+    rates.host = est.ct_host.value() +
+                 est.storage_in.as_double() / host_storage;
+    // CSD side: internal read plus the slower compute, derated by the
+    // availability the co-tenants leave.
+    rates.csd = est.ct_device.value() / availability +
+                est.storage_in.as_double() / nand;
+    // Device-produced results merge back over the link.
+    rates.merge = est.d_out.as_double() / link;
+    // Inter-line input produced on the host must reach the CSD share.
+    rates.csd += est.d_in.as_double() / link;
+
+    WorkSharingLine line;
+    line.name = program.lines()[i].name;
+    line.csd_fraction = best_fraction(rates);
+    line.host_side = Seconds{rates.host * (1.0 - line.csd_fraction)};
+    line.csd_side = Seconds{rates.csd * line.csd_fraction};
+    line.merge = Seconds{rates.merge * line.csd_fraction};
+    line.total =
+        Seconds{std::max(line.host_side.value(), line.csd_side.value())} +
+        line.merge;
+    result.total += line.total;
+    result.lines.push_back(std::move(line));
+  }
+  return result;
+}
+
+}  // namespace isp::baseline

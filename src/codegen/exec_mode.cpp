@@ -1,0 +1,45 @@
+#include "codegen/exec_mode.hpp"
+
+namespace isp::codegen {
+
+std::string_view to_string(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::NativeC:
+      return "native-c";
+    case ExecMode::Interpreted:
+      return "interpreted";
+    case ExecMode::Compiled:
+      return "compiled";
+    case ExecMode::CompiledNoCopy:
+      return "compiled-nocopy";
+  }
+  return "?";
+}
+
+double RuntimeOverheadModel::compute_multiplier(ExecMode mode) const {
+  switch (mode) {
+    case ExecMode::NativeC:
+      return 1.0;
+    case ExecMode::Interpreted:
+      return interpreted_compute;
+    case ExecMode::Compiled:
+    case ExecMode::CompiledNoCopy:
+      return compiled_compute;
+  }
+  return 1.0;
+}
+
+bool RuntimeOverheadModel::pays_marshalling(ExecMode mode) const {
+  return mode == ExecMode::Interpreted || mode == ExecMode::Compiled;
+}
+
+Seconds RuntimeOverheadModel::dispatch_overhead(ExecMode mode) const {
+  return mode == ExecMode::Interpreted ? interpreted_dispatch
+                                       : Seconds::zero();
+}
+
+bool RuntimeOverheadModel::pays_compile(ExecMode mode) const {
+  return mode == ExecMode::Compiled || mode == ExecMode::CompiledNoCopy;
+}
+
+}  // namespace isp::codegen

@@ -1,0 +1,54 @@
+// Language-runtime execution modes and their overhead model (§III-C(d), §V
+// "ActivePy's optimizations in its language runtime").
+//
+// The paper quantifies three runtime configurations against the C baseline:
+//   * Interpreted  — stock CPython: +41% end-to-end on average;
+//   * Compiled     — Cython-generated machine code, but values still cross
+//                    line/library boundaries through Python buffer objects:
+//                    +20% on average;
+//   * CompiledNoCopy — ActivePy's final form: Cython code plus redundant-
+//                    memory-operation elimination (operands live in mutable
+//                    shared memory, call-by-reference): ≈ the C baseline,
+//                    leaving only ~1% compile overhead.
+//   * NativeC      — the reference C implementation (no overhead at all).
+//
+// The overheads decompose into a compute multiplier (interpreter dispatch)
+// and a per-boundary marshalling copy charged at Python-buffer bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace isp::codegen {
+
+enum class ExecMode : std::uint8_t {
+  NativeC = 0,
+  Interpreted,
+  Compiled,
+  CompiledNoCopy,
+};
+
+[[nodiscard]] std::string_view to_string(ExecMode mode);
+
+struct RuntimeOverheadModel {
+  /// Multiplier on every line's compute time.
+  double interpreted_compute = 1.26;
+  double compiled_compute = 1.01;
+  /// Fixed interpreter dispatch cost per executed line.
+  Seconds interpreted_dispatch = Seconds{40e-6};
+  /// Bandwidth of boundary marshalling copies (PyObject buffer → C array and
+  /// back); paid on a line's input+output volume in modes without the
+  /// redundant-memory-operation elimination.
+  BytesPerSecond marshal_bandwidth = gb_per_s(4.6);
+  /// One-time Cython compilation overhead (the paper's ~1%, ≈0.1 s).
+  Seconds compile_latency = Seconds{0.05};
+
+  [[nodiscard]] double compute_multiplier(ExecMode mode) const;
+  [[nodiscard]] bool pays_marshalling(ExecMode mode) const;
+  [[nodiscard]] Seconds dispatch_overhead(ExecMode mode) const;
+  [[nodiscard]] bool pays_compile(ExecMode mode) const;
+};
+
+}  // namespace isp::codegen

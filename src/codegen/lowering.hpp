@@ -1,0 +1,54 @@
+// Lowering: turn (program, plan, mode) into the pair of executables the
+// engine runs (§III-C).
+//
+// Contiguous runs of CSD-placed lines become one CSD function each — the
+// unit ActivePy enqueues on the call queue — because Algorithm 1 already
+// priced the boundary transfers of each run.  Every CSD line is instrumented
+// with the patched status-update code; host lines are not.  The generated
+// CSD binary is "emitted into the target device memory location" at start of
+// run, which the engine charges as a CodeImage transfer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codegen/exec_mode.hpp"
+#include "codegen/memory_plan.hpp"
+#include "ir/plan.hpp"
+#include "ir/program.hpp"
+
+namespace isp::codegen {
+
+struct LoweredLine {
+  std::uint32_t index = 0;
+  ir::Placement placement = ir::Placement::Host;
+  bool enters_csd_group = false;  // first line of a CSD run: call invocation
+  bool status_updates = false;    // patched per-chunk progress reports
+  bool marshalling = false;       // boundary copies paid under this mode
+};
+
+struct LoweredProgram {
+  ExecMode mode = ExecMode::CompiledNoCopy;
+  std::vector<LoweredLine> lines;
+  MemoryPlan memory;
+  std::uint32_t csd_group_count = 0;
+  Bytes csd_code_image;      // generated device binary size
+  Seconds compile_latency;   // charged once before execution
+};
+
+struct LoweringOptions {
+  /// Generated machine code per CSD line (drives the code-image transfer).
+  Bytes code_bytes_per_line = Bytes{32 * 1024};
+  /// Instrument CSD lines with status updates (off to model a framework
+  /// without feedback, e.g. the static C baseline).
+  bool instrument_status = true;
+};
+
+[[nodiscard]] LoweredProgram lower(const ir::Program& program,
+                                   const ir::Plan& plan,
+                                   const mem::AddressSpace& address_space,
+                                   ExecMode mode,
+                                   const LoweringOptions& options = {},
+                                   const RuntimeOverheadModel& overhead = {});
+
+}  // namespace isp::codegen

@@ -1,0 +1,121 @@
+#include "codegen/memory_plan.hpp"
+
+#include <map>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace isp::codegen {
+
+const ObjectPlacement* MemoryPlan::find(const std::string& name) const {
+  for (const auto& o : objects) {
+    if (o.object == name) return &o;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Placement of the first line consuming `name`, if any.
+std::optional<ir::Placement> first_consumer(const ir::Program& program,
+                                            const ir::Plan& plan,
+                                            const std::string& name,
+                                            std::size_t after_line) {
+  for (std::size_t i = after_line; i < program.line_count(); ++i) {
+    for (const auto& in : program.lines()[i].inputs) {
+      if (in == name) return plan.placement[i];
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+MemoryPlan plan_memory(const ir::Program& program, const ir::Plan& plan,
+                       const mem::AddressSpace& address_space, ExecMode mode) {
+  ISP_CHECK(plan.placement.size() == program.line_count(),
+            "plan does not match program");
+  MemoryPlan out;
+
+  const auto* host_window = address_space.window(mem::MemKind::HostDram);
+  const auto* device_window = address_space.window(mem::MemKind::DeviceDram);
+  ISP_CHECK(host_window != nullptr && device_window != nullptr,
+            "address space lacks host or device DRAM");
+  mem::Allocator host_alloc(*host_window);
+  mem::Allocator device_alloc(*device_window);
+
+  // Producer placement per object (datasets have no producer: storage).
+  std::map<std::string, std::optional<ir::Placement>> producer;
+  for (const auto& d : program.datasets()) {
+    producer[d.object.name] = std::nullopt;
+  }
+
+  const bool elide = (mode == ExecMode::CompiledNoCopy ||
+                      mode == ExecMode::NativeC);
+
+  for (std::size_t i = 0; i < program.line_count(); ++i) {
+    const auto& line = program.lines()[i];
+    for (const auto& name : line.outputs) {
+      producer[name] = plan.placement[i];
+
+      const auto consumer = first_consumer(program, plan, name, i + 1);
+      // Near-consumer policy; an unconsumed (final) object lands at the host,
+      // where the program's results must end up.
+      const auto side = consumer.value_or(ir::Placement::Host);
+      const auto kind = mem::place_near_consumer(side == ir::Placement::Csd);
+
+      // Size what we can know statically: intermediates are bounded by the
+      // volume of the line's stored+inter-line inputs (post-reduction sizes
+      // are only known at run time; the plan reserves conservatively).
+      Bytes reserve{1_MiB};
+      for (const auto& in : line.inputs) {
+        // Reserve in proportion to input volume if the input is a dataset.
+        for (const auto& d : program.datasets()) {
+          if (d.object.name == in) reserve += d.object.virtual_bytes;
+        }
+      }
+
+      auto& alloc = (kind == mem::MemKind::DeviceDram) ? device_alloc
+                                                       : host_alloc;
+      const auto allocation = alloc.allocate(reserve);
+      // DRAM exhaustion degrades to the other side rather than failing: the
+      // policy is a preference, not a correctness requirement.
+      ObjectPlacement placement;
+      placement.object = name;
+      placement.size = reserve;
+      if (allocation) {
+        placement.kind = kind;
+        placement.address = allocation->address;
+      } else {
+        auto& other = (kind == mem::MemKind::DeviceDram) ? host_alloc
+                                                         : device_alloc;
+        const auto fallback = other.allocate(reserve);
+        ISP_CHECK(fallback.has_value(), "both DRAM pools exhausted planning '"
+                                            << name << "'");
+        placement.kind = fallback->kind;
+        placement.address = fallback->address;
+      }
+
+      // Zero-copy when producer and the consuming side share the object's
+      // memory and the mode eliminates redundant memory operations.
+      const bool same_side =
+          (side == plan.placement[i]) ||
+          (placement.kind == mem::MemKind::DeviceDram &&
+           plan.placement[i] == ir::Placement::Csd) ||
+          (placement.kind == mem::MemKind::HostDram &&
+           plan.placement[i] == ir::Placement::Host);
+      placement.zero_copy = elide && same_side;
+      if (placement.zero_copy) ++out.zero_copy_objects;
+
+      if (placement.kind == mem::MemKind::DeviceDram) {
+        out.device_bytes += placement.size;
+      } else {
+        out.host_bytes += placement.size;
+      }
+      out.objects.push_back(std::move(placement));
+    }
+  }
+  return out;
+}
+
+}  // namespace isp::codegen

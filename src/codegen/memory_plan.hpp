@@ -1,0 +1,52 @@
+// Memory planning: where every data object lives (§III-C(a), (c)).
+//
+// ActivePy adopts one shared address space and places each object near its
+// consumer: an object first consumed by a CSD line is allocated in device
+// DRAM (reached by the host through the BAR window), one consumed on the
+// host in host DRAM.  Objects whose producer and consumer share a memory —
+// and whose mode eliminates redundant memory operations — become zero-copy:
+// the callee reads the caller's mutable memory directly.
+//
+// Storage-resident datasets are not materialised in DRAM — they stream
+// through a bounded buffer pool — so only produced intermediates consume
+// planned DRAM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/exec_mode.hpp"
+#include "ir/plan.hpp"
+#include "ir/program.hpp"
+#include "mem/address_space.hpp"
+#include "mem/allocator.hpp"
+
+namespace isp::codegen {
+
+struct ObjectPlacement {
+  std::string object;
+  mem::MemKind kind = mem::MemKind::HostDram;
+  std::uint64_t address = 0;
+  Bytes size;
+  bool zero_copy = false;  // marshalling elided for this object
+};
+
+struct MemoryPlan {
+  std::vector<ObjectPlacement> objects;
+  Bytes host_bytes;
+  Bytes device_bytes;
+  std::uint32_t zero_copy_objects = 0;
+
+  [[nodiscard]] const ObjectPlacement* find(const std::string& name) const;
+};
+
+/// Build the plan: for each object produced by a line (or loaded from
+/// storage into memory), pick the region of its first consumer, allocate an
+/// address, and mark zero-copy pairs under `mode`.
+[[nodiscard]] MemoryPlan plan_memory(const ir::Program& program,
+                                     const ir::Plan& plan,
+                                     const mem::AddressSpace& address_space,
+                                     ExecMode mode);
+
+}  // namespace isp::codegen

@@ -1,0 +1,48 @@
+// Error handling: precondition/invariant checks that throw isp::Error.
+//
+// The library is exception-based (per the C++ Core Guidelines): ISP_CHECK is
+// for conditions that depend on caller input or device state and stays on in
+// release builds; ISP_DCHECK is for internal invariants and compiles out in
+// NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace isp {
+
+/// Base error type for every failure raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace isp
+
+#define ISP_CHECK(cond, msg)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::isp::detail::raise_check_failure(#cond, __FILE__, __LINE__,      \
+                                         (std::ostringstream{} << msg)  \
+                                             .str());                    \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define ISP_DCHECK(cond, msg) \
+  do {                        \
+  } while (false)
+#else
+#define ISP_DCHECK(cond, msg) ISP_CHECK(cond, msg)
+#endif

@@ -1,0 +1,36 @@
+// Minimal leveled logger.
+//
+// Off (Warn level) by default so tests and benches stay quiet; the runtime
+// raises verbosity when the user asks for a trace of sampling / planning /
+// migration decisions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace isp {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace isp
+
+#define ISP_LOG(level, msg)                                            \
+  do {                                                                 \
+    if (static_cast<int>(level) >= static_cast<int>(::isp::log_level())) { \
+      ::isp::detail::log_emit(level,                                   \
+                              (std::ostringstream{} << msg).str());    \
+    }                                                                  \
+  } while (false)
+
+#define ISP_LOG_INFO(msg) ISP_LOG(::isp::LogLevel::Info, msg)
+#define ISP_LOG_DEBUG(msg) ISP_LOG(::isp::LogLevel::Debug, msg)
+#define ISP_LOG_TRACE(msg) ISP_LOG(::isp::LogLevel::Trace, msg)
+#define ISP_LOG_WARN(msg) ISP_LOG(::isp::LogLevel::Warn, msg)

@@ -1,0 +1,110 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace isp {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double hash_unit(std::uint64_t x) {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(splitmix64(x) >> 11) * 0x1.0p-53;
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    s = splitmix64(s);
+    word = s;
+  }
+  // xoshiro must not start from the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  ISP_CHECK(lo <= hi, "empty range");
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next_u64();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = span * (~0ULL / span);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return lo + x % span;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = next_double();
+  const double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  ISP_CHECK(n > 0, "zipf over empty domain");
+  if (n == 1) return 0;
+  // Inverse-CDF approximation over the continuous Zipf envelope
+  // (Gray et al., "Quickly generating billion-record synthetic databases").
+  const double nd = static_cast<double>(n);
+  if (s == 1.0) {
+    const double u = next_double();
+    const double x = std::exp(u * std::log(nd));
+    return static_cast<std::uint64_t>(x) - 1;
+  }
+  const double u = next_double();
+  const double one_minus_s = 1.0 - s;
+  const double x =
+      std::pow(u * (std::pow(nd, one_minus_s) - 1.0) + 1.0, 1.0 / one_minus_s);
+  auto rank = static_cast<std::uint64_t>(x);
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  return Rng{splitmix64(state_[0] ^ splitmix64(stream_id))};
+}
+
+}  // namespace isp

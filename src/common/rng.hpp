@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in the reproduction that involves randomness — dataset
+// generation, cost-model jitter, contention schedules — draws from Rng so a
+// given seed reproduces a run bit-for-bit.  xoshiro256** with splitmix64
+// seeding; no dependence on std::random_device or platform distributions
+// (std:: distributions are not cross-implementation stable, ours are).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace isp {
+
+/// xoshiro256** generator with deterministic splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (deterministic, caches the pair).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Zipf-distributed integer in [0, n) with exponent s (via rejection
+  /// sampling against the Zipf envelope; deterministic).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// A derived generator whose stream is independent of this one.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
+
+  /// Deterministic shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_u64(0, i - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// splitmix64 single step — also useful as a cheap stateless hash for
+/// deterministic per-item jitter.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Deterministic hash of x into a double in [0, 1).
+double hash_unit(std::uint64_t x);
+
+}  // namespace isp

@@ -1,0 +1,221 @@
+// Strong unit types shared by every subsystem.
+//
+// All device timing in the simulator is expressed in seconds of *virtual*
+// time (double precision), and all data volumes in bytes.  Equation 1 of the
+// paper mixes the two through bandwidths, so both get thin strong types to
+// keep the arithmetic honest: you cannot add bytes to seconds, and dividing
+// Bytes by BytesPerSecond yields Seconds.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace isp {
+
+/// A count of bytes (data volume). Wraps an unsigned 64-bit count.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return count_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(count_);
+  }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.count_ + b.count_};
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes{a.count_ - b.count_};
+  }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t k) {
+    return Bytes{a.count_ * k};
+  }
+  friend constexpr Bytes operator*(std::uint64_t k, Bytes a) { return a * k; }
+  /// Scale by a real factor (used by sampling factors F = 2^-10 .. 2^-7).
+  friend constexpr Bytes scale(Bytes a, double f) {
+    return Bytes{static_cast<std::uint64_t>(a.as_double() * f)};
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+constexpr Bytes operator""_B(unsigned long long v) { return Bytes{v}; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes{v << 10}; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes{v << 20}; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return Bytes{v << 30}; }
+
+/// Decimal gigabytes, matching the paper's "GB/sec" figures.
+constexpr Bytes gigabytes(double v) {
+  return Bytes{static_cast<std::uint64_t>(v * 1e9)};
+}
+
+/// A span of virtual time, in seconds.
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double v) : v_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  constexpr auto operator<=>(const Seconds&) const = default;
+
+  constexpr Seconds& operator+=(Seconds other) {
+    v_ += other.v_;
+    return *this;
+  }
+  constexpr Seconds& operator-=(Seconds other) {
+    v_ -= other.v_;
+    return *this;
+  }
+  friend constexpr Seconds operator+(Seconds a, Seconds b) {
+    return Seconds{a.v_ + b.v_};
+  }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) {
+    return Seconds{a.v_ - b.v_};
+  }
+  friend constexpr Seconds operator*(Seconds a, double k) {
+    return Seconds{a.v_ * k};
+  }
+  friend constexpr Seconds operator*(double k, Seconds a) { return a * k; }
+  friend constexpr Seconds operator/(Seconds a, double k) {
+    return Seconds{a.v_ / k};
+  }
+  friend constexpr double operator/(Seconds a, Seconds b) {
+    return a.v_ / b.v_;
+  }
+
+  static constexpr Seconds zero() { return Seconds{0.0}; }
+  static constexpr Seconds infinity() {
+    return Seconds{std::numeric_limits<double>::infinity()};
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_ms(long double v) {
+  return Seconds{static_cast<double>(v) * 1e-3};
+}
+constexpr Seconds operator""_us(long double v) {
+  return Seconds{static_cast<double>(v) * 1e-6};
+}
+constexpr Seconds operator""_ns(long double v) {
+  return Seconds{static_cast<double>(v) * 1e-9};
+}
+
+/// A transfer or processing rate in bytes per second of virtual time.
+class BytesPerSecond {
+ public:
+  constexpr BytesPerSecond() = default;
+  constexpr explicit BytesPerSecond(double v) : v_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+  constexpr auto operator<=>(const BytesPerSecond&) const = default;
+
+  friend constexpr Seconds operator/(Bytes b, BytesPerSecond r) {
+    return Seconds{b.as_double() / r.v_};
+  }
+  friend constexpr BytesPerSecond operator*(BytesPerSecond r, double k) {
+    return BytesPerSecond{r.v_ * k};
+  }
+  friend constexpr BytesPerSecond operator*(double k, BytesPerSecond r) {
+    return r * k;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Decimal GB/s, matching the paper's link/NAND bandwidth figures.
+constexpr BytesPerSecond gb_per_s(double v) { return BytesPerSecond{v * 1e9}; }
+
+/// Virtual-time instant measured from simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(double seconds) : v_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return v_; }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  friend constexpr SimTime operator+(SimTime t, Seconds d) {
+    return SimTime{t.v_ + d.value()};
+  }
+  friend constexpr Seconds operator-(SimTime a, SimTime b) {
+    return Seconds{a.v_ - b.v_};
+  }
+  constexpr SimTime& operator+=(Seconds d) {
+    v_ += d.value();
+    return *this;
+  }
+
+  static constexpr SimTime zero() { return SimTime{0.0}; }
+  static constexpr SimTime infinity() {
+    return SimTime{std::numeric_limits<double>::infinity()};
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Processor cycle counts used by the cost models and IPC bookkeeping.
+class Cycles {
+ public:
+  constexpr Cycles() = default;
+  constexpr explicit Cycles(double v) : v_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+  constexpr auto operator<=>(const Cycles&) const = default;
+
+  friend constexpr Cycles operator+(Cycles a, Cycles b) {
+    return Cycles{a.v_ + b.v_};
+  }
+  friend constexpr Cycles operator*(Cycles a, double k) {
+    return Cycles{a.v_ * k};
+  }
+  friend constexpr Cycles operator*(double k, Cycles a) { return a * k; }
+  constexpr Cycles& operator+=(Cycles other) {
+    v_ += other.v_;
+    return *this;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// A clock rate; Cycles / Hertz = Seconds.
+class Hertz {
+ public:
+  constexpr Hertz() = default;
+  constexpr explicit Hertz(double v) : v_(v) {}
+  [[nodiscard]] constexpr double value() const { return v_; }
+  constexpr auto operator<=>(const Hertz&) const = default;
+
+  friend constexpr Seconds operator/(Cycles c, Hertz h) {
+    return Seconds{c.value() / h.v_};
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+constexpr Hertz ghz(double v) { return Hertz{v * 1e9}; }
+
+}  // namespace isp

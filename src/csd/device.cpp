@@ -1,0 +1,28 @@
+#include "csd/device.hpp"
+
+namespace isp::csd {
+
+CsdDevice::CsdDevice(sim::Simulator& simulator, CsdConfig config)
+    : config_(config),
+      cse_(config.cse),
+      flash_(config.nand_geometry, config.nand_timing),
+      ftl_(std::make_unique<flash::Ftl>(
+          flash::FtlConfig{.geometry = config.nand_geometry,
+                           .overprovision = config.ftl_overprovision})),
+      controller_(simulator, flash_, ftl_.get(), config.controller),
+      io_queue_(/*id=*/1, config.queue_depth),
+      call_queue_(config.call_queue_depth),
+      status_queue_(config.status_queue_depth) {}
+
+Seconds CsdDevice::call_overhead() const {
+  return config_.controller.doorbell_to_fetch +
+         config_.controller.completion_post;
+}
+
+void CsdDevice::apply_gc_pressure() {
+  const double pressure = ftl_->gc_pressure();
+  flash_.set_availability(
+      sim::AvailabilitySchedule::constant(1.0 - pressure));
+}
+
+}  // namespace isp::csd

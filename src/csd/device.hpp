@@ -1,0 +1,64 @@
+// The computational storage device: CSE + flash + device DRAM + the NVMe
+// control plane ActivePy talks through (Figure 1 of the paper).
+#pragma once
+
+#include <memory>
+
+#include "csd/cse.hpp"
+#include "flash/flash_array.hpp"
+#include "flash/ftl.hpp"
+#include "mem/address_space.hpp"
+#include "nvme/call_queue.hpp"
+#include "nvme/controller.hpp"
+#include "nvme/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace isp::csd {
+
+struct CsdConfig {
+  CseConfig cse;
+  flash::NandGeometry nand_geometry;
+  flash::NandTiming nand_timing;
+  double ftl_overprovision = 0.125;
+  Bytes device_dram = 8_GiB;
+  std::uint32_t queue_depth = 64;
+  std::uint32_t call_queue_depth = 64;
+  std::uint32_t status_queue_depth = 256;
+  nvme::ControllerConfig controller;
+};
+
+class CsdDevice {
+ public:
+  CsdDevice(sim::Simulator& simulator, CsdConfig config);
+
+  [[nodiscard]] Cse& cse() { return cse_; }
+  [[nodiscard]] const Cse& cse() const { return cse_; }
+  [[nodiscard]] flash::FlashArray& flash_array() { return flash_; }
+  [[nodiscard]] const flash::FlashArray& flash_array() const { return flash_; }
+  [[nodiscard]] flash::Ftl& ftl() { return *ftl_; }
+  [[nodiscard]] nvme::Controller& controller() { return controller_; }
+  [[nodiscard]] nvme::QueuePair& io_queue() { return io_queue_; }
+  [[nodiscard]] nvme::CallQueue& call_queue() { return call_queue_; }
+  [[nodiscard]] nvme::StatusQueue& status_queue() { return status_queue_; }
+  [[nodiscard]] const CsdConfig& config() const { return config_; }
+
+  /// Round-trip control overhead of one CSD function invocation: doorbell to
+  /// fetch plus completion post (the paper's NVMe-style short-latency call).
+  [[nodiscard]] Seconds call_overhead() const;
+
+  /// Fold GC pressure into the flash array's availability: when the FTL is
+  /// relocating pages, ISP reads see a derated internal bandwidth.
+  void apply_gc_pressure();
+
+ private:
+  CsdConfig config_;
+  Cse cse_;
+  flash::FlashArray flash_;
+  std::unique_ptr<flash::Ftl> ftl_;
+  nvme::Controller controller_;
+  nvme::QueuePair io_queue_;
+  nvme::CallQueue call_queue_;
+  nvme::StatusQueue status_queue_;
+};
+
+}  // namespace isp::csd

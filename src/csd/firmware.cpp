@@ -1,0 +1,79 @@
+#include "csd/firmware.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace isp::csd {
+
+Firmware::Firmware(sim::Simulator& simulator, Cse& cse,
+                   nvme::CallQueue& calls, nvme::StatusQueue& status,
+                   FirmwareConfig config)
+    : simulator_(&simulator),
+      cse_(&cse),
+      calls_(&calls),
+      status_(&status),
+      config_(config) {
+  ISP_CHECK(config_.chunks >= 1, "firmware needs at least one chunk");
+}
+
+void Firmware::start(ServiceTime service_time, Completion on_complete) {
+  ISP_CHECK(service_time != nullptr, "firmware needs a service-time model");
+  service_time_ = std::move(service_time);
+  on_complete_ = std::move(on_complete);
+  if (running_) return;
+  running_ = true;
+  simulator_->schedule(Seconds::zero(), [this] { poll(); });
+}
+
+void Firmware::poll() {
+  if (!running_) return;
+  if (!busy_) {
+    if (const auto entry = calls_->fetch()) {
+      busy_ = true;
+      const Seconds total = service_time_(*entry);
+      const Seconds chunk =
+          total / static_cast<double>(config_.chunks);
+      // Instruction accounting: chunks retire work proportional to their
+      // share of the function, converted through the CSE clock.
+      const double instr_per_chunk =
+          chunk.value() * cse_->config().clock.value() / config_.chunks;
+      run_chunk(*entry, chunk, 0, instr_per_chunk);
+      return;  // chunk chain reschedules polling on completion
+    }
+  }
+  simulator_->schedule(config_.poll_interval, [this] { poll(); });
+}
+
+void Firmware::run_chunk(nvme::CallEntry entry, Seconds chunk_time,
+                         std::uint32_t chunk, double instr_per_chunk) {
+  // Execute one chunk under the CSE's availability, then report.
+  const auto done =
+      cse_->availability().finish_time(simulator_->now(), chunk_time);
+  ISP_CHECK(done < SimTime::infinity(), "CSE starved during firmware chunk");
+  simulator_->schedule_at(done, [this, entry, chunk_time, chunk,
+                                 instr_per_chunk] {
+    instructions_retired_ += instr_per_chunk;
+    cse_->retire(instr_per_chunk, chunk_time.value() *
+                                      cse_->config().clock.value());
+    nvme::StatusEntry status;
+    status.line = entry.first_line;
+    status.chunk = chunk;
+    status.chunks_total = config_.chunks;
+    status.instructions_retired = instructions_retired_;
+    status.timestamp = simulator_->now();
+    status.high_priority_request = high_priority_;
+    status_->post(status);
+
+    if (chunk + 1 < config_.chunks) {
+      run_chunk(entry, chunk_time, chunk + 1, instr_per_chunk);
+    } else {
+      busy_ = false;
+      ++functions_executed_;
+      if (on_complete_) on_complete_(entry);
+      simulator_->schedule(config_.poll_interval, [this] { poll(); });
+    }
+  });
+}
+
+}  // namespace isp::csd

@@ -1,0 +1,79 @@
+// The CSD firmware loop (§III-C(b)): "the CSD's CSE fetches a request from
+// the call queue whenever the CSE is free".
+//
+// This is the device-resident half of ActivePy's control plane, run as
+// events on the shared simulator: the host submits CallEntries describing
+// generated CSD functions and rings a doorbell; the firmware fetches one
+// entry at a time, executes it through a caller-provided function executor
+// (the execution engine, in production; a stub, in tests), posts per-chunk
+// status updates, and completes back to the host.  A high-priority flag
+// raised by the device (e.g. the storage-management path needing the CSE)
+// is propagated through the status stream, exactly as §III-D case 1
+// describes.
+//
+// The analytic execution engine used by the benchmark harnesses charges the
+// same call overheads without running this loop event-by-event; the firmware
+// exists so the queue-pair protocol itself is a tested, working artefact
+// (integration tests drive host→SQ→fetch→execute→status→CQ end to end).
+#pragma once
+
+#include <functional>
+
+#include "csd/cse.hpp"
+#include "nvme/call_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace isp::csd {
+
+struct FirmwareConfig {
+  /// Polling interval of the fetch loop while idle.
+  Seconds poll_interval = Seconds{5e-6};
+  /// Chunks per executed function (status updates per §III-C(b)).
+  std::uint32_t chunks = 8;
+};
+
+class Firmware {
+ public:
+  /// `service_time` maps a fetched call to its total execution time on the
+  /// CSE; `on_complete` fires when the function finishes.
+  using ServiceTime = std::function<Seconds(const nvme::CallEntry&)>;
+  using Completion = std::function<void(const nvme::CallEntry&)>;
+
+  Firmware(sim::Simulator& simulator, Cse& cse, nvme::CallQueue& calls,
+           nvme::StatusQueue& status, FirmwareConfig config = {});
+
+  /// Start the fetch loop (idempotent).
+  void start(ServiceTime service_time, Completion on_complete);
+
+  /// Stop fetching after the current function completes.
+  void stop() { running_ = false; }
+
+  /// Raise the high-priority request flag: the next status update asks the
+  /// host to take work back (§III-D case 1).
+  void raise_high_priority() { high_priority_ = true; }
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::uint64_t functions_executed() const {
+    return functions_executed_;
+  }
+
+ private:
+  void poll();
+  void run_chunk(nvme::CallEntry entry, Seconds chunk_time,
+                 std::uint32_t chunk, double instr_per_chunk);
+
+  sim::Simulator* simulator_;
+  Cse* cse_;
+  nvme::CallQueue* calls_;
+  nvme::StatusQueue* status_;
+  FirmwareConfig config_;
+  ServiceTime service_time_;
+  Completion on_complete_;
+  bool running_ = false;
+  bool busy_ = false;
+  bool high_priority_ = false;
+  double instructions_retired_ = 0.0;
+  std::uint64_t functions_executed_ = 0;
+};
+
+}  // namespace isp::csd

@@ -1,0 +1,79 @@
+#include "fit/curve_fit.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace isp::fit {
+
+double FitResult::predict(double n) const {
+  const double y = a + b * ir::basis(cls, n);
+  return y > 0.0 ? y : 0.0;
+}
+
+FitResult fit_class(ir::ComplexityClass cls, std::span<const double> n,
+                    std::span<const double> y) {
+  ISP_CHECK(n.size() == y.size(), "n/y size mismatch");
+  ISP_CHECK(n.size() >= 2, "need at least two sample points");
+
+  const auto m = static_cast<double>(n.size());
+  double sg = 0.0, sy = 0.0, sgg = 0.0, sgy = 0.0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const double g = ir::basis(cls, n[i]);
+    sg += g;
+    sy += y[i];
+    sgg += g * g;
+    sgy += g * y[i];
+  }
+
+  FitResult out;
+  out.cls = cls;
+  const double denom = m * sgg - sg * sg;
+  if (std::abs(denom) < 1e-30) {
+    // Degenerate basis over these points (e.g. O(1)): intercept-only fit.
+    out.b = 0.0;
+    out.a = sy / m;
+  } else {
+    out.b = (m * sgy - sg * sy) / denom;
+    out.a = (sy - out.b * sg) / m;
+  }
+
+  double sse = 0.0, mag = 0.0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const double r = y[i] - (out.a + out.b * ir::basis(cls, n[i]));
+    sse += r * r;
+    mag += std::abs(y[i]);
+  }
+  const double rmse = std::sqrt(sse / m);
+  const double mean_mag = mag / m;
+  out.rmse_rel = mean_mag > 0.0 ? rmse / mean_mag
+                                : (rmse > 0.0 ? rmse : 0.0);
+  return out;
+}
+
+FitResult fit_best(std::span<const double> n, std::span<const double> y) {
+  // Classes are tried lowest-order first, and a higher-order class must beat
+  // the incumbent by a clear margin to be selected (Occam selection).  With
+  // only four sample points, quantisation and jitter can make O(n²)/O(n³)
+  // look marginally better on the samples while extrapolating catastrophically
+  // three orders of magnitude out — the margin keeps the fitter on the
+  // simplest shape the evidence actually supports.
+  constexpr double kRequiredImprovement = 0.75;
+  FitResult best;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (const auto cls : ir::kAllComplexityClasses) {
+    const auto candidate = fit_class(cls, n, y);
+    // A fit whose slope is negative extrapolates to nonsense at raw size;
+    // accept it only if nothing non-degenerate does better (handles truly
+    // decreasing y, e.g. constant-size outputs with jitter).
+    const double penalty = candidate.b < 0.0 ? 1e6 : 0.0;
+    if (candidate.rmse_rel + penalty < best_err * kRequiredImprovement) {
+      best_err = candidate.rmse_rel + penalty;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace isp::fit

@@ -1,0 +1,38 @@
+// Least-squares complexity-curve fitting (§III-A).
+//
+// ActivePy runs four sample sizes (F = 2^-10 … 2^-7), then predicts each
+// line's execution time and output volume at the raw input size by selecting
+// the closest fit among O(1), O(n), O(n log n), O(n²), O(n³).  The fit is
+// y = a + b·g(n) solved in closed form per class; the class with the lowest
+// relative RMSE wins.  Extrapolating 2^7–2^10× beyond the samples with only
+// five candidate shapes is exactly as fallible as the paper reports (§V:
+// ~9% geometric-mean volume error, with CSR construction the pathological
+// case), and that fallibility is load-bearing for the monitoring story.
+#pragma once
+
+#include <span>
+
+#include "ir/complexity.hpp"
+
+namespace isp::fit {
+
+struct FitResult {
+  ir::ComplexityClass cls = ir::ComplexityClass::O1;
+  double a = 0.0;          // intercept
+  double b = 0.0;          // slope on basis(cls, n)
+  double rmse_rel = 0.0;   // RMSE / mean(|y|), the selection criterion
+
+  /// Predicted y at n, clamped to be non-negative.
+  [[nodiscard]] double predict(double n) const;
+};
+
+/// Fit y = a + b·g(n) for one class.
+[[nodiscard]] FitResult fit_class(ir::ComplexityClass cls,
+                                  std::span<const double> n,
+                                  std::span<const double> y);
+
+/// Fit all five classes and return the best by relative RMSE.
+[[nodiscard]] FitResult fit_best(std::span<const double> n,
+                                 std::span<const double> y);
+
+}  // namespace isp::fit

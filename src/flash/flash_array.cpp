@@ -1,0 +1,43 @@
+#include "flash/flash_array.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace isp::flash {
+
+FlashArray::FlashArray(NandGeometry geometry, NandTiming timing)
+    : geometry_(geometry),
+      timing_(timing),
+      read_bw_(effective_read_bandwidth(geometry, timing)),
+      write_bw_(effective_write_bandwidth(geometry, timing)) {}
+
+Seconds FlashArray::read_seconds(Bytes bytes) const {
+  if (bytes.count() == 0) return Seconds::zero();
+  // Startup: the first page must complete a full tR before any data flows.
+  return timing_.page_read + bytes / read_bw_;
+}
+
+Seconds FlashArray::write_seconds(Bytes bytes) const {
+  if (bytes.count() == 0) return Seconds::zero();
+  return timing_.page_program + bytes / write_bw_;
+}
+
+SimTime FlashArray::read_finish(SimTime t0, Bytes bytes) const {
+  return availability_.finish_time(t0, read_seconds(bytes));
+}
+
+SimTime FlashArray::write_finish(SimTime t0, Bytes bytes) const {
+  return availability_.finish_time(t0, write_seconds(bytes));
+}
+
+void FlashArray::set_availability(sim::AvailabilitySchedule schedule) {
+  availability_ = std::move(schedule);
+}
+
+void FlashArray::reset_stats() {
+  bytes_read_ = Bytes{0};
+  bytes_written_ = Bytes{0};
+}
+
+}  // namespace isp::flash

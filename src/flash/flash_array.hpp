@@ -1,0 +1,60 @@
+// The flash array behind the CSD: analytic bulk-transfer timing plus an
+// availability hook for storage-management contention.
+//
+// Bulk reads of multi-gigabyte inputs are charged analytically (startup of
+// one page read, then the effective array bandwidth); simulating millions of
+// page events per experiment would add nothing but runtime.  The per-page
+// event path lives in the FTL/NVMe layers where command-level behaviour is
+// under test.
+#pragma once
+
+#include "common/units.hpp"
+#include "flash/nand.hpp"
+#include "sim/availability.hpp"
+
+namespace isp::flash {
+
+class FlashArray {
+ public:
+  FlashArray() : FlashArray(NandGeometry{}, NandTiming{}) {}
+  FlashArray(NandGeometry geometry, NandTiming timing);
+
+  [[nodiscard]] const NandGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] const NandTiming& timing() const { return timing_; }
+
+  /// Effective internal read bandwidth (the paper's measured 9 GB/s).
+  [[nodiscard]] BytesPerSecond read_bandwidth() const { return read_bw_; }
+  [[nodiscard]] BytesPerSecond write_bandwidth() const { return write_bw_; }
+
+  /// Service time of a bulk sequential read/write with the array fully
+  /// available.
+  [[nodiscard]] Seconds read_seconds(Bytes bytes) const;
+  [[nodiscard]] Seconds write_seconds(Bytes bytes) const;
+
+  /// Completion time under the availability schedule (GC or co-tenant
+  /// traffic steals a fraction of array bandwidth).
+  [[nodiscard]] SimTime read_finish(SimTime t0, Bytes bytes) const;
+  [[nodiscard]] SimTime write_finish(SimTime t0, Bytes bytes) const;
+
+  void set_availability(sim::AvailabilitySchedule schedule);
+  [[nodiscard]] const sim::AvailabilitySchedule& availability() const {
+    return availability_;
+  }
+
+  [[nodiscard]] Bytes bytes_read() const { return bytes_read_; }
+  [[nodiscard]] Bytes bytes_written() const { return bytes_written_; }
+  void note_read(Bytes b) { bytes_read_ += b; }
+  void note_write(Bytes b) { bytes_written_ += b; }
+  void reset_stats();
+
+ private:
+  NandGeometry geometry_;
+  NandTiming timing_;
+  BytesPerSecond read_bw_;
+  BytesPerSecond write_bw_;
+  sim::AvailabilitySchedule availability_;
+  Bytes bytes_read_;
+  Bytes bytes_written_;
+};
+
+}  // namespace isp::flash

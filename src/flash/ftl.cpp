@@ -1,0 +1,198 @@
+#include "flash/ftl.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace isp::flash {
+
+Ftl::Ftl(FtlConfig config) : config_(config) {
+  const auto& g = config_.geometry;
+  ISP_CHECK(g.total_blocks() >= 4, "geometry too small for an FTL");
+  ISP_CHECK(config_.overprovision > 0.0 && config_.overprovision < 1.0,
+            "overprovision fraction must be in (0,1)");
+  ISP_CHECK(config_.gc_low_watermark >= 1 &&
+                config_.gc_high_watermark > config_.gc_low_watermark,
+            "bad GC watermarks");
+
+  const auto physical_pages = g.total_pages();
+  logical_pages_ = static_cast<std::uint64_t>(
+      static_cast<double>(physical_pages) * (1.0 - config_.overprovision));
+  // Feasibility: fully-compacted logical data plus the two append blocks
+  // plus the GC high watermark must fit, or steady-state GC cannot converge
+  // and the FTL eventually starves.
+  const auto logical_blocks =
+      (logical_pages_ + g.pages_per_block - 1) / g.pages_per_block;
+  ISP_CHECK(logical_blocks + 2 + config_.gc_high_watermark <=
+                g.total_blocks(),
+            "overprovision too small for the GC watermarks: "
+                << logical_blocks << " logical blocks + 2 active + "
+                << config_.gc_high_watermark << " watermark > "
+                << g.total_blocks() << " total");
+  l2p_.assign(logical_pages_, std::nullopt);
+  p2l_.assign(physical_pages, std::nullopt);
+  blocks_.assign(g.total_blocks(), Block{});
+  free_count_ = static_cast<std::uint32_t>(g.total_blocks());
+
+  active_block_ = allocate_free_block();
+  gc_active_block_ = allocate_free_block();
+}
+
+Ppn Ftl::block_first_page(std::uint64_t block) const {
+  return block * config_.geometry.pages_per_block;
+}
+
+std::uint64_t Ftl::page_block(Ppn ppn) const {
+  return ppn / config_.geometry.pages_per_block;
+}
+
+std::uint64_t Ftl::allocate_free_block() {
+  ISP_CHECK(free_count_ > 0, "FTL out of free blocks (GC starved)");
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].is_free) {
+      blocks_[b].is_free = false;
+      blocks_[b].next_free_page = 0;
+      blocks_[b].valid = 0;
+      --free_count_;
+      return b;
+    }
+  }
+  throw Error("free_count_ positive but no free block found");
+}
+
+Ppn Ftl::append_to_active(bool for_gc) {
+  std::uint64_t& active = for_gc ? gc_active_block_ : active_block_;
+  if (blocks_[active].next_free_page == config_.geometry.pages_per_block) {
+    active = allocate_free_block();
+  }
+  Block& blk = blocks_[active];
+  const Ppn ppn = block_first_page(active) + blk.next_free_page;
+  ++blk.next_free_page;
+  return ppn;
+}
+
+void Ftl::write(Lpn lpn) {
+  ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
+  // Invalidate the previous location, if any.
+  if (const auto old = l2p_[lpn]) {
+    p2l_[*old] = std::nullopt;
+    Block& blk = blocks_[page_block(*old)];
+    ISP_DCHECK(blk.valid > 0, "valid-count underflow");
+    --blk.valid;
+  }
+  const Ppn ppn = append_to_active(/*for_gc=*/false);
+  l2p_[lpn] = ppn;
+  p2l_[ppn] = lpn;
+  ++blocks_[page_block(ppn)].valid;
+  ++stats_.host_writes;
+
+  if (free_count_ <= config_.gc_low_watermark) garbage_collect();
+}
+
+std::optional<Ppn> Ftl::translate(Lpn lpn) const {
+  ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
+  return l2p_[lpn];
+}
+
+void Ftl::trim(Lpn lpn) {
+  ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
+  if (const auto old = l2p_[lpn]) {
+    p2l_[*old] = std::nullopt;
+    Block& blk = blocks_[page_block(*old)];
+    ISP_DCHECK(blk.valid > 0, "valid-count underflow");
+    --blk.valid;
+    l2p_[lpn] = std::nullopt;
+  }
+}
+
+void Ftl::garbage_collect() {
+  ++stats_.gc_invocations;
+  const auto pages_per_block = config_.geometry.pages_per_block;
+  while (free_count_ < config_.gc_high_watermark) {
+    // Greedy victim: the full, non-active block with the fewest valid pages.
+    std::uint64_t victim = blocks_.size();
+    std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+      if (blocks_[b].is_free || b == active_block_ || b == gc_active_block_)
+        continue;
+      if (blocks_[b].next_free_page != pages_per_block) continue;
+      if (blocks_[b].valid < best_valid) {
+        best_valid = blocks_[b].valid;
+        victim = b;
+      }
+    }
+    if (victim == blocks_.size()) return;  // nothing reclaimable yet
+    // A fully-valid victim yields no space: relocating it consumes exactly
+    // what erasing frees.  Fresh-write (no-overwrite) workloads hit this
+    // until the first invalidation; GC simply stands down until then.
+    if (best_valid == pages_per_block) return;
+
+    // Relocate valid pages, then erase.
+    const Ppn first = block_first_page(victim);
+    for (std::uint32_t p = 0; p < pages_per_block; ++p) {
+      const Ppn src = first + p;
+      if (const auto lpn = p2l_[src]) {
+        const Ppn dst = append_to_active(/*for_gc=*/true);
+        p2l_[src] = std::nullopt;
+        --blocks_[victim].valid;
+        l2p_[*lpn] = dst;
+        p2l_[dst] = *lpn;
+        ++blocks_[page_block(dst)].valid;
+        ++stats_.gc_writes;
+      }
+    }
+    ISP_DCHECK(blocks_[victim].valid == 0, "victim not fully invalidated");
+    blocks_[victim] = Block{};
+    ++free_count_;
+    ++stats_.erases;
+  }
+}
+
+double Ftl::gc_pressure() const {
+  const double host = static_cast<double>(stats_.host_writes);
+  const double gc = static_cast<double>(stats_.gc_writes);
+  if (host + gc == 0.0) return 0.0;
+  return gc / (host + gc);
+}
+
+void Ftl::check_invariants() const {
+  const auto pages_per_block = config_.geometry.pages_per_block;
+
+  // l2p / p2l are mutually consistent bijections on their valid domain.
+  std::uint64_t mapped = 0;
+  for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
+    if (const auto ppn = l2p_[lpn]) {
+      ISP_CHECK(*ppn < p2l_.size(), "ppn out of range");
+      ISP_CHECK(p2l_[*ppn].has_value() && *p2l_[*ppn] == lpn,
+                "reverse map disagrees for lpn " << lpn);
+      ++mapped;
+    }
+  }
+  std::uint64_t reverse_mapped = 0;
+  for (Ppn ppn = 0; ppn < p2l_.size(); ++ppn) {
+    if (p2l_[ppn].has_value()) ++reverse_mapped;
+  }
+  ISP_CHECK(mapped == reverse_mapped, "map cardinality mismatch");
+
+  // Per-block valid counts match the reverse map; free blocks hold nothing.
+  std::uint32_t free_seen = 0;
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    std::uint32_t valid = 0;
+    for (std::uint32_t p = 0; p < pages_per_block; ++p) {
+      if (p2l_[block_first_page(b) + p].has_value()) ++valid;
+    }
+    ISP_CHECK(valid == blocks_[b].valid,
+              "block " << b << " valid-count mismatch");
+    if (blocks_[b].is_free) {
+      ISP_CHECK(valid == 0, "free block contains valid pages");
+      ISP_CHECK(blocks_[b].next_free_page == 0, "free block partially written");
+      ++free_seen;
+    }
+    ISP_CHECK(blocks_[b].next_free_page <= pages_per_block,
+              "append pointer past block end");
+  }
+  ISP_CHECK(free_seen == free_count_, "free-count bookkeeping mismatch");
+}
+
+}  // namespace isp::flash

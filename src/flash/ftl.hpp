@@ -1,0 +1,104 @@
+// Page-mapped flash translation layer with greedy garbage collection.
+//
+// The FTL is the "storage management workload" the paper names as a source
+// of CSE/bandwidth contention (§II-B(3)).  It maintains the logical→physical
+// page map, performs out-of-place writes, and reclaims space with a greedy
+// min-valid-cost GC policy.  gc_pressure() summarises how much internal
+// bandwidth background GC is consuming, which the CSD model converts into an
+// availability schedule for the flash array.
+//
+// Invariants (enforced and property-tested):
+//   * a logical page maps to at most one valid physical page;
+//   * no two logical pages share a physical page;
+//   * per-block valid counts equal the number of valid pages in the block;
+//   * free + active + full + gc block counts always sum to the block total.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "flash/nand.hpp"
+
+namespace isp::flash {
+
+using Lpn = std::uint64_t;  // logical page number
+using Ppn = std::uint64_t;  // physical page number
+
+struct FtlConfig {
+  NandGeometry geometry;
+  /// Fraction of physical blocks hidden from the logical space.
+  double overprovision = 0.125;
+  /// Start GC when free blocks drop to this many.
+  std::uint32_t gc_low_watermark = 2;
+  /// Stop GC when free blocks recover to this many.
+  std::uint32_t gc_high_watermark = 4;
+};
+
+struct FtlStats {
+  std::uint64_t host_writes = 0;   // pages written by the host
+  std::uint64_t gc_writes = 0;     // pages relocated by GC
+  std::uint64_t erases = 0;        // blocks erased
+  std::uint64_t gc_invocations = 0;
+
+  [[nodiscard]] double write_amplification() const {
+    if (host_writes == 0) return 1.0;
+    return static_cast<double>(host_writes + gc_writes) /
+           static_cast<double>(host_writes);
+  }
+};
+
+class Ftl {
+ public:
+  explicit Ftl(FtlConfig config);
+
+  /// Number of logical pages exposed.
+  [[nodiscard]] std::uint64_t logical_pages() const { return logical_pages_; }
+
+  /// Write one logical page (out of place). May trigger GC.
+  void write(Lpn lpn);
+
+  /// Physical location of a logical page, if it has ever been written.
+  [[nodiscard]] std::optional<Ppn> translate(Lpn lpn) const;
+
+  /// Trim: drop the mapping, invalidating the physical page.
+  void trim(Lpn lpn);
+
+  [[nodiscard]] const FtlStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t free_blocks() const { return free_count_; }
+
+  /// Fraction of array bandwidth GC has consumed over the run so far: the
+  /// relocated+erase traffic relative to host traffic.  Used to derate the
+  /// internal bandwidth visible to ISP tasks.
+  [[nodiscard]] double gc_pressure() const;
+
+  /// Validate every invariant; throws isp::Error on violation.  Cheap enough
+  /// to call from property tests after every operation.
+  void check_invariants() const;
+
+ private:
+  struct Block {
+    std::uint32_t valid = 0;
+    std::uint32_t next_free_page = 0;  // append pointer within the block
+    bool is_free = true;
+  };
+
+  [[nodiscard]] Ppn block_first_page(std::uint64_t block) const;
+  [[nodiscard]] std::uint64_t page_block(Ppn ppn) const;
+  std::uint64_t allocate_free_block();
+  Ppn append_to_active(bool for_gc);
+  void garbage_collect();
+
+  FtlConfig config_;
+  std::uint64_t logical_pages_;
+  std::vector<std::optional<Ppn>> l2p_;
+  std::vector<std::optional<Lpn>> p2l_;  // valid reverse map (nullopt = invalid/free)
+  std::vector<Block> blocks_;
+  std::uint64_t active_block_;     // current host append block
+  std::uint64_t gc_active_block_;  // current GC relocation block
+  std::uint32_t free_count_;
+  FtlStats stats_;
+};
+
+}  // namespace isp::flash

@@ -1,0 +1,35 @@
+#include "flash/nand.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace isp::flash {
+
+BytesPerSecond effective_read_bandwidth(const NandGeometry& g,
+                                        const NandTiming& t) {
+  ISP_CHECK(g.channels > 0 && g.dies_per_channel > 0, "empty geometry");
+  const double channel_ceiling =
+      static_cast<double>(g.channels) * t.channel_bus.value();
+  const double die_rate =
+      g.page_bytes.as_double() / t.page_read.value();  // one die, one plane
+  const double array_ceiling =
+      die_rate * static_cast<double>(g.total_dies());
+  return BytesPerSecond{std::min(channel_ceiling, array_ceiling)};
+}
+
+BytesPerSecond effective_write_bandwidth(const NandGeometry& g,
+                                         const NandTiming& t) {
+  ISP_CHECK(g.channels > 0 && g.dies_per_channel > 0, "empty geometry");
+  const double channel_ceiling =
+      static_cast<double>(g.channels) * t.channel_bus.value();
+  // Programs run per plane in parallel within a die.
+  const double die_rate = g.page_bytes.as_double() *
+                          static_cast<double>(g.planes_per_die) /
+                          t.page_program.value();
+  const double array_ceiling =
+      die_rate * static_cast<double>(g.total_dies());
+  return BytesPerSecond{std::min(channel_ceiling, array_ceiling)};
+}
+
+}  // namespace isp::flash

@@ -1,0 +1,55 @@
+// NAND flash geometry and timing parameters.
+//
+// The paper's CSD exposes 2 TB of flash with a measured 9 GB/s effective
+// internal read bandwidth (§IV-A).  The default geometry below reproduces
+// that figure: 8 channels × 1.2 GB/s bus gives a 9.6 GB/s channel ceiling,
+// and 32 dies at one 16 KiB page per ~58 µs give a ~9.0 GB/s array ceiling;
+// sequential reads are array-limited at ≈9 GB/s.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace isp::flash {
+
+struct NandGeometry {
+  std::uint32_t channels = 8;
+  std::uint32_t dies_per_channel = 4;
+  std::uint32_t planes_per_die = 2;
+  Bytes page_bytes = Bytes{16 * 1024};
+  std::uint32_t pages_per_block = 256;
+  std::uint32_t blocks_per_die = 64;  // small default; sized up per config
+
+  [[nodiscard]] std::uint64_t total_dies() const {
+    return static_cast<std::uint64_t>(channels) * dies_per_channel;
+  }
+  [[nodiscard]] std::uint64_t total_blocks() const {
+    return total_dies() * blocks_per_die;
+  }
+  [[nodiscard]] std::uint64_t total_pages() const {
+    return total_blocks() * pages_per_block;
+  }
+  [[nodiscard]] Bytes capacity() const {
+    return Bytes{total_pages() * page_bytes.count()};
+  }
+};
+
+struct NandTiming {
+  Seconds page_read = Seconds{58e-6};     // tR
+  Seconds page_program = Seconds{600e-6}; // tPROG
+  Seconds block_erase = Seconds{3e-3};    // tBERS
+  BytesPerSecond channel_bus = gb_per_s(1.2);
+};
+
+/// Steady-state sequential read bandwidth of the whole array: the minimum of
+/// the channel-bus ceiling and the die-read ceiling.
+[[nodiscard]] BytesPerSecond effective_read_bandwidth(const NandGeometry& g,
+                                                      const NandTiming& t);
+
+/// Steady-state sequential program bandwidth (same construction with tPROG
+/// and plane parallelism).
+[[nodiscard]] BytesPerSecond effective_write_bandwidth(const NandGeometry& g,
+                                                       const NandTiming& t);
+
+}  // namespace isp::flash

@@ -1,0 +1,20 @@
+#include "host/cpu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace isp::host {
+
+HostCpu::HostCpu(HostCpuConfig config) : config_(config) {
+  ISP_CHECK(config_.clock.value() > 0.0, "host clock must be positive");
+  ISP_CHECK(config_.cores > 0, "host needs at least one core");
+}
+
+Seconds HostCpu::compute_seconds(Seconds work, std::uint32_t threads) const {
+  ISP_CHECK(threads > 0, "compute needs at least one thread");
+  const auto usable = std::min(threads, config_.cores);
+  return work / static_cast<double>(usable);
+}
+
+}  // namespace isp::host

@@ -1,0 +1,39 @@
+// Host processor model (the paper's Ryzen 7 3700X, §IV-A).
+//
+// The canonical unit of compute inside the engine is "work seconds": the
+// time one host core at full clock needs for a line's cycles.  Host and CSE
+// then differ only in how many effective host-core-equivalents they apply.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace isp::host {
+
+struct HostCpuConfig {
+  Hertz clock = ghz(3.6);   // base clock of the 3700X
+  std::uint32_t cores = 8;  // octa-core
+};
+
+class HostCpu {
+ public:
+  HostCpu() : HostCpu(HostCpuConfig{}) {}
+  explicit HostCpu(HostCpuConfig config);
+
+  [[nodiscard]] const HostCpuConfig& config() const { return config_; }
+
+  /// Convert a cost-model cycle count into single-core work seconds.
+  [[nodiscard]] Seconds work_seconds(Cycles cycles) const {
+    return cycles / config_.clock;
+  }
+
+  /// Wall time of `work` spread over `threads` host cores.
+  [[nodiscard]] Seconds compute_seconds(Seconds work,
+                                        std::uint32_t threads) const;
+
+ private:
+  HostCpuConfig config_;
+};
+
+}  // namespace isp::host

@@ -1,0 +1,50 @@
+#include "interconnect/dma.hpp"
+
+#include "common/error.hpp"
+
+namespace isp::interconnect {
+
+std::string_view to_string(TransferKind kind) {
+  switch (kind) {
+    case TransferKind::RawInput:
+      return "raw-input";
+    case TransferKind::ProcessedOutput:
+      return "processed-output";
+    case TransferKind::Intermediate:
+      return "intermediate";
+    case TransferKind::MigrationState:
+      return "migration-state";
+    case TransferKind::CodeImage:
+      return "code-image";
+    case TransferKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+Bytes DmaStats::total_bytes() const {
+  Bytes total{0};
+  for (const auto b : bytes) total += b;
+  return total;
+}
+
+SimTime DmaEngine::transfer(SimTime t0, Bytes bytes, TransferKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  ISP_DCHECK(idx < stats_.bytes.size(), "bad transfer kind");
+  stats_.bytes[idx] += bytes;
+  stats_.transfers[idx] += 1;
+  link_->note_bytes_moved(bytes);
+  return link_->transfer_finish(t0, bytes);
+}
+
+SimTime DmaEngine::transfer_sg(SimTime t0, std::span<const Bytes> segments,
+                               TransferKind kind) {
+  Bytes total{0};
+  for (const auto seg : segments) total += seg;
+  // One aggregated transfer: the link model already charges per-chunk
+  // overhead proportional to size, which dominates segment count for the
+  // large payloads ActivePy moves.
+  return transfer(t0, total, kind);
+}
+
+}  // namespace isp::interconnect

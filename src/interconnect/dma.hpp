@@ -1,0 +1,57 @@
+// DMA engine: scatter/gather transfers over a Link, with statistics.
+//
+// ActivePy moves three kinds of payloads over the host link: raw input that a
+// host-placed line must fetch from the device, processed output a CSD-placed
+// line ships back, and live migration state.  The DMA engine tags each
+// transfer so the execution report can break link traffic down by purpose.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "interconnect/link.hpp"
+
+namespace isp::interconnect {
+
+enum class TransferKind : std::uint8_t {
+  RawInput = 0,     // storage/device -> host raw data
+  ProcessedOutput,  // CSD result -> host
+  Intermediate,     // producer/consumer on opposite sides
+  MigrationState,   // live variables + dirty shared objects
+  CodeImage,        // generated CSD binary emitted into device memory
+  kCount
+};
+
+[[nodiscard]] std::string_view to_string(TransferKind kind);
+
+struct DmaStats {
+  std::array<Bytes, static_cast<std::size_t>(TransferKind::kCount)> bytes{};
+  std::array<std::uint64_t, static_cast<std::size_t>(TransferKind::kCount)>
+      transfers{};
+
+  [[nodiscard]] Bytes total_bytes() const;
+};
+
+/// Scatter/gather DMA over one link.
+class DmaEngine {
+ public:
+  explicit DmaEngine(Link& link) : link_(&link) {}
+
+  /// Completion time of one transfer starting at t0; records stats.
+  SimTime transfer(SimTime t0, Bytes bytes, TransferKind kind);
+
+  /// Scatter/gather: one latency hit, chunk overheads per segment.
+  SimTime transfer_sg(SimTime t0, std::span<const Bytes> segments,
+                      TransferKind kind);
+
+  [[nodiscard]] const DmaStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DmaStats{}; }
+
+ private:
+  Link* link_;
+  DmaStats stats_;
+};
+
+}  // namespace isp::interconnect

@@ -1,0 +1,32 @@
+#include "interconnect/link.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace isp::interconnect {
+
+Link::Link(LinkConfig config) : config_(config) {
+  ISP_CHECK(config_.bandwidth.value() > 0.0, "link bandwidth must be positive");
+  ISP_CHECK(config_.max_payload.count() > 0, "max payload must be positive");
+}
+
+Seconds Link::transfer_seconds(Bytes bytes) const {
+  if (bytes.count() == 0) return Seconds::zero();
+  const auto chunks = static_cast<double>(
+      (bytes.count() + config_.max_payload.count() - 1) /
+      config_.max_payload.count());
+  return config_.base_latency + config_.per_chunk_overhead * chunks +
+         bytes / config_.bandwidth;
+}
+
+SimTime Link::transfer_finish(SimTime t0, Bytes bytes) const {
+  return availability_.finish_time(t0, transfer_seconds(bytes));
+}
+
+void Link::set_availability(sim::AvailabilitySchedule schedule) {
+  availability_ = std::move(schedule);
+}
+
+}  // namespace isp::interconnect

@@ -1,0 +1,60 @@
+// Host system interconnect model (PCIe / NVMe link).
+//
+// Transfers pay a fixed per-transfer latency, a per-chunk protocol overhead
+// (PCIe TLP framing / NVMe command handling), and a bandwidth term.  The
+// paper's platform exposes 5 GB/s of NVMe bandwidth between the CSD and the
+// host (half the 9 GB/s internal NAND bandwidth) — this asymmetry is the
+// entire economic basis of Equation 1.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "sim/availability.hpp"
+
+namespace isp::interconnect {
+
+struct LinkConfig {
+  BytesPerSecond bandwidth = gb_per_s(5.0);  // paper §IV-A: NVMe, 5 GB/s
+  Seconds base_latency = Seconds{10e-6};     // command round-trip
+  Bytes max_payload = Bytes{128 * 1024};     // DMA chunk size
+  Seconds per_chunk_overhead = Seconds{1e-6};
+};
+
+/// A full-duplex point-to-point link with optional time-varying availability
+/// (to model bandwidth contention from co-running tenants).
+class Link {
+ public:
+  explicit Link(LinkConfig config);
+
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+
+  /// Pure service time of `bytes` with the link fully available.
+  [[nodiscard]] Seconds transfer_seconds(Bytes bytes) const;
+
+  /// Completion time of a transfer started at `t0` under the availability
+  /// schedule (bandwidth scales with the available fraction).
+  [[nodiscard]] SimTime transfer_finish(SimTime t0, Bytes bytes) const;
+
+  /// Effective bandwidth for a large transfer (amortising overheads away).
+  [[nodiscard]] BytesPerSecond effective_bandwidth() const {
+    return config_.bandwidth;
+  }
+
+  void set_availability(sim::AvailabilitySchedule schedule);
+  [[nodiscard]] const sim::AvailabilitySchedule& availability() const {
+    return availability_;
+  }
+
+  /// Cumulative bytes moved (both directions), for reports.
+  [[nodiscard]] Bytes bytes_moved() const { return bytes_moved_; }
+  void note_bytes_moved(Bytes b) { bytes_moved_ += b; }
+  void reset_stats() { bytes_moved_ = Bytes{0}; }
+
+ private:
+  LinkConfig config_;
+  sim::AvailabilitySchedule availability_;
+  Bytes bytes_moved_;
+};
+
+}  // namespace isp::interconnect

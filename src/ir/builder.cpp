@@ -1,0 +1,67 @@
+#include "ir/builder.hpp"
+
+#include "common/error.hpp"
+
+namespace isp::ir {
+
+ProgramBuilder& LineBuilder::done() {
+  ISP_CHECK(!line_.outputs.empty(),
+            "line '" << line_.name << "' produces nothing");
+  parent_->program_.add_line(std::move(line_));
+  return *parent_;
+}
+
+ProgramBuilder& ProgramBuilder::storage_dataset(const std::string& name,
+                                                Bytes virtual_bytes,
+                                                std::uint32_t elem_bytes,
+                                                const Fill& fill) {
+  ISP_CHECK(fill != nullptr, "dataset '" << name << "' needs a fill");
+  ISP_CHECK(elem_bytes > 0, "dataset '" << name << "' elem_bytes must be >0");
+  Dataset d;
+  d.object.name = name;
+  d.object.location = mem::Location::Storage;
+  d.object.virtual_bytes = virtual_bytes;
+  const auto phys = static_cast<std::size_t>(
+      virtual_bytes.as_double() / program_.virtual_scale());
+  const std::size_t elems = phys / elem_bytes;
+  const std::size_t bytes = (elems > 0 ? elems : 1) * elem_bytes;
+  d.object.physical.resize_elems<std::byte>(bytes);
+  fill(d.object.physical, bytes);
+  ISP_CHECK(d.object.physical.size_bytes() == bytes,
+            "fill for '" << name << "' resized the buffer to "
+                         << d.object.physical.size_bytes() << ", expected "
+                         << bytes);
+  d.elem_bytes = elem_bytes;
+  program_.add_dataset(std::move(d));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::memory_dataset(const std::string& name,
+                                               Bytes virtual_bytes,
+                                               std::uint32_t elem_bytes,
+                                               const Fill& fill) {
+  ISP_CHECK(fill != nullptr, "dataset '" << name << "' needs a fill");
+  Dataset d;
+  d.object.name = name;
+  d.object.location = mem::Location::HostDram;
+  d.object.virtual_bytes = virtual_bytes;
+  const auto phys = static_cast<std::size_t>(
+      virtual_bytes.as_double() / program_.virtual_scale());
+  const std::size_t elems = phys / elem_bytes;
+  const std::size_t bytes = (elems > 0 ? elems : 1) * elem_bytes;
+  d.object.physical.resize_elems<std::byte>(bytes);
+  fill(d.object.physical, bytes);
+  d.elem_bytes = elem_bytes;
+  // Models and other memory-resident inputs are not scaled down by the
+  // sampling phase (truncating a model would corrupt it).
+  d.sampler = [](const mem::DataObject& whole, double) { return whole; };
+  program_.add_dataset(std::move(d));
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  program_.validate();
+  return std::move(program_);
+}
+
+}  // namespace isp::ir

@@ -1,0 +1,131 @@
+// ProgramBuilder: the fluent authoring surface for ActiveCpp programs.
+//
+// The raw ir::Program API is deliberately minimal; this builder is what a
+// downstream user writes against.  It provides named-parameter line
+// construction, dataset helpers with generator callbacks, and validation at
+// build() — so an ill-formed program fails at construction with a sharp
+// message rather than deep inside the pipeline.
+//
+//   auto program =
+//       ir::ProgramBuilder("wordcount", /*virtual_scale=*/128.0)
+//           .storage_dataset("corpus", gigabytes(4.0), sizeof(char),
+//                            [](mem::Buffer& b, std::size_t bytes) { ... })
+//           .line("hits = grep(corpus)")
+//               .reads("corpus")
+//               .writes("hits")
+//               .elem_bytes(1)
+//               .cycles_per_elem(3.0)
+//               .csd_threads(6)
+//               .kernel([](ir::KernelCtx& ctx) { ... })
+//               .done()
+//           .build();
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "ir/program.hpp"
+
+namespace isp::ir {
+
+class ProgramBuilder;
+
+/// Fluent configuration of one line; finish with done().
+class LineBuilder {
+ public:
+  LineBuilder& reads(std::string name) {
+    line_.inputs.push_back(std::move(name));
+    return *this;
+  }
+  LineBuilder& writes(std::string name) {
+    line_.outputs.push_back(std::move(name));
+    return *this;
+  }
+  LineBuilder& elem_bytes(double bytes) {
+    line_.elem_bytes = bytes;
+    return *this;
+  }
+  LineBuilder& cycles_per_elem(double cycles) {
+    line_.cost.cycles_per_elem = cycles;
+    return *this;
+  }
+  LineBuilder& base_cycles(double cycles) {
+    line_.cost.base_cycles = cycles;
+    return *this;
+  }
+  LineBuilder& complexity(double exponent, double log_power = 0.0) {
+    line_.cost.exponent = exponent;
+    line_.cost.log_power = log_power;
+    return *this;
+  }
+  LineBuilder& host_threads(std::uint32_t threads) {
+    line_.host_threads = threads;
+    return *this;
+  }
+  LineBuilder& csd_threads(std::uint32_t threads) {
+    line_.csd_threads = threads;
+    return *this;
+  }
+  LineBuilder& chunks(std::uint32_t count) {
+    line_.chunks = count;
+    return *this;
+  }
+  LineBuilder& persists_output() {
+    line_.writes_storage = true;
+    return *this;
+  }
+  LineBuilder& stall_knee(double elems, double multiplier) {
+    line_.cost.csd_stall_knee_elems = elems;
+    line_.cost.csd_stall_multiplier = multiplier;
+    return *this;
+  }
+  LineBuilder& kernel(Kernel k) {
+    line_.kernel = std::move(k);
+    return *this;
+  }
+
+  /// Commit the line and return to the program builder.
+  ProgramBuilder& done();
+
+ private:
+  friend class ProgramBuilder;
+  LineBuilder(ProgramBuilder& parent, std::string name) : parent_(&parent) {
+    line_.name = std::move(name);
+  }
+  ProgramBuilder* parent_;
+  CodeRegion line_;
+};
+
+class ProgramBuilder {
+ public:
+  /// `fill(buffer, physical_bytes)` materialises the scaled payload.
+  using Fill = std::function<void(mem::Buffer&, std::size_t)>;
+
+  ProgramBuilder(std::string name, double virtual_scale)
+      : program_(std::move(name), virtual_scale) {}
+
+  /// A flash-resident input of `virtual_bytes`; the physical payload is
+  /// virtual/scale bytes, rounded to whole elements, filled by `fill`.
+  ProgramBuilder& storage_dataset(const std::string& name,
+                                  Bytes virtual_bytes,
+                                  std::uint32_t elem_bytes, const Fill& fill);
+
+  /// A memory-resident input (e.g. a trained model) the sampler keeps whole.
+  ProgramBuilder& memory_dataset(const std::string& name, Bytes virtual_bytes,
+                                 std::uint32_t elem_bytes, const Fill& fill);
+
+  /// Start a new line; chain setters and finish with done().
+  LineBuilder line(std::string name) {
+    return LineBuilder(*this, std::move(name));
+  }
+
+  /// Validate and return the program (by value; the builder is spent).
+  [[nodiscard]] Program build();
+
+ private:
+  friend class LineBuilder;
+  Program program_;
+};
+
+}  // namespace isp::ir

@@ -1,0 +1,44 @@
+#include "ir/complexity.hpp"
+
+#include <cmath>
+
+namespace isp::ir {
+
+std::string_view to_string(ComplexityClass c) {
+  switch (c) {
+    case ComplexityClass::O1:
+      return "O(1)";
+    case ComplexityClass::ON:
+      return "O(n)";
+    case ComplexityClass::ONLogN:
+      return "O(n log n)";
+    case ComplexityClass::ON2:
+      return "O(n^2)";
+    case ComplexityClass::ON3:
+      return "O(n^3)";
+    case ComplexityClass::kCount:
+      break;
+  }
+  return "?";
+}
+
+double basis(ComplexityClass c, double n) {
+  if (n < 1.0) n = 1.0;
+  switch (c) {
+    case ComplexityClass::O1:
+      return 1.0;
+    case ComplexityClass::ON:
+      return n;
+    case ComplexityClass::ONLogN:
+      return n * std::log2(n + 1.0);
+    case ComplexityClass::ON2:
+      return n * n;
+    case ComplexityClass::ON3:
+      return n * n * n;
+    case ComplexityClass::kCount:
+      break;
+  }
+  return 0.0;
+}
+
+}  // namespace isp::ir

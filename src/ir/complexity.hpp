@@ -1,0 +1,25 @@
+// The five complexity classes ActivePy fits against (§III-A): O(1), O(n),
+// O(n log n), O(n²), O(n³).  These are the *fitting basis*; generating cost
+// models (ir/cost_model.hpp) may use arbitrary power laws, which is exactly
+// how the reproduction gets honest extrapolation error (e.g. matrix multiply
+// is Θ(N^1.5) in input bytes and has no exact representative in the basis).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace isp::ir {
+
+enum class ComplexityClass : int { O1 = 0, ON, ONLogN, ON2, ON3, kCount };
+
+inline constexpr std::array<ComplexityClass, 5> kAllComplexityClasses{
+    ComplexityClass::O1, ComplexityClass::ON, ComplexityClass::ONLogN,
+    ComplexityClass::ON2, ComplexityClass::ON3};
+
+[[nodiscard]] std::string_view to_string(ComplexityClass c);
+
+/// Basis function g(n) for the class; g is scaled so g(1) is finite and the
+/// least-squares system stays well conditioned.
+[[nodiscard]] double basis(ComplexityClass c, double n);
+
+}  // namespace isp::ir

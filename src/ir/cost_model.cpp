@@ -1,0 +1,25 @@
+#include "ir/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace isp::ir {
+
+Cycles CostModel::cycles_for(double n_elems) const {
+  ISP_CHECK(n_elems >= 0.0, "negative element count");
+  const double n = n_elems < 1.0 ? 1.0 : n_elems;
+  double work = cycles_per_elem * std::pow(n, exponent);
+  if (log_power != 0.0) work *= std::pow(std::log2(n + 1.0), log_power);
+  double total = base_cycles + work;
+  if (jitter > 0.0) {
+    // Deterministic per-(size, line) perturbation in [1-j, 1+j].
+    const auto key =
+        splitmix64(jitter_seed ^ static_cast<std::uint64_t>(n_elems));
+    total *= 1.0 + jitter * (2.0 * hash_unit(key) - 1.0);
+  }
+  return Cycles{total};
+}
+
+}  // namespace isp::ir

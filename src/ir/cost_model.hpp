@@ -1,0 +1,60 @@
+// Per-line analytic compute cost: the machine model of the reproduction.
+//
+// The paper measures a line's execution time with a line profiler; we have a
+// virtual machine instead of a physical one, so each line carries the law
+// that *generates* its compute time:
+//
+//   cycles(n) = (c0 + c1 · n^p · log2(n)^q) · jitter(n)
+//
+// where n is the element count derived from the line's input volume.  The
+// jitter term is a deterministic, seed-keyed multiplicative perturbation —
+// it makes the sampling-phase measurements noisy the way real measurements
+// are, so the curve fitter earns its keep (and mispredicts where the paper
+// says it mispredicts).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace isp::ir {
+
+struct CostModel {
+  double base_cycles = 2000.0;    // c0: per-invocation overhead
+  double cycles_per_elem = 4.0;   // c1
+  double exponent = 1.0;          // p
+  double log_power = 0.0;         // q
+  double jitter = 0.02;           // relative amplitude of the perturbation
+  std::uint64_t jitter_seed = 0;  // keyed per line by the program builder
+
+  /// Instructions executed per cycle on the host, used to convert cycle
+  /// estimates into the instruction counts the IPC monitor compares against.
+  double host_ipc = 1.6;
+
+  /// Memory-stall knee on the CSE (§II-B(3), "the change of input datasets
+  /// itself"): once the per-line working set exceeds the device's
+  /// cache-friendly regime, every element costs extra *stall* cycles on the
+  /// in-order CSE cores.  Stalls burn time without retiring instructions, so
+  /// the observed instruction rate drops below the sampling-phase estimate —
+  /// exactly the anomaly §III-D's monitor is built to catch.  0 disables.
+  double csd_stall_knee_elems = 0.0;
+  double csd_stall_multiplier = 1.0;
+
+  /// Work in cycles for n input elements (single thread, host ISA).
+  [[nodiscard]] Cycles cycles_for(double n_elems) const;
+
+  /// Extra time multiplier CSE execution suffers at this input size.
+  [[nodiscard]] double csd_stall_factor(double n_elems) const {
+    if (csd_stall_knee_elems <= 0.0 || n_elems <= csd_stall_knee_elems) {
+      return 1.0;
+    }
+    return csd_stall_multiplier;
+  }
+
+  /// Retired-instruction estimate for the same work.
+  [[nodiscard]] double instructions_for(double n_elems) const {
+    return cycles_for(n_elems).value() * host_ipc;
+  }
+};
+
+}  // namespace isp::ir

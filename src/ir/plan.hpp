@@ -1,0 +1,57 @@
+// Placement plans: the output of Algorithm 1 (or of a programmer's manual
+// partitioning) and the per-line estimates that justify it.
+//
+// A Plan is consumed by the execution engine; the estimates ride along so
+// the runtime monitor can compare observed progress against what the
+// sampling phase predicted (§III-D) and price a migration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace isp::ir {
+
+enum class Placement : std::uint8_t { Host = 0, Csd = 1 };
+
+[[nodiscard]] inline std::string_view to_string(Placement p) {
+  return p == Placement::Host ? "host" : "csd";
+}
+
+/// Per-line predictions at raw input size, produced from the sampling phase
+/// fits (§III-A terminology: CT_i,host / CT_i,device / D_in_i / D_out_i).
+struct LineEstimate {
+  Seconds ct_host;          // compute wall time on the host
+  Seconds ct_device;        // compute wall time on the CSD (= host × C)
+  Bytes storage_in;         // stored data the line reads
+  Bytes d_in;               // inter-line input volume (from the predecessor)
+  Bytes d_out;              // inter-line output volume
+  double instructions = 0;  // retired-instruction estimate for IPC monitoring
+};
+
+struct Plan {
+  std::vector<Placement> placement;   // one per program line
+  std::vector<LineEstimate> estimate; // empty when no sampling ran
+
+  [[nodiscard]] std::size_t size() const { return placement.size(); }
+  [[nodiscard]] bool any_on_csd() const {
+    for (const auto p : placement) {
+      if (p == Placement::Csd) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::size_t csd_line_count() const {
+    std::size_t n = 0;
+    for (const auto p : placement) n += (p == Placement::Csd) ? 1 : 0;
+    return n;
+  }
+
+  static Plan host_only(std::size_t lines) {
+    return Plan{.placement = std::vector<Placement>(lines, Placement::Host),
+                .estimate = {}};
+  }
+};
+
+}  // namespace isp::ir

@@ -1,0 +1,57 @@
+#include "mem/address_space.hpp"
+
+#include "common/error.hpp"
+
+namespace isp::mem {
+
+std::string_view to_string(MemKind kind) {
+  switch (kind) {
+    case MemKind::HostDram:
+      return "host-dram";
+    case MemKind::DeviceDram:
+      return "device-dram";
+    case MemKind::DeviceBar:
+      return "device-bar";
+    case MemKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+void AddressSpace::map(MemKind kind, std::uint64_t base, Bytes size) {
+  ISP_CHECK(size.count() > 0, "empty window");
+  const Window incoming{kind, base, size};
+  for (const auto& w : windows_) {
+    const bool disjoint = incoming.end() <= w.base || w.end() <= incoming.base;
+    ISP_CHECK(disjoint, "window overlap between " << to_string(kind) << " and "
+                                                  << to_string(w.kind));
+  }
+  windows_.push_back(incoming);
+}
+
+std::optional<MemKind> AddressSpace::kind_of(std::uint64_t addr) const {
+  for (const auto& w : windows_) {
+    if (w.contains(addr)) return w.kind;
+  }
+  return std::nullopt;
+}
+
+const Window* AddressSpace::window(MemKind kind) const {
+  for (const auto& w : windows_) {
+    if (w.kind == kind) return &w;
+  }
+  return nullptr;
+}
+
+AddressSpace AddressSpace::standard_layout(Bytes host_dram, Bytes device_dram) {
+  AddressSpace space;
+  std::uint64_t base = 0;
+  space.map(MemKind::HostDram, base, host_dram);
+  base += host_dram.count();
+  space.map(MemKind::DeviceDram, base, device_dram);
+  base += device_dram.count();
+  space.map(MemKind::DeviceBar, base, device_dram);
+  return space;
+}
+
+}  // namespace isp::mem

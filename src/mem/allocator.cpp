@@ -1,0 +1,111 @@
+#include "mem/allocator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace isp::mem {
+
+Allocator::Allocator(const Window& window) : window_(window) {
+  free_.push_back(Range{window_.base, window_.size.count()});
+}
+
+std::optional<Allocation> Allocator::allocate(Bytes size, Bytes alignment) {
+  ISP_CHECK(size.count() > 0, "zero-byte allocation");
+  ISP_CHECK(alignment.count() > 0 &&
+                (alignment.count() & (alignment.count() - 1)) == 0,
+            "alignment must be a power of two");
+  const std::uint64_t align = alignment.count();
+
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const std::uint64_t aligned = (it->base + align - 1) & ~(align - 1);
+    const std::uint64_t pad = aligned - it->base;
+    if (it->size < pad + size.count()) continue;
+
+    const Allocation out{aligned, size, window_.kind};
+    const std::uint64_t tail_base = aligned + size.count();
+    const std::uint64_t tail_size = it->base + it->size - tail_base;
+
+    if (pad > 0 && tail_size > 0) {
+      it->size = pad;
+      free_.insert(std::next(it), Range{tail_base, tail_size});
+    } else if (pad > 0) {
+      it->size = pad;
+    } else if (tail_size > 0) {
+      it->base = tail_base;
+      it->size = tail_size;
+    } else {
+      free_.erase(it);
+    }
+    return out;
+  }
+  return std::nullopt;
+}
+
+void Allocator::release(const Allocation& allocation) {
+  ISP_CHECK(allocation.kind == window_.kind, "allocation from another window");
+  ISP_CHECK(window_.contains(allocation.address), "address outside window");
+  Range incoming{allocation.address, allocation.size.count()};
+
+  auto it = std::find_if(free_.begin(), free_.end(), [&](const Range& r) {
+    return r.base > incoming.base;
+  });
+  // Guard against double free / overlap with neighbours.
+  if (it != free_.end()) {
+    ISP_CHECK(incoming.base + incoming.size <= it->base,
+              "release overlaps a free range (double free?)");
+  }
+  if (it != free_.begin()) {
+    const auto prev = std::prev(it);
+    ISP_CHECK(prev->base + prev->size <= incoming.base,
+              "release overlaps a free range (double free?)");
+  }
+
+  it = free_.insert(it, incoming);
+  // Coalesce with successor, then predecessor.
+  if (const auto next = std::next(it);
+      next != free_.end() && it->base + it->size == next->base) {
+    it->size += next->size;
+    free_.erase(next);
+  }
+  if (it != free_.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->base + prev->size == it->base) {
+      prev->size += it->size;
+      free_.erase(it);
+    }
+  }
+}
+
+Bytes Allocator::free_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& r : free_) total += r.size;
+  return Bytes{total};
+}
+
+Bytes Allocator::largest_free_block() const {
+  std::uint64_t best = 0;
+  for (const auto& r : free_) best = std::max(best, r.size);
+  return Bytes{best};
+}
+
+void Allocator::check_invariants() const {
+  std::uint64_t prev_end = window_.base;
+  bool first = true;
+  for (const auto& r : free_) {
+    ISP_CHECK(r.size > 0, "empty free range");
+    ISP_CHECK(r.base >= window_.base && r.base + r.size <= window_.end(),
+              "free range outside window");
+    if (!first) {
+      ISP_CHECK(r.base > prev_end, "free list not sorted/coalesced");
+    }
+    prev_end = r.base + r.size;
+    first = false;
+  }
+}
+
+MemKind place_near_consumer(bool consumer_on_csd) {
+  return consumer_on_csd ? MemKind::DeviceDram : MemKind::HostDram;
+}
+
+}  // namespace isp::mem

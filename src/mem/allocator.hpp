@@ -1,0 +1,59 @@
+// First-fit free-list allocator over one memory window, plus the
+// place-near-consumer policy ActivePy's memory planner applies (§III-C(a)).
+//
+// Allocations carve address ranges out of a Window; the allocator never
+// touches real memory (physical payloads live in DataObject buffers) — it
+// models *where* objects live so transfer and remote-access costs can be
+// charged faithfully.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+
+#include "common/units.hpp"
+#include "mem/address_space.hpp"
+
+namespace isp::mem {
+
+struct Allocation {
+  std::uint64_t address = 0;
+  Bytes size;
+  MemKind kind = MemKind::HostDram;
+};
+
+class Allocator {
+ public:
+  explicit Allocator(const Window& window);
+
+  /// First-fit allocation aligned to `alignment`; nullopt when fragmented
+  /// space cannot satisfy the request.
+  std::optional<Allocation> allocate(Bytes size, Bytes alignment = Bytes{64});
+
+  /// Return a previous allocation. Coalesces adjacent free ranges.
+  void release(const Allocation& allocation);
+
+  [[nodiscard]] Bytes free_bytes() const;
+  [[nodiscard]] Bytes largest_free_block() const;
+  [[nodiscard]] Bytes capacity() const { return window_.size; }
+
+  /// Validate the free list: sorted, disjoint, coalesced, within window.
+  void check_invariants() const;
+
+ private:
+  struct Range {
+    std::uint64_t base;
+    std::uint64_t size;
+  };
+
+  Window window_;
+  std::list<Range> free_;  // sorted by base, fully coalesced
+};
+
+/// ActivePy's placement policy: put an object in the memory of the unit that
+/// consumes it, so the consumer reads at local speed and cross-boundary
+/// copies disappear.  `consumer_on_csd` is the placement of the first line
+/// that reads the object.
+[[nodiscard]] MemKind place_near_consumer(bool consumer_on_csd);
+
+}  // namespace isp::mem

@@ -1,0 +1,17 @@
+#include "mem/data_object.hpp"
+
+namespace isp::mem {
+
+std::string_view location_name(Location location) {
+  switch (location) {
+    case Location::Storage:
+      return "storage";
+    case Location::HostDram:
+      return "host-dram";
+    case Location::DeviceDram:
+      return "device-dram";
+  }
+  return "?";
+}
+
+}  // namespace isp::mem

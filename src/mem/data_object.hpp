@@ -1,0 +1,93 @@
+// DataObject: a named value flowing between lines of an ActiveCpp program.
+//
+// Each object has two sizes:
+//   * virtual_bytes — the Table-I-scale volume every timing model charges
+//     (transfers, flash reads, Equation 1's DS terms);
+//   * a physical Buffer — the real, scaled-down payload the C++ kernels
+//     compute on, so functional results are real and testable.
+// The two are tied by the program's virtual_scale (virtual = physical ×
+// scale); the execution engine maintains the invariant after every kernel.
+//
+// location tracks residency in the unified address space: Storage (flash),
+// HostDram, or DeviceDram.  The engine charges movement whenever a consumer
+// runs on the other side.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace isp::mem {
+
+enum class Location : std::uint8_t { Storage = 0, HostDram, DeviceDram };
+
+[[nodiscard]] std::string_view location_name(Location location);
+
+/// Untyped, resizable payload with typed views.
+class Buffer {
+ public:
+  [[nodiscard]] std::size_t size_bytes() const { return bytes_.size(); }
+  [[nodiscard]] bool empty() const { return bytes_.empty(); }
+
+  template <typename T>
+  [[nodiscard]] std::size_t size_as() const {
+    return bytes_.size() / sizeof(T);
+  }
+
+  template <typename T>
+  void resize_elems(std::size_t n) {
+    bytes_.assign(n * sizeof(T), std::byte{0});
+  }
+
+  template <typename T>
+  [[nodiscard]] std::span<T> as() {
+    ISP_DCHECK(bytes_.size() % sizeof(T) == 0,
+               "buffer size not a multiple of element size");
+    return {reinterpret_cast<T*>(bytes_.data()), bytes_.size() / sizeof(T)};
+  }
+
+  template <typename T>
+  [[nodiscard]] std::span<const T> as() const {
+    ISP_DCHECK(bytes_.size() % sizeof(T) == 0,
+               "buffer size not a multiple of element size");
+    return {reinterpret_cast<const T*>(bytes_.data()),
+            bytes_.size() / sizeof(T)};
+  }
+
+  void clear() {
+    bytes_.clear();
+    bytes_.shrink_to_fit();
+  }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+struct DataObject {
+  std::string name;
+  Location location = Location::HostDram;
+  Bytes virtual_bytes;  // Table-I-scale size used by all timing models
+  Buffer physical;      // real payload the kernels compute on
+  /// Set when a migration left this object behind in device DRAM: the host
+  /// reaches it through the BAR window at a penalty (§III-D, the paper's
+  /// residual post-migration overhead).
+  bool bar_remote = false;
+
+  /// Objects that begin life on flash (referenced files of the program).
+  [[nodiscard]] bool starts_on_storage() const {
+    return location == Location::Storage;
+  }
+
+  /// Re-derive the virtual size from the physical payload after a kernel
+  /// produced it.  `virtual_scale` is virtual bytes per physical byte.
+  void sync_virtual_size(double virtual_scale) {
+    virtual_bytes = Bytes{static_cast<std::uint64_t>(
+        static_cast<double>(physical.size_bytes()) * virtual_scale)};
+  }
+};
+
+}  // namespace isp::mem

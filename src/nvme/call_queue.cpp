@@ -1,0 +1,6 @@
+#include "nvme/call_queue.hpp"
+
+namespace isp::nvme {
+template class Ring<CallEntry>;
+template class Ring<StatusEntry>;
+}  // namespace isp::nvme

@@ -1,0 +1,74 @@
+// ActivePy's CSD function-call queue and status/response queue (§III-C(b)).
+//
+// The call queue lives in CSD memory mapped into the host's address space;
+// the host enqueues {function, argument block} records and the CSE fetches
+// one whenever it is free.  The status queue carries the per-line progress
+// records that the patched status-update code emits — the raw feed of the
+// runtime monitor — plus the high-priority-request flag the device raises
+// when it needs the host to take work back.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "nvme/queue.hpp"
+
+namespace isp::nvme {
+
+struct CallEntry {
+  std::uint32_t function_id = 0;  // index into the generated CSD binary
+  std::uint32_t first_line = 0;   // program line the function starts at
+  std::uint64_t arg_block = 0;    // device address of the argument block
+};
+
+struct StatusEntry {
+  std::uint32_t line = 0;          // program line being executed
+  std::uint32_t chunk = 0;         // progress within the line
+  std::uint32_t chunks_total = 0;
+  double instructions_retired = 0; // for IPC computation
+  SimTime timestamp;               // device-side virtual time of the update
+  bool high_priority_request = false;  // device asks host to offload back
+};
+
+class CallQueue {
+ public:
+  explicit CallQueue(std::uint32_t depth) : ring_(depth) {}
+
+  bool submit(const CallEntry& e) { return ring_.push(e); }
+  std::optional<CallEntry> fetch() { return ring_.pop(); }
+  [[nodiscard]] bool empty() const { return ring_.empty(); }
+  [[nodiscard]] std::uint32_t depth() const { return ring_.capacity(); }
+
+ private:
+  Ring<CallEntry> ring_;
+};
+
+class StatusQueue {
+ public:
+  explicit StatusQueue(std::uint32_t depth) : ring_(depth) {}
+
+  /// Device side.  A full ring drops the oldest record: status updates are
+  /// advisory and the monitor only needs fresh ones.
+  void post(const StatusEntry& e) {
+    if (!ring_.push(e)) {
+      (void)ring_.pop();
+      [[maybe_unused]] const bool ok = ring_.push(e);
+      ISP_DCHECK(ok, "status ring push failed after eviction");
+      ++dropped_;
+    }
+    ++posted_;
+  }
+
+  /// Host side.
+  std::optional<StatusEntry> poll() { return ring_.pop(); }
+
+  [[nodiscard]] std::uint64_t posted() const { return posted_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  Ring<StatusEntry> ring_;
+  std::uint64_t posted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace isp::nvme

@@ -1,0 +1,66 @@
+// Event-driven NVMe controller front-end with round-robin arbitration.
+//
+// Doorbell writes wake the controller; after a fetch latency it serves the
+// registered submission queues one command at a time in round-robin order
+// (NVMe's default arbitration), dispatching IO to the flash array (through
+// the FTL for writes) and posting completions to the owning queue pair.  The
+// CSD's firmware reuses the same front-end for the vendor-specific
+// CsdExec/CsdAbort commands via a hook.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "flash/flash_array.hpp"
+#include "flash/ftl.hpp"
+#include "nvme/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace isp::nvme {
+
+struct ControllerConfig {
+  Seconds doorbell_to_fetch = Seconds{2e-6};
+  Seconds completion_post = Seconds{1e-6};
+};
+
+class Controller {
+ public:
+  /// `exec_hook`, if set, handles CsdExec commands and returns the service
+  /// time the execution engine charged for the call.
+  using ExecHook = std::function<Seconds(const SubmissionEntry&)>;
+
+  Controller(sim::Simulator& simulator, flash::FlashArray& array,
+             flash::Ftl* ftl, ControllerConfig config = {});
+
+  /// Host writes the SQ tail doorbell: register the queue pair (first time)
+  /// and start (or continue) processing.
+  void ring_doorbell(QueuePair& qp);
+
+  void set_exec_hook(ExecHook hook) { exec_hook_ = std::move(hook); }
+
+  [[nodiscard]] std::uint64_t commands_processed() const {
+    return commands_processed_;
+  }
+  [[nodiscard]] std::size_t queues_registered() const {
+    return queues_.size();
+  }
+
+ private:
+  /// Next queue with work, in round-robin order from the cursor; nullptr if
+  /// every SQ is empty.
+  QueuePair* select_queue();
+  void process_next();
+  void complete(QueuePair& qp, std::uint16_t command_id, Status status);
+
+  sim::Simulator* simulator_;
+  flash::FlashArray* array_;
+  flash::Ftl* ftl_;
+  ControllerConfig config_;
+  ExecHook exec_hook_;
+  std::vector<QueuePair*> queues_;
+  std::size_t rr_cursor_ = 0;
+  bool busy_ = false;
+  std::uint64_t commands_processed_ = 0;
+};
+
+}  // namespace isp::nvme

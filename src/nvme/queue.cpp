@@ -1,0 +1,8 @@
+#include "nvme/queue.hpp"
+
+// Header-only templates; this TU anchors the library and instantiates the
+// rings used across the project to keep compile times predictable.
+namespace isp::nvme {
+template class Ring<SubmissionEntry>;
+template class Ring<CompletionEntry>;
+}  // namespace isp::nvme

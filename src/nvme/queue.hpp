@@ -1,0 +1,103 @@
+// NVMe-style submission/completion rings.
+//
+// ActivePy's host↔CSD control plane deliberately mimics NVMe queue pairs
+// (§III-C(b)): a call queue in device-visible memory, doorbells, and a
+// completion/response queue used both for results and for the per-line
+// status updates that feed the migration monitor.  The ring here follows
+// NVMe semantics: capacity-1 usable slots, full when the advancing tail
+// would meet the head, consumer owns the head.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace isp::nvme {
+
+enum class Opcode : std::uint8_t {
+  Read = 0x02,
+  Write = 0x01,
+  CsdExec = 0x80,    // vendor-specific: launch a generated CSD function
+  CsdAbort = 0x81,   // vendor-specific: break at next line boundary
+};
+
+struct SubmissionEntry {
+  Opcode opcode = Opcode::Read;
+  std::uint16_t command_id = 0;
+  std::uint64_t lba = 0;          // logical page for IO commands
+  std::uint32_t length_pages = 0; // IO length
+  std::uint64_t arg_address = 0;  // BAR address of the argument block (CsdExec)
+};
+
+enum class Status : std::uint8_t { Success = 0, Aborted = 1, Error = 2 };
+
+struct CompletionEntry {
+  std::uint16_t command_id = 0;
+  Status status = Status::Success;
+};
+
+/// Fixed-capacity ring with NVMe full/empty semantics.
+template <typename Entry>
+class Ring {
+ public:
+  explicit Ring(std::uint32_t capacity) : slots_(capacity) {
+    ISP_CHECK(capacity >= 2, "ring needs at least 2 slots");
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  [[nodiscard]] bool empty() const { return head_ == tail_; }
+  [[nodiscard]] bool full() const { return next(tail_) == head_; }
+  [[nodiscard]] std::uint32_t size() const {
+    return (tail_ + capacity() - head_) % capacity();
+  }
+
+  /// Producer side; returns false if the ring is full.
+  bool push(const Entry& e) {
+    if (full()) return false;
+    slots_[tail_] = e;
+    tail_ = next(tail_);
+    return true;
+  }
+
+  /// Consumer side; empty -> nullopt.
+  std::optional<Entry> pop() {
+    if (empty()) return std::nullopt;
+    Entry e = slots_[head_];
+    head_ = next(head_);
+    return e;
+  }
+
+  [[nodiscard]] std::uint32_t head() const { return head_; }
+  [[nodiscard]] std::uint32_t tail() const { return tail_; }
+
+ private:
+  [[nodiscard]] std::uint32_t next(std::uint32_t i) const {
+    return (i + 1) % capacity();
+  }
+
+  std::vector<Entry> slots_;
+  std::uint32_t head_ = 0;
+  std::uint32_t tail_ = 0;
+};
+
+/// A bound SQ/CQ pair.
+class QueuePair {
+ public:
+  QueuePair(std::uint16_t id, std::uint32_t depth)
+      : id_(id), sq_(depth), cq_(depth) {}
+
+  [[nodiscard]] std::uint16_t id() const { return id_; }
+  [[nodiscard]] Ring<SubmissionEntry>& sq() { return sq_; }
+  [[nodiscard]] Ring<CompletionEntry>& cq() { return cq_; }
+
+ private:
+  std::uint16_t id_;
+  Ring<SubmissionEntry> sq_;
+  Ring<CompletionEntry> cq_;
+};
+
+}  // namespace isp::nvme

@@ -1,0 +1,64 @@
+#include "plan/assignment.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace isp::plan {
+
+AssignmentResult assign_csd(const ir::Program& program,
+                            std::vector<ir::LineEstimate> estimates,
+                            const system::SystemModel& system) {
+  ISP_CHECK(estimates.size() == program.line_count(),
+            "estimates do not match program");
+
+  const auto bw_d2h = system.link().effective_bandwidth();
+  const auto bw_storage_host = system.storage_to_host_bandwidth();
+  const auto bw_storage_csd = system.storage_to_csd_bandwidth();
+
+  // Complete per-line latency on each side: compute + stored-data access.
+  std::vector<Seconds> ct_host(estimates.size());
+  std::vector<Seconds> ct_csd(estimates.size());
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    ct_host[i] = estimates[i].ct_host + estimates[i].storage_in /
+                                            bw_storage_host;
+    ct_csd[i] = estimates[i].ct_device + estimates[i].storage_in /
+                                             bw_storage_csd;
+  }
+
+  Seconds t_host;
+  for (const auto& ct : ct_host) t_host += ct;
+
+  ir::Plan plan = ir::Plan::host_only(program.line_count());
+
+  // Algorithm 1, line by line.
+  Seconds t_csd = t_host;  // line 1: T_csd = T_host
+  for (std::size_t i = 0; i < estimates.size(); ++i) {  // line 2
+    const bool prev_on_csd =
+        (i == 0) ||
+        plan.placement[i - 1] == ir::Placement::Csd;  // line 3
+
+    Seconds t_if_moved;
+    const Seconds d_in_xfer = estimates[i].d_in / bw_d2h;
+    const Seconds d_out_xfer = estimates[i].d_out / bw_d2h;
+    if (prev_on_csd) {  // line 4
+      t_if_moved = t_csd - ct_host[i] + ct_csd[i] - d_in_xfer + d_out_xfer;
+    } else {  // line 6
+      t_if_moved = t_csd - ct_host[i] + ct_csd[i] + d_in_xfer + d_out_xfer;
+    }
+
+    if (t_if_moved < t_csd && t_csd <= t_host) {  // line 8
+      plan.placement[i] = ir::Placement::Csd;     // lines 9-10
+      t_csd = t_if_moved;                         // line 11
+    }
+  }
+
+  AssignmentResult out;
+  plan.estimate = std::move(estimates);
+  out.plan = std::move(plan);
+  out.projected_host = t_host;
+  out.projected = t_csd;
+  return out;
+}
+
+}  // namespace isp::plan

@@ -1,0 +1,35 @@
+// Algorithm 1 of the paper: greedy CSD code assignment.
+//
+// Starting from the all-host program (T_csd = T_host), every line is tried
+// on the CSD in order.  Moving line i to the CSD replaces its host cost with
+// its device cost and adjusts the boundary-transfer terms: if the previous
+// line already runs on the CSD, line i's input no longer crosses the link
+// (the −D_in/BW term removes the charge the previous line's +D_out/BW
+// added); otherwise both the input and output crossings are paid.  The move
+// is kept when it strictly shortens the projected time (and the projection
+// never exceeds the host-only time — line 8's T_csd ≤ T_host guard).
+//
+// CT terms are complete placement-side latencies: extrapolated compute plus
+// the stored-data read at that side's bandwidth — which is how the 9 GB/s
+// internal versus 5 GB/s external asymmetry enters the decision.
+#pragma once
+
+#include <vector>
+
+#include "ir/plan.hpp"
+#include "ir/program.hpp"
+#include "system/model.hpp"
+
+namespace isp::plan {
+
+struct AssignmentResult {
+  ir::Plan plan;            // placements plus the estimates that drove them
+  Seconds projected_host;   // T_host: projected all-host latency
+  Seconds projected;        // T_csd after assignment
+};
+
+[[nodiscard]] AssignmentResult assign_csd(
+    const ir::Program& program, std::vector<ir::LineEstimate> estimates,
+    const system::SystemModel& system);
+
+}  // namespace isp::plan

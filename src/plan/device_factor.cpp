@@ -1,0 +1,75 @@
+#include "plan/device_factor.hpp"
+
+#include "common/error.hpp"
+#include "runtime/engine.hpp"
+
+namespace isp::plan {
+
+DeviceFactor device_factor_from_counters(const system::SystemModel& system) {
+  const auto& cse = system.csd_device().cse();
+  const double per_core = cse.core_speed_vs_host();
+  ISP_CHECK(per_core > 0.0, "CSE has no compute capability");
+  return DeviceFactor{1.0 / per_core};
+}
+
+DeviceFactor device_factor_from_calibration(system::SystemModel& system) {
+  // A small, pure-compute calibration program: no storage access, one
+  // memory-resident input, a data-parallel loop body.
+  ir::Program calib("device-factor-calibration", /*virtual_scale=*/1.0);
+
+  ir::Dataset input;
+  input.object.name = "calib_in";
+  input.object.location = mem::Location::HostDram;
+  input.object.virtual_bytes = 8_MiB;
+  input.object.physical.resize_elems<double>(1024);
+  input.elem_bytes = sizeof(double);
+  calib.add_dataset(std::move(input));
+
+  ir::CodeRegion region;
+  region.name = "calibrate";
+  region.inputs = {"calib_in"};
+  region.outputs = {"calib_out"};
+  region.cost.base_cycles = 0.0;
+  region.cost.cycles_per_elem = 8.0;
+  region.cost.jitter = 0.0;
+  region.elem_bytes = sizeof(double);
+  // One thread on each side: the measured ratio is the per-core factor.
+  region.host_threads = 1;
+  region.csd_threads = 1;
+  region.kernel = [](ir::KernelCtx& ctx) {
+    const auto in = ctx.input(0).physical.as<double>();
+    auto& out = ctx.output(0);
+    out.physical.resize_elems<double>(1);
+    double acc = 0.0;
+    for (const double v : in) acc += v * v;
+    out.physical.as<double>()[0] = acc;
+  };
+  calib.add_line(std::move(region));
+
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+
+  ir::Plan host_plan = ir::Plan::host_only(1);
+  auto host_store = calib.make_store();
+  const auto host_report =
+      runtime::run_program(system, calib, host_plan, codegen::ExecMode::NativeC,
+                           options, &host_store);
+
+  ir::Plan csd_plan = ir::Plan::host_only(1);
+  csd_plan.placement[0] = ir::Placement::Csd;
+  // Timing-only replays need estimates; a functional run does not, and we
+  // want the kernel to execute on both sides for faithfulness.
+  auto csd_store = calib.make_store();
+  const auto csd_report =
+      runtime::run_program(system, calib, csd_plan, codegen::ExecMode::NativeC,
+                           options, &csd_store);
+
+  const double host_compute = host_report.lines[0].compute.value();
+  const double csd_compute = csd_report.lines[0].compute.value();
+  ISP_CHECK(host_compute > 0.0 && csd_compute > 0.0,
+            "calibration produced zero compute time");
+  return DeviceFactor{csd_compute / host_compute};
+}
+
+}  // namespace isp::plan

@@ -1,0 +1,32 @@
+// The constant factor C: CT_device = C × CT_host (§III-A).
+//
+// ActivePy derives C either by querying the CSD's performance counters
+// (retired instructions per cycle, core count, clock) or — when counters are
+// unavailable — by running a small calibration program on both the CSD and
+// the host and taking the latency ratio.  Both paths are implemented; they
+// agree to within the calibration kernel's jitter.
+#pragma once
+
+#include "system/model.hpp"
+
+namespace isp::plan {
+
+struct DeviceFactor {
+  /// Per-core ratio: one CSE core takes c × the time of one host core.
+  /// The planner scales by each line's host/CSE parallelism (the generated
+  /// firmware's data-parallel fan-out is a static property of the code
+  /// ActivePy itself emits, so the runtime knows it exactly).
+  double c = 1.0;
+};
+
+/// Derive C from the device's architectural counters (clock ratio × relative
+/// IPC — what "retired instructions per cycle" queries give you).
+[[nodiscard]] DeviceFactor device_factor_from_counters(
+    const system::SystemModel& system);
+
+/// Derive C by running a small calibration kernel on both units and timing
+/// it (used when performance counters are not exposed).
+[[nodiscard]] DeviceFactor device_factor_from_calibration(
+    system::SystemModel& system);
+
+}  // namespace isp::plan

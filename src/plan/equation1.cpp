@@ -1,0 +1,19 @@
+#include "plan/equation1.hpp"
+
+#include "common/error.hpp"
+
+namespace isp::plan {
+
+Seconds net_profit(const Eq1Terms& terms) {
+  ISP_CHECK(terms.bw_d2h.value() > 0.0, "bandwidth must be positive");
+  const Seconds host_side = terms.ds_raw / terms.bw_d2h + terms.ct_host;
+  const Seconds device_side =
+      terms.ct_device + terms.ds_processed / terms.bw_d2h;
+  return host_side - device_side;
+}
+
+bool profitable(const Eq1Terms& terms) {
+  return net_profit(terms).value() > 0.0;
+}
+
+}  // namespace isp::plan

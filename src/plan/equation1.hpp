@@ -1,0 +1,30 @@
+// Equation 1 of the paper: the net profit S of performing a task on the CSD
+// instead of the host.
+//
+//   S = (DS_raw / BW_D2H + CT_host) − (CT_device + DS_processed / BW_D2H)
+//
+// The task is worth offloading when S > 0.  CT_device here is the *complete*
+// device-side cost (including the internal flash read of the raw input),
+// matching the paper's formulation where only DS_raw's trip over the host
+// link appears explicitly on the host side.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace isp::plan {
+
+struct Eq1Terms {
+  Bytes ds_raw;           // raw input the host path would pull over the link
+  Seconds ct_host;        // host compute (input already in main memory)
+  Seconds ct_device;      // full device-side latency for the same region
+  Bytes ds_processed;     // intermediate the device ships back
+  BytesPerSecond bw_d2h;  // host link bandwidth
+};
+
+/// Net profit S; positive means the CSD placement wins.
+[[nodiscard]] Seconds net_profit(const Eq1Terms& terms);
+
+/// Convenience predicate: S > 0.
+[[nodiscard]] bool profitable(const Eq1Terms& terms);
+
+}  // namespace isp::plan

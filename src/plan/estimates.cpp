@@ -1,0 +1,104 @@
+#include "plan/estimates.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "fit/curve_fit.hpp"
+
+namespace isp::plan {
+
+std::vector<ir::LineEstimate> build_estimates(
+    const ir::Program& program, const profile::SampleSet& samples,
+    const DeviceFactor& factor, const system::SystemModel& system,
+    EstimateDiagnostics* diagnostics) {
+  ISP_CHECK(samples.lines.size() == program.line_count(),
+            "sample set does not match program");
+  ISP_CHECK(factor.c > 0.0, "device factor must be positive");
+
+  // Predicted raw volume of every object: datasets are known exactly,
+  // intermediates are extrapolated from their producer's fit.
+  std::map<std::string, Bytes> predicted;
+  std::map<std::string, bool> on_storage;
+  for (const auto& d : program.datasets()) {
+    predicted[d.object.name] = d.object.virtual_bytes;
+    on_storage[d.object.name] = d.object.starts_on_storage();
+  }
+
+  const double host_clock = system.host_cpu().config().clock.value();
+  const auto host_cores = system.host_cpu().config().cores;
+  const auto cse_cores = system.csd_device().cse().config().cores;
+
+  std::vector<ir::LineEstimate> estimates;
+  estimates.reserve(program.line_count());
+  if (diagnostics != nullptr) {
+    diagnostics->predicted_out.clear();
+    diagnostics->predicted_in.clear();
+  }
+
+  for (std::size_t i = 0; i < program.line_count(); ++i) {
+    const auto& line = program.lines()[i];
+    const auto& pts = samples.lines[i].points;
+    ISP_CHECK(pts.size() >= 2, "line '" << line.name
+                                        << "' has too few sample points");
+
+    std::vector<double> n, t, out;
+    n.reserve(pts.size());
+    for (const auto& p : pts) {
+      n.push_back(p.n_elems);
+      t.push_back(p.compute.value());
+      out.push_back(p.out_bytes.as_double());
+    }
+    const auto fit_time = fit::fit_best(n, t);
+    const auto fit_out = fit::fit_best(n, out);
+
+    // Raw input volume of this line, transitively predicted.
+    Bytes in_raw{0};
+    Bytes storage_raw{0};
+    for (const auto& name : line.inputs) {
+      const auto it = predicted.find(name);
+      ISP_CHECK(it != predicted.end(),
+                "no prediction for input '" << name << "'");
+      in_raw += it->second;
+      if (on_storage[name]) storage_raw += it->second;
+    }
+    const double n_raw = line.elems_for(in_raw);
+
+    ir::LineEstimate est;
+    est.ct_host = Seconds{fit_time.predict(n_raw)};
+    // Wall-time conversion: the measured host time used host_threads cores;
+    // the generated firmware spreads the line over csd_threads CSE cores,
+    // each `factor.c` slower than one host core.
+    const double host_eff =
+        static_cast<double>(std::min(line.host_threads, host_cores));
+    const double csd_eff =
+        static_cast<double>(std::min(line.csd_threads, cse_cores));
+    est.ct_device = est.ct_host * (factor.c * host_eff / csd_eff);
+    est.storage_in = storage_raw;
+    est.d_in = in_raw - storage_raw;
+
+    const Bytes out_raw{static_cast<std::uint64_t>(fit_out.predict(n_raw))};
+    est.d_out = out_raw;
+    est.instructions = est.ct_host.value() *
+                       static_cast<double>(line.host_threads) * host_clock *
+                       line.cost.host_ipc;
+    estimates.push_back(est);
+
+    // Propagate predicted volumes to downstream consumers.
+    const auto share = line.outputs.empty()
+                           ? Bytes{0}
+                           : Bytes{out_raw.count() / line.outputs.size()};
+    for (const auto& name : line.outputs) {
+      predicted[name] = share;
+      on_storage[name] = false;
+    }
+
+    if (diagnostics != nullptr) {
+      diagnostics->predicted_out.push_back(out_raw);
+      diagnostics->predicted_in.push_back(in_raw);
+    }
+  }
+  return estimates;
+}
+
+}  // namespace isp::plan

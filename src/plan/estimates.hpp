@@ -1,0 +1,34 @@
+// Building per-line estimates at raw input size from the sampling phase.
+//
+// For every line the fitter selects complexity curves for (a) compute time
+// versus input elements and (b) output volume versus input elements, then
+// extrapolates both to the raw size.  Raw input volumes propagate
+// transitively: a line fed by another line's output uses the *predicted*
+// producer volume — which is how a mis-fit on one line (the paper's CSR
+// construction case) distorts everything downstream, exactly as §V reports.
+#pragma once
+
+#include <vector>
+
+#include "ir/plan.hpp"
+#include "ir/program.hpp"
+#include "plan/device_factor.hpp"
+#include "profile/line_profiler.hpp"
+#include "system/model.hpp"
+
+namespace isp::plan {
+
+struct EstimateDiagnostics {
+  /// Per line: predicted output volume at raw size (for the estimation-
+  /// accuracy experiment, E5).
+  std::vector<Bytes> predicted_out;
+  std::vector<Bytes> predicted_in;
+};
+
+/// Derive raw-size LineEstimates from sample statistics.
+[[nodiscard]] std::vector<ir::LineEstimate> build_estimates(
+    const ir::Program& program, const profile::SampleSet& samples,
+    const DeviceFactor& factor, const system::SystemModel& system,
+    EstimateDiagnostics* diagnostics = nullptr);
+
+}  // namespace isp::plan

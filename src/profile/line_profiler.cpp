@@ -1,0 +1,31 @@
+#include "profile/line_profiler.hpp"
+
+#include "common/error.hpp"
+
+namespace isp::profile {
+
+void accumulate(SampleSet& set, double fraction,
+                const runtime::ExecutionReport& report,
+                const std::vector<double>& n_elems_per_line) {
+  ISP_CHECK(n_elems_per_line.size() == report.lines.size(),
+            "element counts do not match report");
+  if (set.lines.empty()) set.lines.resize(report.lines.size());
+  ISP_CHECK(set.lines.size() == report.lines.size(),
+            "sample runs saw different line counts");
+
+  for (std::size_t i = 0; i < report.lines.size(); ++i) {
+    const auto& rec = report.lines[i];
+    SamplePoint p;
+    p.fraction = fraction;
+    p.n_elems = n_elems_per_line[i];
+    p.in_bytes = rec.in_bytes;
+    p.out_bytes = rec.out_bytes;
+    p.storage_bytes = rec.storage_bytes;
+    p.compute = rec.compute;
+    p.access = rec.access;
+    set.lines[i].points.push_back(p);
+  }
+  set.overhead += report.total;
+}
+
+}  // namespace isp::profile

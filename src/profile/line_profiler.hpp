@@ -1,0 +1,42 @@
+// Line-profiler records: what the sampling phase measures (§III-A).
+//
+// The paper instruments the interpreted program with a line profiler: for
+// every line and every sample input it records execution time, input size
+// and output size, with stored-data access time separated from compute time
+// (access scales linearly with data; compute need not).  These records are
+// the only inputs the fitter and planner see — the planner never peeks at
+// the generating cost models.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "runtime/report.hpp"
+
+namespace isp::profile {
+
+struct SamplePoint {
+  double fraction = 0.0;   // scaling factor F of this sample run
+  double n_elems = 0.0;    // line input volume in elements
+  Bytes in_bytes;          // total virtual input volume
+  Bytes out_bytes;         // virtual output volume the line produced
+  Bytes storage_bytes;     // stored data consumed
+  Seconds compute;         // measured compute wall time (host)
+  Seconds access;          // measured data-access time (separated)
+};
+
+struct LineSamples {
+  std::vector<SamplePoint> points;  // one per scaling factor
+};
+
+struct SampleSet {
+  std::vector<LineSamples> lines;   // indexed by program line
+  Seconds overhead;                 // total virtual time spent sampling
+};
+
+/// Fold one sample run's execution report into the set.
+void accumulate(SampleSet& set, double fraction,
+                const runtime::ExecutionReport& report,
+                const std::vector<double>& n_elems_per_line);
+
+}  // namespace isp::profile

@@ -1,0 +1,46 @@
+// The sampling phase (§III-A).
+//
+// ActivePy heuristically selects subsets of the referenced files to build
+// sample inputs at four scaling factors — tiny 2^-10, small 2^-9, medium
+// 2^-8, large 2^-7 — runs the program on each, and records per-line metrics
+// through the line profiler.  Sample runs execute on the host only (device
+// time is later derived from the host prediction and the constant factor C),
+// with the same compiled runtime the raw run will use, so the compute
+// multiplier cancels out of placement decisions.
+//
+// Sample outputs are not meaningful program results and are discarded; the
+// phase exists purely to collect statistics — hence the engine runs with
+// monitoring off and the sampled stores are thrown away.
+#pragma once
+
+#include <vector>
+
+#include "codegen/exec_mode.hpp"
+#include "ir/program.hpp"
+#include "profile/line_profiler.hpp"
+#include "system/model.hpp"
+
+namespace isp::profile {
+
+struct SamplerConfig {
+  /// The paper's four scaling factors.
+  std::vector<double> fractions = {1.0 / 1024, 1.0 / 512, 1.0 / 256,
+                                   1.0 / 128};
+  /// Runtime mode of the sample runs.
+  codegen::ExecMode mode = codegen::ExecMode::CompiledNoCopy;
+};
+
+class Sampler {
+ public:
+  Sampler(system::SystemModel& system, SamplerConfig config = {})
+      : system_(&system), config_(std::move(config)) {}
+
+  /// Run the sampling phase and return the collected statistics.
+  [[nodiscard]] SampleSet run(const ir::Program& program);
+
+ private:
+  system::SystemModel* system_;
+  SamplerConfig config_;
+};
+
+}  // namespace isp::profile

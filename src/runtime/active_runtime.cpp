@@ -1,0 +1,59 @@
+#include "runtime/active_runtime.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace isp::runtime {
+
+RunResult ActiveRuntime::run(const ir::Program& program,
+                             const RunConfig& config) {
+  program.validate();
+  RunResult result;
+
+  // Plan reuse: a later dynamic instance of the same program skips the
+  // sampling phase and executes under the cached decisions.
+  if (config.reuse_plan != nullptr) {
+    ISP_CHECK(config.reuse_plan->placement.size() == program.line_count(),
+              "cached plan does not match program");
+    result.plan = *config.reuse_plan;
+    result.report = run_program(*system_, program, result.plan, config.mode,
+                                config.engine);
+    return result;
+  }
+
+  // Phase 1: sampling (§III-A).
+  profile::Sampler sampler(*system_, config.sampler);
+  result.samples = sampler.run(program);
+  result.sampling_overhead = result.samples.overhead;
+
+  // Phase 2: estimate device cost factor and extrapolate per-line metrics.
+  const auto factor =
+      config.factor_source == DeviceFactorSource::PerformanceCounters
+          ? plan::device_factor_from_counters(*system_)
+          : plan::device_factor_from_calibration(*system_);
+  result.device_factor = factor.c;
+
+  auto estimates = plan::build_estimates(program, result.samples, factor,
+                                         *system_, &result.diagnostics);
+
+  // Phase 3: Algorithm-1 assignment.
+  auto assignment =
+      plan::assign_csd(program, std::move(estimates), *system_);
+  result.plan = assignment.plan;
+  result.projected_host = assignment.projected_host;
+  result.projected_csd = assignment.projected;
+  ISP_LOG_INFO("plan for " << program.name() << ": "
+                           << result.plan.csd_line_count() << "/"
+                           << program.line_count()
+                           << " lines on CSD (projected "
+                           << assignment.projected.value() << " s vs host "
+                           << assignment.projected_host.value() << " s)");
+
+  // Phase 4: code generation and execution with monitoring/migration.
+  result.report = run_program(*system_, program, result.plan, config.mode,
+                              config.engine);
+  return result;
+}
+
+}  // namespace isp::runtime

@@ -1,0 +1,535 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace isp::runtime {
+
+namespace {
+
+using interconnect::TransferKind;
+
+mem::Location side_memory(ir::Placement placement) {
+  return placement == ir::Placement::Csd ? mem::Location::DeviceDram
+                                         : mem::Location::HostDram;
+}
+
+/// Objects produced by some line and never consumed afterwards: the
+/// program's results, which must end up in host memory.
+std::set<std::string> final_outputs(const ir::Program& program) {
+  std::set<std::string> produced;
+  for (const auto& line : program.lines()) {
+    for (const auto& out : line.outputs) produced.insert(out);
+  }
+  for (const auto& line : program.lines()) {
+    for (const auto& in : line.inputs) produced.erase(in);
+  }
+  return produced;
+}
+
+}  // namespace
+
+ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
+                            const codegen::LoweredProgram& lowered,
+                            const EngineOptions& options,
+                            ir::ObjectStore* external_store) {
+  ISP_CHECK(plan.placement.size() == program.line_count(),
+            "plan does not match program");
+  ISP_CHECK(lowered.lines.size() == program.line_count(),
+            "lowered program does not match program");
+  const bool have_estimates =
+      plan.estimate.size() == program.line_count();
+  ISP_CHECK(options.run_kernels || have_estimates,
+            "timing-only replay requires plan estimates for output sizes");
+
+  system_->reset_stats();
+  auto& host = system_->host_cpu();
+  auto& csd = system_->csd_device();
+  auto& link = system_->link();
+  auto& dma = system_->dma();
+  auto& flash = csd.flash_array();
+
+  ir::ObjectStore local_store;
+  if (external_store == nullptr) {
+    local_store = program.make_store();
+    external_store = &local_store;
+  }
+  ir::ObjectStore& store = *external_store;
+
+  // Names of storage-backed datasets: re-readable from flash on migration.
+  std::set<std::string> dataset_names;
+  for (const auto& d : program.datasets()) {
+    if (d.object.starts_on_storage()) dataset_names.insert(d.object.name);
+  }
+
+  ExecutionReport report;
+  report.program = program.name();
+  report.lines.reserve(program.line_count());
+
+  // Local CSE availability: the engine owns the timeline of this run.
+  sim::AvailabilitySchedule cse_schedule = options.cse_availability;
+  bool contention_fired = false;
+
+  // Progress for the contention trigger: chunks over all planned CSD lines.
+  std::uint64_t csd_chunks_total = 0;
+  for (std::size_t i = 0; i < program.line_count(); ++i) {
+    if (plan.placement[i] == ir::Placement::Csd) {
+      csd_chunks_total += program.lines()[i].chunks;
+    }
+  }
+  std::uint64_t csd_chunks_done = 0;
+
+  // Monitoring needs a predicted instruction rate from the sampling phase.
+  std::optional<Monitor> monitor;
+  if (options.monitoring && have_estimates && plan.any_on_csd()) {
+    double est_instr = 0.0;
+    double est_time = 0.0;
+    for (std::size_t i = 0; i < program.line_count(); ++i) {
+      if (plan.placement[i] == ir::Placement::Csd) {
+        est_instr += plan.estimate[i].instructions;
+        est_time += plan.estimate[i].ct_device.value();
+      }
+    }
+    if (est_instr > 0.0 && est_time > 0.0) {
+      monitor.emplace(options.monitor, est_instr / est_time);
+    }
+  }
+  double csd_instructions_cum = 0.0;
+
+  SimTime t = SimTime::zero();
+
+  // Code generation happens before execution starts (§III-C(d)).
+  t += lowered.compile_latency;
+  report.compile_overhead = lowered.compile_latency;
+
+  // Distribute the generated CSD binary into device memory.
+  bool code_distributed = lowered.csd_code_image.count() == 0;
+
+  bool migrated = false;        // all remaining CSD lines forced to host
+  bool migrate_pending = false; // decided; takes effect at end of line
+
+  const auto bar_penalty = system_->config().bar_access_penalty;
+
+  for (std::size_t i = 0; i < program.line_count(); ++i) {
+    const auto& line = program.lines()[i];
+    const auto& low = lowered.lines[i];
+    // Mutable: a mid-line migration re-homes the rest of the line.
+    ir::Placement placement = migrated ? ir::Placement::Host : low.placement;
+    mem::Location local = side_memory(placement);
+
+    LineRecord rec;
+    rec.index = static_cast<std::uint32_t>(i);
+    rec.name = line.name;
+    rec.placement = placement;
+    rec.start = t;
+
+    // ---- 1. Input residency -------------------------------------------
+    Bytes in_bytes{0};
+    for (const auto& name : line.inputs) {
+      auto& obj = store.at(name);
+      in_bytes += obj.virtual_bytes;
+      if (obj.location == mem::Location::Storage) {
+        rec.storage_bytes += obj.virtual_bytes;
+        if (placement == ir::Placement::Csd) {
+          const SimTime done = flash.read_finish(t, obj.virtual_bytes);
+          flash.note_read(obj.virtual_bytes);
+          rec.access += done - t;
+          t = done;
+        } else {
+          // Host read streams through the device: NAND and link pipeline;
+          // the slower stage bounds completion.
+          const SimTime via_flash = flash.read_finish(t, obj.virtual_bytes);
+          const SimTime via_link =
+              dma.transfer(t, obj.virtual_bytes, TransferKind::RawInput);
+          flash.note_read(obj.virtual_bytes);
+          const SimTime done = std::max(via_flash, via_link);
+          rec.access += done - t;
+          t = done;
+        }
+        obj.location = local;  // cached copy near the consumer
+      } else if (obj.location != local) {
+        const bool to_host = (local == mem::Location::HostDram);
+        const auto kind =
+            obj.bar_remote ? TransferKind::MigrationState
+            : (to_host ? TransferKind::ProcessedOutput
+                       : TransferKind::Intermediate);
+        Seconds base = link.transfer_seconds(obj.virtual_bytes);
+        if (obj.bar_remote) base = base * bar_penalty;
+        const SimTime done = link.availability().finish_time(t, base);
+        dma.transfer(t, obj.virtual_bytes, kind);  // stats only
+        rec.transfer_in += done - t;
+        t = done;
+        obj.location = local;
+        obj.bar_remote = false;
+      }
+    }
+    rec.in_bytes = in_bytes;
+
+    // ---- 2. Control ----------------------------------------------------
+    if (placement == ir::Placement::Csd) {
+      if (!code_distributed) {
+        const SimTime done =
+            dma.transfer(t, lowered.csd_code_image, TransferKind::CodeImage);
+        rec.overhead += done - t;
+        t = done;
+        code_distributed = true;
+      }
+      if (low.enters_csd_group && !migrated) {
+        // Enqueue on the call queue; the CSE fetches when free.
+        ++report.csd_calls;
+        csd.call_queue().submit(nvme::CallEntry{
+            .function_id = report.csd_calls,
+            .first_line = static_cast<std::uint32_t>(i),
+            .arg_block = 0});
+        (void)csd.call_queue().fetch();  // firmware picks it up immediately
+        const Seconds call = csd.call_overhead();
+        rec.overhead += call;
+        t += call;
+      }
+    }
+    const Seconds dispatch = options.overhead.dispatch_overhead(lowered.mode);
+    rec.overhead += dispatch;
+    t += dispatch;
+
+    // ---- 3. Marshalling --------------------------------------------------
+    if (low.marshalling) {
+      const Seconds marshal = in_bytes / options.overhead.marshal_bandwidth;
+      rec.marshal += marshal;
+      t += marshal;
+    }
+
+    // ---- 4. Compute ------------------------------------------------------
+    const double n_elems = line.elems_for(in_bytes);
+    const Seconds work_single =
+        host.work_seconds(line.cost.cycles_for(n_elems)) *
+        options.overhead.compute_multiplier(lowered.mode);
+    const double instructions = line.cost.instructions_for(n_elems);
+
+    bool aborted_mid_line = false;  // migration broke this line's CSD run
+    double line_frac_left = 0.0;    // fraction of the line the host resumes
+    if (placement == ir::Placement::Host) {
+      const Seconds wall = host.compute_seconds(work_single, line.host_threads);
+      const SimTime done = options.host_availability.finish_time(t, wall);
+      ISP_CHECK(done < SimTime::infinity(),
+                "host availability starves line '" << line.name << "'");
+      rec.compute += done - t;
+      t = done;
+    } else {
+      if (monitor && have_estimates &&
+          plan.estimate[i].ct_device.value() > 0.0) {
+        monitor->begin_line(plan.estimate[i].instructions /
+                            plan.estimate[i].ct_device.value());
+      }
+      // In-order CSE cores stall once the working set outgrows the device
+      // caches; stalls stretch time without retiring instructions.
+      const Seconds wall_full =
+          csd.cse().compute_seconds(work_single, line.csd_threads) *
+          line.cost.csd_stall_factor(n_elems);
+      const Seconds chunk_wall = wall_full / static_cast<double>(line.chunks);
+      const double chunk_instr =
+          instructions / static_cast<double>(line.chunks);
+      const SimTime compute_start = t;
+      for (std::uint32_t c = 0; c < line.chunks; ++c) {
+        const SimTime done = cse_schedule.finish_time(t, chunk_wall);
+        ISP_CHECK(done < SimTime::infinity(),
+                  "CSE availability starves line '" << line.name << "'");
+        t = done;
+        csd_instructions_cum += chunk_instr;
+        csd.cse().retire(chunk_instr,
+                         chunk_wall.value() *
+                             csd.cse().config().clock.value());
+        ++csd_chunks_done;
+
+        // Patched status-update code (§III-C(b)) — ActivePy instrumentation,
+        // absent from conventional static frameworks (monitoring off).
+        if (low.status_updates && options.monitoring) {
+          csd.status_queue().post(nvme::StatusEntry{
+              .line = static_cast<std::uint32_t>(i),
+              .chunk = c,
+              .chunks_total = line.chunks,
+              .instructions_retired = csd_instructions_cum,
+              .timestamp = t,
+              .high_priority_request = false});
+          ++report.status_updates;
+          constexpr auto kStatusCost = Seconds{2e-7};
+          rec.overhead += kStatusCost;
+          t += kStatusCost;
+        }
+
+        // Contention trigger (Figure 5 methodology).
+        if (options.contention.enabled && !contention_fired &&
+            csd_chunks_total > 0 &&
+            static_cast<double>(csd_chunks_done) /
+                    static_cast<double>(csd_chunks_total) >=
+                options.contention.at_csd_progress) {
+          contention_fired = true;
+          cse_schedule.add_step(t, options.contention.availability);
+          if (monitor && options.contention.availability <= 0.15) {
+            // The device itself raises a high-priority request when it is
+            // about to be starved (§III-D case 1).
+            monitor->raise_high_priority();
+          }
+        }
+
+        // Feed the monitor and evaluate migration.  Two options exist at a
+        // status update: abort the current line at this chunk boundary and
+        // re-run it from scratch on the host (lines are pure single-entry-
+        // single-exit regions, so partial work is simply discarded), or —
+        // when the line just finished — migrate between lines.
+        if (monitor && low.status_updates) {
+          const bool anomaly = monitor->observe(t, csd_instructions_cum);
+          if (anomaly && options.migration && !migrated && !migrate_pending) {
+            // Work strictly after this line, common to both options.
+            double instr_rem = 0.0;
+            Seconds host_rem;
+            Seconds movement;
+            for (std::size_t j = i + 1; j < program.line_count(); ++j) {
+              if (plan.placement[j] != ir::Placement::Csd) continue;
+              instr_rem += plan.estimate[j].instructions;
+              host_rem += plan.estimate[j].ct_host;
+              movement += plan.estimate[j].storage_in /
+                          system_->storage_to_host_bandwidth();
+            }
+            movement +=
+                options.migration_state_bytes / link.effective_bandwidth();
+
+            const std::uint32_t chunks_left = line.chunks - (c + 1);
+            if (chunks_left > 0) {
+              // Break option: stop this line at the chunk boundary and let
+              // the host resume the remaining fraction — per-chunk progress
+              // and the line's operands live in shared mutable memory
+              // (§III-C(c)), so only the unprocessed tail moves.
+              const double f = static_cast<double>(chunks_left) /
+                               static_cast<double>(line.chunks);
+              instr_rem += plan.estimate[i].instructions * f;
+              host_rem += plan.estimate[i].ct_host * f;
+              movement += ((plan.estimate[i].storage_in +
+                            plan.estimate[i].d_in) /
+                           link.effective_bandwidth()) *
+                          f;
+            } else if (i + 1 < program.line_count() &&
+                       plan.placement[i + 1] == ir::Placement::Csd) {
+              movement += plan.estimate[i + 1].d_in /
+                          link.effective_bandwidth();
+            }
+
+            if (instr_rem > 0.0) {
+              const auto advice =
+                  monitor->advise(instr_rem, host_rem, movement,
+                                  options.overhead.compile_latency);
+              if (advice.migrate) {
+                migrate_pending = true;
+                if (chunks_left > 0) {
+                  aborted_mid_line = true;
+                  line_frac_left = static_cast<double>(chunks_left) /
+                                   static_cast<double>(line.chunks);
+                }
+                ISP_LOG_DEBUG("migration decided during line '"
+                              << line.name << "' (csd remaining "
+                              << advice.remaining_on_csd.value()
+                              << " s vs migration cost "
+                              << advice.cost_of_migration.value() << " s)");
+              }
+            }
+          }
+        }
+        if (aborted_mid_line) break;
+      }
+      const Seconds elapsed = t - compute_start;
+      rec.compute += elapsed;
+      if (elapsed.value() > 0.0) {
+        rec.observed_rate = instructions / elapsed.value();
+      }
+
+      if (aborted_mid_line) {
+        // §III-D: break the CSD code at the Python-line breakpoint.  Live
+        // state — per-chunk progress and the line's operands — is in shared
+        // mutable memory, so the host resumes the unprocessed fraction after
+        // the runtime regenerates host machine code and moves the live data.
+        migrated = true;
+        migrate_pending = false;
+        ++report.migrations;
+        const SimTime migration_start = t;
+        t += options.overhead.compile_latency;  // regenerate host binary
+        t = dma.transfer(t, options.migration_state_bytes,
+                         TransferKind::MigrationState);
+        // Earlier device-resident products are now remote live data.
+        for (std::size_t j = 0; j < i; ++j) {
+          for (const auto& out : program.lines()[j].outputs) {
+            auto& obj = store.at(out);
+            if (obj.location == mem::Location::DeviceDram) {
+              obj.bar_remote = true;
+            }
+          }
+        }
+        // The unprocessed tail of this line's inputs reaches the host:
+        // storage-resident data is simply re-read over NVMe, while live
+        // intermediates come through the BAR window at a penalty.
+        for (const auto& name : line.inputs) {
+          auto& obj = store.at(name);
+          if (obj.location != mem::Location::DeviceDram) continue;
+          const Bytes tail{static_cast<std::uint64_t>(
+              obj.virtual_bytes.as_double() * line_frac_left)};
+          if (dataset_names.count(name) > 0) {
+            const SimTime via_flash = flash.read_finish(t, tail);
+            const SimTime via_link =
+                dma.transfer(t, tail, TransferKind::RawInput);
+            flash.note_read(tail);
+            const SimTime done = std::max(via_flash, via_link);
+            rec.access += done - t;
+            t = done;
+          } else {
+            const Seconds base = link.transfer_seconds(tail) * bar_penalty;
+            const SimTime done = link.availability().finish_time(t, base);
+            dma.transfer(t, tail, TransferKind::MigrationState);
+            rec.transfer_in += done - t;
+            t = done;
+          }
+          obj.location = mem::Location::HostDram;
+          obj.bar_remote = false;
+        }
+        report.migration_overhead += t - migration_start;
+        ISP_LOG_INFO("broke '" << line.name
+                               << "' on the CSD; host resumes the remaining "
+                               << line_frac_left * 100.0 << "%");
+
+        // Resume the remaining fraction of the line on the host.
+        placement = ir::Placement::Host;
+        local = side_memory(placement);
+        rec.placement = placement;
+        const Seconds wall =
+            host.compute_seconds(work_single * line_frac_left,
+                                 line.host_threads);
+        const SimTime done = options.host_availability.finish_time(t, wall);
+        rec.compute += done - t;
+        t = done;
+      }
+    }
+
+    // ---- 5. Kernel + outputs ---------------------------------------------
+    if (options.run_kernels && line.kernel) {
+      ir::KernelCtx ctx(store, line.inputs, line.outputs,
+                        program.virtual_scale());
+      line.kernel(ctx);
+      for (const auto& name : line.outputs) {
+        auto& obj = store.at(name);
+        obj.sync_virtual_size(program.virtual_scale());
+        obj.location = local;
+        rec.out_bytes += obj.virtual_bytes;
+      }
+    } else {
+      for (const auto& name : line.outputs) {
+        mem::DataObject obj;
+        obj.name = name;
+        obj.location = local;
+        // Timing-only replay: output volumes come from the estimates.
+        obj.virtual_bytes = plan.estimate[i].d_out;
+        rec.out_bytes += obj.virtual_bytes;
+        store.emplace(std::move(obj));
+      }
+    }
+
+    // Marshalling of produced outputs back through the language boundary.
+    if (low.marshalling && rec.out_bytes.count() > 0) {
+      const Seconds marshal =
+          rec.out_bytes / options.overhead.marshal_bandwidth;
+      rec.marshal += marshal;
+      t += marshal;
+    }
+
+    // Result write-back: outputs persisted to flash.  A CSD line programs
+    // the NAND directly; a host line's results cross the link first (the
+    // two stages pipeline, so the slower bounds completion).
+    if (line.writes_storage && rec.out_bytes.count() > 0) {
+      if (placement == ir::Placement::Csd) {
+        const SimTime done = flash.write_finish(t, rec.out_bytes);
+        flash.note_write(rec.out_bytes);
+        rec.access += done - t;
+        t = done;
+      } else {
+        const SimTime via_link =
+            dma.transfer(t, rec.out_bytes, TransferKind::Intermediate);
+        const SimTime via_flash = flash.write_finish(t, rec.out_bytes);
+        flash.note_write(rec.out_bytes);
+        const SimTime done = std::max(via_link, via_flash);
+        rec.access += done - t;
+        t = done;
+      }
+    }
+
+    // ---- Migration at the line boundary (§III-D) --------------------------
+    if (migrate_pending && !migrated) {
+      bool csd_work_remains = false;
+      for (std::size_t j = i + 1; j < program.line_count(); ++j) {
+        if (plan.placement[j] == ir::Placement::Csd) {
+          csd_work_remains = true;
+          break;
+        }
+      }
+      if (csd_work_remains) {
+        migrated = true;
+        ++report.migrations;
+        const SimTime migration_start = t;
+        // Regenerate host machine code for the remaining lines.
+        t += options.overhead.compile_latency;
+        // Save live variables through the shared memory abstraction.
+        const SimTime done = dma.transfer(t, options.migration_state_bytes,
+                                          TransferKind::MigrationState);
+        t = done;
+        // Objects the CSD produced stay in device DRAM; the host reaches
+        // them through the BAR at a penalty when it consumes them.
+        for (std::size_t j = 0; j <= i; ++j) {
+          for (const auto& out : program.lines()[j].outputs) {
+            auto& obj = store.at(out);
+            if (obj.location == mem::Location::DeviceDram) {
+              obj.bar_remote = true;
+            }
+          }
+        }
+        report.migration_overhead += t - migration_start;
+        ISP_LOG_INFO("migrated remaining lines to host after '" << line.name
+                                                                << "'");
+      }
+      migrate_pending = false;
+    }
+
+    rec.end = t;
+    report.lines.push_back(std::move(rec));
+  }
+
+  // Program results must reach host memory.
+  for (const auto& name : final_outputs(program)) {
+    if (!store.contains(name)) continue;
+    auto& obj = store.at(name);
+    if (obj.location == mem::Location::DeviceDram) {
+      Seconds base = link.transfer_seconds(obj.virtual_bytes);
+      if (obj.bar_remote) base = base * bar_penalty;
+      const SimTime done = link.availability().finish_time(t, base);
+      dma.transfer(t, obj.virtual_bytes, TransferKind::ProcessedOutput);
+      t = done;
+      obj.location = mem::Location::HostDram;
+      obj.bar_remote = false;
+    }
+  }
+
+  report.total = t - SimTime::zero();
+  report.dma = dma.stats();
+  return report;
+}
+
+ExecutionReport run_program(system::SystemModel& system,
+                            const ir::Program& program, const ir::Plan& plan,
+                            codegen::ExecMode mode,
+                            const EngineOptions& options,
+                            ir::ObjectStore* store) {
+  const auto lowered = codegen::lower(program, plan, system.address_space(),
+                                      mode, {}, options.overhead);
+  Engine engine(system);
+  return engine.run(program, plan, lowered, options, store);
+}
+
+}  // namespace isp::runtime

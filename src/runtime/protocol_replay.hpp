@@ -1,0 +1,33 @@
+// Protocol replay: validate the analytic engine's CSD control-plane charges
+// against the event-driven NVMe substrate.
+//
+// The execution engine charges each CSD group invocation analytically (call
+// overhead, status-update costs).  This replayer takes a finished report and
+// drives the same sequence through the *real* protocol machinery — SQ entry,
+// doorbell, controller fetch, firmware chunk loop, status posts, CQ
+// completion — on the event simulator, and reports both the protocol-level
+// statistics and the total control-plane time.  A test asserts the replayed
+// totals bracket the engine's analytic charges; the benches use it to show
+// the control plane is microseconds against seconds of data plane.
+#pragma once
+
+#include "runtime/report.hpp"
+#include "system/model.hpp"
+
+namespace isp::runtime {
+
+struct ProtocolReplayResult {
+  std::uint32_t calls_submitted = 0;
+  std::uint64_t status_updates = 0;
+  std::uint64_t completions = 0;
+  Seconds protocol_time;   // doorbell → final completion, compute excluded
+  Seconds execute_time;    // CSE execution time replayed
+};
+
+/// Replay the CSD groups of `report` through the system's queue pairs,
+/// controller and a firmware instance.  Uses each group's recorded compute
+/// time as the firmware's service time.
+[[nodiscard]] ProtocolReplayResult replay_csd_protocol(
+    system::SystemModel& system, const ExecutionReport& report);
+
+}  // namespace isp::runtime

@@ -1,0 +1,80 @@
+#include "runtime/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace isp::runtime {
+
+Seconds ExecutionReport::compute_total() const {
+  Seconds total;
+  for (const auto& l : lines) total += l.compute;
+  return total;
+}
+
+Seconds ExecutionReport::access_total() const {
+  Seconds total;
+  for (const auto& l : lines) total += l.access;
+  return total;
+}
+
+std::size_t ExecutionReport::lines_on_csd() const {
+  std::size_t n = 0;
+  for (const auto& l : lines) n += (l.placement == ir::Placement::Csd) ? 1 : 0;
+  return n;
+}
+
+std::string ExecutionReport::to_json() const {
+  std::ostringstream os;
+  os << std::setprecision(12);
+  os << "{\"program\":\"" << program << "\","
+     << "\"total_s\":" << total.value() << ","
+     << "\"compile_overhead_s\":" << compile_overhead.value() << ","
+     << "\"migrations\":" << migrations << ","
+     << "\"migration_overhead_s\":" << migration_overhead.value() << ","
+     << "\"status_updates\":" << status_updates << ","
+     << "\"csd_calls\":" << csd_calls << ",\"lines\":[";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& l = lines[i];
+    if (i > 0) os << ",";
+    os << "{\"index\":" << l.index << ",\"name\":\"" << l.name << "\","
+       << "\"placement\":\"" << ir::to_string(l.placement) << "\","
+       << "\"start_s\":" << l.start.seconds() << ","
+       << "\"end_s\":" << l.end.seconds() << ","
+       << "\"compute_s\":" << l.compute.value() << ","
+       << "\"access_s\":" << l.access.value() << ","
+       << "\"transfer_in_s\":" << l.transfer_in.value() << ","
+       << "\"marshal_s\":" << l.marshal.value() << ","
+       << "\"in_bytes\":" << l.in_bytes.count() << ","
+       << "\"out_bytes\":" << l.out_bytes.count() << ","
+       << "\"storage_bytes\":" << l.storage_bytes.count() << "}";
+  }
+  os << "],\"dma\":{";
+  bool first = true;
+  for (std::size_t k = 0; k < dma.bytes.size(); ++k) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << interconnect::to_string(
+                      static_cast<interconnect::TransferKind>(k))
+       << "_bytes\":" << dma.bytes[k].count();
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string ExecutionReport::to_string() const {
+  std::ostringstream os;
+  os << "program " << program << ": " << std::fixed << std::setprecision(3)
+     << total.value() << " s end-to-end, " << migrations << " migration(s), "
+     << status_updates << " status update(s)\n";
+  for (const auto& l : lines) {
+    os << "  [" << std::setw(2) << l.index << "] " << std::left
+       << std::setw(28) << l.name << std::right << " on " << std::setw(4)
+       << ir::to_string(l.placement) << "  " << std::setprecision(4)
+       << std::setw(9) << (l.end - l.start).value() << " s"
+       << "  (compute " << l.compute.value() << ", access "
+       << l.access.value() << ", xfer " << l.transfer_in.value() << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace isp::runtime

@@ -1,0 +1,61 @@
+// Execution reports: everything a run can tell you afterwards.
+//
+// The benches reproduce the paper's figures from these records: end-to-end
+// latency (Figures 2, 4, 5), per-line placements (the "identical region set"
+// claim in §V), link traffic by purpose, migration counts and overheads, and
+// status-update volume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "interconnect/dma.hpp"
+#include "ir/plan.hpp"
+
+namespace isp::runtime {
+
+struct LineRecord {
+  std::uint32_t index = 0;
+  std::string name;
+  ir::Placement placement = ir::Placement::Host;  // where it actually ran
+  SimTime start;
+  SimTime end;
+  Seconds compute;       // pure compute (after mode multiplier, contention)
+  Seconds access;        // stored-data read time
+  Seconds transfer_in;   // inter-line input movement over the link
+  Seconds marshal;       // language-runtime boundary copies
+  Seconds overhead;      // dispatch + call + instrumentation
+  Bytes in_bytes;        // virtual input volume
+  Bytes out_bytes;       // virtual output volume
+  Bytes storage_bytes;   // stored data consumed
+  double observed_rate = 0.0;  // instructions/s over the line (CSD lines)
+};
+
+struct ExecutionReport {
+  std::string program;
+  Seconds total;            // end-to-end latency, including compile overhead
+  Seconds compile_overhead; // code generation (Cython) latency
+  std::vector<LineRecord> lines;
+
+  std::uint32_t migrations = 0;
+  Seconds migration_overhead;   // regeneration + live-state movement
+  std::uint64_t status_updates = 0;
+  std::uint32_t csd_calls = 0;  // call-queue invocations
+
+  interconnect::DmaStats dma;
+
+  [[nodiscard]] Seconds compute_total() const;
+  [[nodiscard]] Seconds access_total() const;
+  [[nodiscard]] std::size_t lines_on_csd() const;
+
+  /// Human-readable per-line timeline (for examples and debugging).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Machine-readable export for downstream tooling (plotting, CI trend
+  /// tracking).  Self-contained JSON object; no external dependencies.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace isp::runtime

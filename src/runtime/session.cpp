@@ -1,0 +1,39 @@
+#include "runtime/session.hpp"
+
+namespace isp::runtime {
+
+RunResult Session::run(const ir::Program& program,
+                       const EngineOptions* overrides) {
+  RunConfig config = defaults_;
+  if (overrides != nullptr) config.engine = *overrides;
+
+  const auto cached = plans_.find(program.name());
+  const bool reuse = cached != plans_.end();
+  if (reuse) config.reuse_plan = &cached->second;
+
+  auto result = runtime_.run(program, config);
+
+  ++stats_.runs;
+  stats_.total_time += result.end_to_end();
+  stats_.sampling_time += result.sampling_overhead;
+  stats_.migrations += result.report.migrations;
+  if (reuse) {
+    ++stats_.cached_runs;
+  } else {
+    ++stats_.sampled_runs;
+    plans_[program.name()] = result.plan;
+  }
+
+  // A migration means the cached decisions no longer fit the regime; the
+  // next instance re-samples rather than repeating the mistake.
+  if (result.report.migrations > 0) {
+    if (plans_.erase(program.name()) > 0) ++stats_.invalidations;
+  }
+  return result;
+}
+
+void Session::invalidate(const std::string& program_name) {
+  if (plans_.erase(program_name) > 0) ++stats_.invalidations;
+}
+
+}  // namespace isp::runtime

@@ -1,0 +1,57 @@
+// Session: a long-lived ActiveCpp runtime serving repeated executions.
+//
+// The paper defines a *task* as "a program's dynamic instance of a code
+// region" — the same program runs again and again over its data.  A Session
+// amortises the sampling phase across those instances: the first run of a
+// program samples, fits and plans; later runs of the same program reuse the
+// cached plan and go straight to execution.  The runtime monitor still
+// guards every run — and if a run had to migrate, the cached plan evidently
+// went stale (contention regime changed, dataset changed), so the session
+// drops it and the next instance re-samples.  That is the paper's
+// "periodically monitors ... and dynamically adjusts" loop, made concrete.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "runtime/active_runtime.hpp"
+
+namespace isp::runtime {
+
+struct SessionStats {
+  std::uint64_t runs = 0;
+  std::uint64_t sampled_runs = 0;   // paid the sampling phase
+  std::uint64_t cached_runs = 0;    // reused a plan
+  std::uint64_t invalidations = 0;  // plans dropped after migrations
+  std::uint64_t migrations = 0;
+  Seconds total_time;               // end-to-end across all runs
+  Seconds sampling_time;            // cumulative sampling overhead
+};
+
+class Session {
+ public:
+  explicit Session(system::SystemModel& system, RunConfig defaults = {})
+      : runtime_(system), defaults_(std::move(defaults)) {}
+
+  /// Execute one dynamic instance of `program`, reusing its cached plan if
+  /// one exists.  Per-run engine options (contention, availability) come
+  /// from `overrides` when given, else the session defaults.
+  RunResult run(const ir::Program& program,
+                const EngineOptions* overrides = nullptr);
+
+  /// Drop the cached plan for a program (e.g. the dataset was replaced).
+  void invalidate(const std::string& program_name);
+
+  [[nodiscard]] bool has_plan(const std::string& program_name) const {
+    return plans_.count(program_name) > 0;
+  }
+  [[nodiscard]] const SessionStats& stats() const { return stats_; }
+
+ private:
+  ActiveRuntime runtime_;
+  RunConfig defaults_;
+  std::map<std::string, ir::Plan> plans_;
+  SessionStats stats_;
+};
+
+}  // namespace isp::runtime

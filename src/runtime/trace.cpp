@@ -1,0 +1,63 @@
+#include "runtime/trace.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace isp::runtime {
+
+namespace {
+
+/// One complete ("X") event. Times in microseconds per the trace format.
+void emit(std::ostringstream& os, bool& first, const std::string& name,
+          const char* track, double start_s, double duration_s) {
+  if (duration_s <= 0.0) return;
+  if (!first) os << ",";
+  first = false;
+  os << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":\""
+     << track << "\",\"ts\":" << start_s * 1e6
+     << ",\"dur\":" << duration_s * 1e6 << "}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const ExecutionReport& report) {
+  std::ostringstream os;
+  os << std::setprecision(12) << "[";
+  bool first = true;
+
+  if (report.compile_overhead.value() > 0.0) {
+    emit(os, first, "codegen (Cython)", "host", 0.0,
+         report.compile_overhead.value());
+  }
+
+  for (const auto& line : report.lines) {
+    const char* track =
+        line.placement == ir::Placement::Csd ? "cse" : "host";
+    double cursor = line.start.seconds();
+    emit(os, first, line.name + " [access]", track, cursor,
+         line.access.value());
+    cursor += line.access.value();
+    emit(os, first, line.name + " [xfer]", "link", cursor,
+         line.transfer_in.value());
+    cursor += line.transfer_in.value();
+    emit(os, first, line.name + " [marshal]", track, cursor,
+         line.marshal.value());
+    cursor += line.marshal.value();
+    emit(os, first, line.name, track, cursor, line.compute.value());
+  }
+  os << "]";
+  return os.str();
+}
+
+void write_chrome_trace(const ExecutionReport& report,
+                        const std::string& path) {
+  std::ofstream out(path);
+  ISP_CHECK(out.good(), "cannot open trace file '" << path << "'");
+  out << to_chrome_trace(report);
+  ISP_CHECK(out.good(), "failed writing trace file '" << path << "'");
+}
+
+}  // namespace isp::runtime

@@ -1,0 +1,92 @@
+#include "sim/availability.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace isp::sim {
+
+AvailabilitySchedule AvailabilitySchedule::constant(double fraction) {
+  ISP_CHECK(fraction >= 0.0 && fraction <= 1.0,
+            "availability fraction out of [0,1]: " << fraction);
+  AvailabilitySchedule s;
+  s.steps_ = {{SimTime::zero(), fraction}};
+  return s;
+}
+
+AvailabilitySchedule AvailabilitySchedule::steps(
+    std::vector<std::pair<SimTime, double>> steps) {
+  ISP_CHECK(!steps.empty(), "schedule needs at least one step");
+  ISP_CHECK(steps.front().first == SimTime::zero(),
+            "first step must start at t=0");
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    ISP_CHECK(steps[i].second >= 0.0 && steps[i].second <= 1.0,
+              "availability fraction out of [0,1]");
+    if (i > 0) {
+      ISP_CHECK(steps[i - 1].first < steps[i].first,
+                "steps must be strictly increasing in time");
+    }
+  }
+  AvailabilitySchedule s;
+  s.steps_ = std::move(steps);
+  return s;
+}
+
+double AvailabilitySchedule::fraction_at(SimTime t) const {
+  double f = steps_.front().second;
+  for (const auto& [at, fraction] : steps_) {
+    if (at <= t) {
+      f = fraction;
+    } else {
+      break;
+    }
+  }
+  return f;
+}
+
+SimTime AvailabilitySchedule::finish_time(SimTime t0, Seconds work) const {
+  ISP_CHECK(work.value() >= 0.0, "negative work");
+  double remaining = work.value();
+  if (remaining == 0.0) return t0;
+  SimTime t = t0;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const double fraction = steps_[i].second;
+    const SimTime seg_end =
+        (i + 1 < steps_.size()) ? steps_[i + 1].first : SimTime::infinity();
+    if (seg_end <= t) continue;
+    const double span = (seg_end - t).value();
+    if (fraction > 0.0) {
+      const double doable = span * fraction;
+      if (doable >= remaining) {
+        return t + Seconds{remaining / fraction};
+      }
+      remaining -= doable;
+    }
+    t = seg_end;
+  }
+  return SimTime::infinity();
+}
+
+Seconds AvailabilitySchedule::work_done(SimTime t0, SimTime t1) const {
+  if (t1 <= t0) return Seconds::zero();
+  double total = 0.0;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const SimTime seg_start = steps_[i].first;
+    const SimTime seg_end =
+        (i + 1 < steps_.size()) ? steps_[i + 1].first : SimTime::infinity();
+    const SimTime lo = seg_start > t0 ? seg_start : t0;
+    const SimTime hi = seg_end < t1 ? seg_end : t1;
+    if (hi > lo) total += (hi - lo).value() * steps_[i].second;
+  }
+  return Seconds{total};
+}
+
+void AvailabilitySchedule::add_step(SimTime at, double fraction) {
+  ISP_CHECK(fraction >= 0.0 && fraction <= 1.0,
+            "availability fraction out of [0,1]");
+  ISP_CHECK(steps_.empty() || steps_.back().first < at,
+            "step must be later than existing steps");
+  steps_.emplace_back(at, fraction);
+}
+
+}  // namespace isp::sim

@@ -1,0 +1,61 @@
+// Time-varying resource availability.
+//
+// Section II-B(3) of the paper identifies three sources of system dynamics —
+// other applications, storage-management workloads (GC), and input changes —
+// all of which manifest as the CSE (or a bandwidth resource) having only a
+// fraction of its capacity available to the ISP task.  Figures 2 and 5 sweep
+// exactly this fraction.  AvailabilitySchedule is a piecewise-constant
+// fraction of capacity over virtual time, with the two integrals the
+// execution engine needs:
+//
+//   finish_time(t0, work): when does `work` seconds of full-speed service
+//     complete if started at t0?  (compute stretches through throttling)
+//   work_done(t0, t1): how much full-speed service fits in [t0, t1)?
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace isp::sim {
+
+/// Piecewise-constant availability fraction over virtual time.
+class AvailabilitySchedule {
+ public:
+  /// Fully available forever.
+  AvailabilitySchedule() = default;
+
+  /// Constant fraction forever.
+  static AvailabilitySchedule constant(double fraction);
+
+  /// Piecewise schedule from (start_time, fraction) steps. Steps must be
+  /// strictly increasing in time; the first step must start at t = 0.
+  static AvailabilitySchedule steps(
+      std::vector<std::pair<SimTime, double>> steps);
+
+  /// Fraction available at time t (in [0, 1]).
+  [[nodiscard]] double fraction_at(SimTime t) const;
+
+  /// Completion time of `work` seconds of full-speed service starting at t0.
+  /// Returns SimTime::infinity() if the schedule starves the work forever.
+  [[nodiscard]] SimTime finish_time(SimTime t0, Seconds work) const;
+
+  /// Full-speed-equivalent service delivered over [t0, t1).
+  [[nodiscard]] Seconds work_done(SimTime t0, SimTime t1) const;
+
+  /// Append a step at `at` changing the fraction (used by contention
+  /// injectors that trigger on observed progress).  `at` must be later than
+  /// every existing step.
+  void add_step(SimTime at, double fraction);
+
+  [[nodiscard]] const std::vector<std::pair<SimTime, double>>& raw_steps()
+      const {
+    return steps_;
+  }
+
+ private:
+  // Invariant: non-empty, sorted by time, first at t=0, fractions in [0,1].
+  std::vector<std::pair<SimTime, double>> steps_{{SimTime::zero(), 1.0}};
+};
+
+}  // namespace isp::sim

@@ -1,0 +1,31 @@
+#include "system/config.hpp"
+
+namespace isp::system {
+
+SystemConfig SystemConfig::paper_platform() {
+  SystemConfig config;
+  // Host: octa-core Ryzen 7 3700X @ 3.6 GHz.
+  config.host.clock = ghz(3.6);
+  config.host.cores = 8;
+  // CSD: 8 ARM Cortex-A72 cores; NAND geometry calibrated to the measured
+  // 9 GB/s internal bandwidth; NVMe link at 5 GB/s.
+  config.csd.cse.cores = 8;
+  config.csd.cse.clock = ghz(1.5);
+  config.csd.cse.ipc_vs_host = 0.5;
+  config.csd.cse.host_clock = config.host.clock;
+  config.link.bandwidth = gb_per_s(5.0);
+  return config;
+}
+
+SystemConfig SystemConfig::paper_platform_nvmeof() {
+  SystemConfig config = paper_platform();
+  config.attachment = AttachmentKind::NvmeOF;
+  // Fabric hop: higher per-command latency on the same 5 GB/s of bandwidth.
+  config.link.base_latency = Seconds{30e-6};
+  config.csd.controller.doorbell_to_fetch = Seconds{8e-6};
+  // One-sided RDMA reads of device memory beat uncached PCIe BAR loads.
+  config.bar_access_penalty = 2.0;
+  return config;
+}
+
+}  // namespace isp::system

@@ -1,0 +1,37 @@
+// SystemConfig: the single source of every calibration constant (§IV-A of
+// the paper; also DESIGN.md §4).
+#pragma once
+
+#include "csd/device.hpp"
+#include "host/cpu.hpp"
+#include "interconnect/link.hpp"
+
+namespace isp::system {
+
+/// How the CSD attaches to the host (§III-C(a)): direct PCIe with BAR-mapped
+/// device memory, or NVMe-over-Fabrics where the RDMA NIC maps the device's
+/// internal memory into the host address space.
+enum class AttachmentKind { PciE, NvmeOF };
+
+struct SystemConfig {
+  host::HostCpuConfig host;
+  csd::CsdConfig csd;
+  interconnect::LinkConfig link;  // NVMe host link: 5 GB/s (paper §IV-A)
+  Bytes host_dram = 32_GiB;
+  AttachmentKind attachment = AttachmentKind::PciE;
+
+  /// Host loads/stores into BAR-mapped device memory after a migration pay
+  /// this slowdown relative to local DRAM (uncached PCIe reads) — source of
+  /// the paper's residual ~8% post-migration overhead.
+  double bar_access_penalty = 4.0;
+
+  /// Defaults reproduce the paper's platform.
+  static SystemConfig paper_platform();
+
+  /// The same platform attached over NVMe-oF/RDMA (the paper's Mellanox
+  /// InfiniBand path): higher command latency, but one-sided RDMA makes
+  /// remote live-data access cheaper than uncached BAR loads.
+  static SystemConfig paper_platform_nvmeof();
+};
+
+}  // namespace isp::system

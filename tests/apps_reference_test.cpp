@@ -1,0 +1,245 @@
+// Cross-checks of the workload kernels against independent, straight-line
+// reference implementations computed directly from the generated datasets.
+// (apps_test.cpp checks structural sanity; this file checks the numbers.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "apps/data_gen.hpp"
+#include "apps/registry.hpp"
+#include "profile/sampler.hpp"
+#include "runtime/engine.hpp"
+
+namespace isp::apps {
+namespace {
+
+AppConfig tiny() {
+  AppConfig config;
+  config.size_factor = 0.03;
+  config.seed = 99;
+  return config;
+}
+
+ir::ObjectStore run_host(const ir::Program& program) {
+  system::SystemModel system;
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+  auto store = program.make_store();
+  runtime::run_program(system, program,
+                       ir::Plan::host_only(program.line_count()),
+                       codegen::ExecMode::NativeC, options, &store);
+  return store;
+}
+
+TEST(ReferenceQ1, AggregatesMatchDirectScan) {
+  const auto program = make_tpch_q1(tiny());
+  auto store = run_host(program);
+
+  // Independent aggregation straight off the generated table.
+  auto reference = program.make_store();
+  const auto rows = reference.at("lineitem").physical.as<LineitemRow>();
+  std::array<double, 6> sum_qty{};
+  std::array<double, 6> count{};
+  auto group_of = [](const LineitemRow& r) {
+    const std::size_t f =
+        r.return_flag == 'A' ? 0 : (r.return_flag == 'N' ? 1 : 2);
+    return f * 2 + (r.line_status == 'O' ? 0 : 1);
+  };
+  for (const auto& r : rows) {
+    if (r.ship_date > 2445) continue;
+    const auto g = group_of(r);
+    sum_qty[g] += r.quantity;
+    count[g] += 1.0;
+  }
+
+  const auto report = store.at("q1_report").physical.as<double>();
+  for (std::size_t g = 0; g < 6; ++g) {
+    if (count[g] == 0.0) continue;
+    EXPECT_NEAR(report[g * 3 + 0], sum_qty[g] / count[g], 1e-9)
+        << "group " << g;
+  }
+}
+
+TEST(ReferenceQ14, PromoRatioMatchesDirectJoin) {
+  const auto program = make_tpch_q14(tiny());
+  auto store = run_host(program);
+
+  auto reference = program.make_store();
+  const auto rows = reference.at("lineitem").physical.as<LineitemRow>();
+  const auto parts = reference.at("part").physical.as<PartRow>();
+  std::vector<bool> promo(parts.size(), false);
+  for (const auto& p : parts) {
+    promo[static_cast<std::size_t>(p.part_key)] = p.is_promo != 0;
+  }
+  double promo_rev = 0.0;
+  double total_rev = 0.0;
+  for (const auto& r : rows) {
+    if (r.ship_date < 2160 || r.ship_date >= 2190) continue;
+    const double revenue = r.extended_price * (1.0 - r.discount);
+    total_rev += revenue;
+    if (promo[static_cast<std::size_t>(r.part_key)]) promo_rev += revenue;
+  }
+  const auto result = store.at("q14_result").physical.as<double>();
+  ASSERT_GT(total_rev, 0.0);
+  EXPECT_NEAR(result[0], 100.0 * promo_rev / total_rev, 1e-9);
+  EXPECT_NEAR(result[1], promo_rev, 1e-6);
+  EXPECT_NEAR(result[2], total_rev, 1e-6);
+}
+
+TEST(ReferenceBlackscholes, PutCallParityHolds) {
+  const auto program = make_blackscholes(tiny());
+  auto store = run_host(program);
+  auto reference = program.make_store();
+  const auto records = reference.at("options_file").physical.as<OptionRecord>();
+  const auto prices = store.at("prices").physical.as<float>();
+  ASSERT_EQ(prices.size(), records.size());
+
+  // Spot-check Black–Scholes bounds on a sample of rows: a call is worth at
+  // least its discounted intrinsic value and no more than the spot.
+  for (std::size_t i = 0; i < records.size(); i += 97) {
+    const auto& r = records[i];
+    const double discounted_strike = r.strike * std::exp(-r.rate * r.expiry);
+    if (r.is_call != 0) {
+      EXPECT_GE(prices[i], std::max(0.0, r.spot - discounted_strike) - 0.05)
+          << "call " << i;
+      EXPECT_LE(prices[i], r.spot + 0.05) << "call " << i;
+    } else {
+      EXPECT_GE(prices[i], std::max(0.0, discounted_strike - r.spot) - 0.05)
+          << "put " << i;
+      EXPECT_LE(prices[i], discounted_strike + 0.05) << "put " << i;
+    }
+  }
+}
+
+TEST(ReferenceLightgbm, MarginsMatchManualTraversal) {
+  const auto program = make_lightgbm(tiny());
+  auto store = run_host(program);
+  auto reference = program.make_store();
+
+  const auto raw = reference.at("features_file").physical.as<double>();
+  const auto forest = reference.at("model").physical.as<TreeNode>();
+  const auto margins = store.at("margins").physical.as<float>();
+  constexpr std::size_t kFeatures = 32;
+  constexpr std::size_t kTrees = 40;
+  constexpr std::size_t kNodes = 63;  // depth 6
+
+  for (std::size_t row = 0; row < margins.size(); row += 53) {
+    std::array<float, kFeatures> features{};
+    for (std::size_t j = 0; j < kFeatures; ++j) {
+      features[j] = static_cast<float>(raw[row * kFeatures + j]);
+    }
+    float margin = 0.0F;
+    for (std::size_t t = 0; t < kTrees; ++t) {
+      const TreeNode* tree = forest.data() + t * kNodes;
+      std::size_t node = 0;
+      while (tree[node].feature >= 0) {
+        node = 2 * node +
+               (features[tree[node].feature] <= tree[node].threshold ? 1 : 2);
+      }
+      margin += tree[node].threshold;
+    }
+    EXPECT_NEAR(margins[row], margin, 1e-4) << "row " << row;
+  }
+}
+
+TEST(ReferencePagerank, MatchesDensePowerIteration) {
+  const auto program = make_pagerank(tiny());
+  auto store = run_host(program);
+  auto reference = program.make_store();
+  const auto records = reference.at("edges_file").physical.as<EdgeRecord>();
+
+  // Dense re-implementation with the same first-seen compaction.
+  std::map<std::uint64_t, std::uint32_t> remap;
+  auto id_of = [&](std::uint64_t v) {
+    const auto [it, inserted] = remap.try_emplace(
+        v, static_cast<std::uint32_t>(remap.size()));
+    return it->second;
+  };
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (const auto& e : records) {
+    const auto s = id_of(e.src);
+    const auto d = id_of(e.dst);
+    edges.emplace_back(s, d);
+  }
+  const std::size_t v_count = remap.size();
+  std::vector<double> degree(v_count, 0.0);
+  for (const auto& [s, d] : edges) degree[s] += 1.0;
+
+  std::vector<double> ranks(v_count, 1.0 / static_cast<double>(v_count));
+  for (int iter = 0; iter < 4; ++iter) {
+    std::vector<double> next(v_count,
+                             0.15 / static_cast<double>(v_count));
+    for (const auto& [s, d] : edges) {
+      next[d] += 0.85 * ranks[s] / degree[s];
+    }
+    ranks = std::move(next);
+  }
+
+  const auto pipeline_ranks = store.at("ranks4").physical.as<double>();
+  ASSERT_EQ(pipeline_ranks.size(), v_count);
+  for (std::size_t v = 0; v < v_count; v += 211) {
+    EXPECT_NEAR(pipeline_ranks[v], ranks[v], 1e-12) << "vertex " << v;
+  }
+}
+
+TEST(ReferenceMatmul, WholeBatchMatches) {
+  const auto program = make_matmul(tiny());
+  auto store = run_host(program);
+  auto reference = program.make_store();
+  const auto a = reference.at("a_batch").physical.as<double>();
+  const auto b = reference.at("b_batch").physical.as<double>();
+  const auto c = store.at("c").physical.as<double>();
+  constexpr std::size_t kDim = 32;
+  const std::size_t pairs = std::min(a.size(), b.size()) / (kDim * kDim);
+  ASSERT_EQ(c.size(), pairs * kDim * kDim);
+  // Check a full matrix from the middle of the batch.
+  const std::size_t p = pairs / 2;
+  for (std::size_t i = 0; i < kDim; ++i) {
+    for (std::size_t j = 0; j < kDim; ++j) {
+      double expected = 0.0;
+      for (std::size_t k = 0; k < kDim; ++k) {
+        expected += a[p * kDim * kDim + i * kDim + k] *
+                    b[p * kDim * kDim + k * kDim + j];
+      }
+      ASSERT_NEAR(c[p * kDim * kDim + i * kDim + j], expected, 1e-9);
+    }
+  }
+}
+
+TEST(SamplingBias, SortedDataIsAKnownLimitation) {
+  // The paper's sampling heuristic takes leading subsets of the referenced
+  // files; if the file is sorted by the filter key, the prefix is wildly
+  // unrepresentative.  This test documents the limitation: the volume
+  // prediction for a trailing-selectivity filter collapses to ~zero, the
+  // planner still offloads (the reduction looks even better), and
+  // correctness is unaffected — only the d_out estimate is off.
+  auto program = make_tpch_q6(tiny());
+  {
+    auto& dataset =
+        const_cast<ir::Dataset&>(program.datasets()[0]);
+    auto rows = dataset.object.physical.as<LineitemRow>();
+    std::sort(rows.begin(), rows.end(),
+              [](const LineitemRow& x, const LineitemRow& y) {
+                return x.ship_date < y.ship_date;
+              });
+  }
+  system::SystemModel system;
+  profile::Sampler sampler(system);
+  const auto samples = sampler.run(program);
+  // The Q6 year window [365, 730) sits past the sampled prefix
+  // (prefix covers the earliest ship dates once sorted).
+  const auto& scan_points = samples.lines[0].points;
+  for (const auto& p : scan_points) {
+    EXPECT_LT(p.out_bytes.as_double(),
+              0.02 * p.in_bytes.as_double())
+        << "sorted prefix should look almost empty after the filter";
+  }
+}
+
+}  // namespace
+}  // namespace isp::apps

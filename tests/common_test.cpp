@@ -1,0 +1,186 @@
+// Unit tests: strong units, deterministic RNG, error handling, logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace isp {
+namespace {
+
+TEST(Units, BytesArithmetic) {
+  EXPECT_EQ((Bytes{1} + Bytes{2}).count(), 3u);
+  EXPECT_EQ((Bytes{5} - Bytes{2}).count(), 3u);
+  EXPECT_EQ((Bytes{4} * 3).count(), 12u);
+  EXPECT_EQ((3 * Bytes{4}).count(), 12u);
+  EXPECT_EQ((1_KiB).count(), 1024u);
+  EXPECT_EQ((1_MiB).count(), 1024u * 1024u);
+  EXPECT_EQ((1_GiB).count(), 1024u * 1024u * 1024u);
+  EXPECT_EQ(gigabytes(6.9).count(), 6'900'000'000u);
+}
+
+TEST(Units, BytesScale) {
+  EXPECT_EQ(scale(Bytes{1024}, 0.5).count(), 512u);
+  EXPECT_EQ(scale(Bytes{1024}, 1.0 / 1024).count(), 1u);
+  EXPECT_EQ(scale(Bytes{0}, 0.5).count(), 0u);
+}
+
+TEST(Units, SecondsArithmetic) {
+  EXPECT_DOUBLE_EQ((Seconds{1.5} + Seconds{0.5}).value(), 2.0);
+  EXPECT_DOUBLE_EQ((Seconds{1.5} - Seconds{0.5}).value(), 1.0);
+  EXPECT_DOUBLE_EQ((Seconds{2.0} * 3.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((Seconds{6.0} / 3.0).value(), 2.0);
+  EXPECT_DOUBLE_EQ(Seconds{6.0} / Seconds{3.0}, 2.0);
+  EXPECT_TRUE(Seconds::infinity() > Seconds{1e30});
+}
+
+TEST(Units, BandwidthDivision) {
+  // 5 GB over a 5 GB/s link takes one second.
+  const Seconds t = gigabytes(5.0) / gb_per_s(5.0);
+  EXPECT_NEAR(t.value(), 1.0, 1e-12);
+}
+
+TEST(Units, SimTimeOrdering) {
+  const SimTime a{1.0};
+  const SimTime b = a + Seconds{0.5};
+  EXPECT_LT(a, b);
+  EXPECT_DOUBLE_EQ((b - a).value(), 0.5);
+  EXPECT_LT(a, SimTime::infinity());
+}
+
+TEST(Units, CyclesOverClock) {
+  const Seconds t = Cycles{3.6e9} / ghz(3.6);
+  EXPECT_NEAR(t.value(), 1.0, 1e-12);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng base(7);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+  // Forking is a const operation on the parent.
+  Rng again = Rng(7).fork(1);
+  Rng f1b = Rng(7).fork(1);
+  EXPECT_EQ(again.next_u64(), f1b.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    const double d = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.15);
+}
+
+TEST(Rng, ZipfSkewsTowardHead) {
+  Rng rng(5);
+  constexpr std::uint64_t kDomain = 10000;
+  int head = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const auto v = rng.zipf(kDomain, 0.9);
+    EXPECT_LT(v, kDomain);
+    head += (v < kDomain / 100) ? 1 : 0;
+  }
+  // The top 1% of ranks receive far more than 1% of draws.
+  EXPECT_GT(head, kN / 20);
+}
+
+TEST(Rng, ZipfDomainOne) {
+  Rng rng(5);
+  EXPECT_EQ(rng.zipf(1, 0.9), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(copy.begin(), copy.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, HashUnitInRange) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = hash_unit(i);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_EQ(hash_unit(42), hash_unit(42));
+  EXPECT_NE(hash_unit(42), hash_unit(43));
+}
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    ISP_CHECK(1 == 2, "math is broken: " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken: 42"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(ISP_CHECK(1 + 1 == 2, "fine"));
+}
+
+TEST(Log, LevelGate) {
+  const auto old = log_level();
+  set_log_level(LogLevel::Off);
+  ISP_LOG_INFO("this must not crash while gated");
+  set_log_level(old);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace isp

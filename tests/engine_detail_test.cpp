@@ -1,0 +1,174 @@
+// Detailed engine-behaviour tests: BAR penalties, migration traffic
+// accounting, exec-mode interactions, mixed-precision kernel correctness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "apps/data_gen.hpp"
+#include "apps/registry.hpp"
+#include "baseline/baselines.hpp"
+#include "runtime/active_runtime.hpp"
+
+namespace isp {
+namespace {
+
+apps::AppConfig small() {
+  apps::AppConfig config;
+  config.size_factor = 0.25;
+  return config;
+}
+
+TEST(EngineDetail, MigrationTrafficAppearsInDmaStats) {
+  const auto program = apps::make_app("kmeans", small());
+  system::SystemModel system;
+  runtime::RunConfig rc;
+  rc.engine.contention.enabled = true;
+  rc.engine.contention.at_csd_progress = 0.4;
+  rc.engine.contention.availability = 0.05;
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(program, rc);
+  ASSERT_GE(result.report.migrations, 1u);
+  const auto migration_bytes = result.report.dma.bytes[static_cast<int>(
+      interconnect::TransferKind::MigrationState)];
+  // At least the live-variable block moved.
+  EXPECT_GE(migration_bytes.count(), 256u * 1024u);
+  EXPECT_GT(result.report.migration_overhead.value(), 0.0);
+}
+
+TEST(EngineDetail, BarPenaltyMakesRemoteAccessSlower) {
+  // Two identical systems, different BAR penalties: the post-migration run
+  // with the higher penalty is strictly slower.
+  const auto program = apps::make_app("kmeans", small());
+  double totals[2] = {0.0, 0.0};
+  int i = 0;
+  for (const double penalty : {1.0, 8.0}) {
+    auto config = system::SystemConfig::paper_platform();
+    config.bar_access_penalty = penalty;
+    system::SystemModel system(config);
+    runtime::RunConfig rc;
+    rc.engine.contention.enabled = true;
+    rc.engine.contention.at_csd_progress = 0.4;
+    rc.engine.contention.availability = 0.05;
+    runtime::ActiveRuntime active(system);
+    const auto result = active.run(program, rc);
+    EXPECT_GE(result.report.migrations, 1u);
+    totals[i++] = result.report.total.value();
+  }
+  EXPECT_LT(totals[0], totals[1]);
+}
+
+TEST(EngineDetail, CodeImageShippedOncePerRun) {
+  const auto program = apps::make_app("mixedgemm", small());
+  system::SystemModel system;
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(program);
+  ASSERT_GT(result.plan.csd_line_count(), 0u);
+  const auto code_bytes = result.report.dma.bytes[static_cast<int>(
+      interconnect::TransferKind::CodeImage)];
+  EXPECT_EQ(code_bytes.count(),
+            result.plan.csd_line_count() * 32u * 1024u);
+  EXPECT_EQ(result.report.dma.transfers[static_cast<int>(
+                interconnect::TransferKind::CodeImage)],
+            1u);
+}
+
+TEST(EngineDetail, InterpreterDispatchScalesWithLineCount) {
+  // Two programs with the same volume/compute but different line counts pay
+  // different interpreter dispatch totals.
+  const auto q6 = apps::make_app("tpch-q6", small());       // 3 lines
+  const auto kmeans = apps::make_app("kmeans", small());    // 9 lines
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+
+  system::SystemModel a;
+  const auto q6_interp = runtime::run_program(
+      a, q6, ir::Plan::host_only(q6.line_count()),
+      codegen::ExecMode::Interpreted, options);
+  system::SystemModel b;
+  const auto q6_native = runtime::run_program(
+      b, q6, ir::Plan::host_only(q6.line_count()),
+      codegen::ExecMode::NativeC, options);
+  // Interpreted strictly slower, and by more than dispatch alone (compute
+  // multiplier + marshalling dominate).
+  EXPECT_GT(q6_interp.total.value(), q6_native.total.value() * 1.2);
+
+  Seconds q6_overhead;
+  for (const auto& l : q6_interp.lines) q6_overhead += l.overhead;
+  system::SystemModel c;
+  const auto km_interp = runtime::run_program(
+      c, kmeans, ir::Plan::host_only(kmeans.line_count()),
+      codegen::ExecMode::Interpreted, options);
+  Seconds km_overhead;
+  for (const auto& l : km_interp.lines) km_overhead += l.overhead;
+  EXPECT_GT(km_overhead.value(), q6_overhead.value());
+}
+
+TEST(EngineDetail, MarshallingChargedOnVolumes) {
+  const auto program = apps::make_app("tpch-q6", small());
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+  system::SystemModel a;
+  const auto compiled = runtime::run_program(
+      a, program, ir::Plan::host_only(program.line_count()),
+      codegen::ExecMode::Compiled, options);
+  // The scan's marshalling is roughly input volume over the marshal
+  // bandwidth (output is ~2% of input).
+  const double expected =
+      program.total_storage_bytes().as_double() / 4.6e9;
+  EXPECT_NEAR(compiled.lines[0].marshal.value(), expected,
+              expected * 0.1);
+  // No marshalling in no-copy mode.
+  system::SystemModel b;
+  const auto nocopy = runtime::run_program(
+      b, program, ir::Plan::host_only(program.line_count()),
+      codegen::ExecMode::CompiledNoCopy, options);
+  EXPECT_DOUBLE_EQ(nocopy.lines[0].marshal.value(), 0.0);
+}
+
+TEST(EngineDetail, Bf16ConversionRoundTripsThroughGemm) {
+  // MixedGEMM's bf16 path: converting and multiplying must stay within
+  // bfloat16's ~3-decimal-digit precision of the fp32 reference.
+  const auto program = apps::make_app("mixedgemm", small());
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+  system::SystemModel system;
+  auto store = program.make_store();
+  runtime::run_program(system, program,
+                       ir::Plan::host_only(program.line_count()),
+                       codegen::ExecMode::NativeC, options, &store);
+
+  auto reference = program.make_store();
+  const auto acts = reference.at("activations_file").physical.as<float>();
+  const auto weights = reference.at("weights_file").physical.as<float>();
+  const auto logits = store.at("logits").physical.as<float>();
+  constexpr std::size_t kDim = 64;
+  ASSERT_GE(logits.size(), kDim * kDim);
+
+  // First tile, first row, first column in full fp32.
+  double expected = 0.0;
+  for (std::size_t k = 0; k < kDim; ++k) {
+    expected += static_cast<double>(acts[k]) * weights[k * kDim];
+  }
+  // bf16 has 8 mantissa bits: expect agreement to ~1% of the magnitude
+  // accumulated over 64 products of O(1) values.
+  EXPECT_NEAR(logits[0], expected, 0.35);
+}
+
+TEST(EngineDetail, ObservedRateRecordedForCsdLines) {
+  const auto program = apps::make_app("tpch-q6", small());
+  system::SystemModel system;
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(program);
+  for (std::size_t i = 0; i < result.report.lines.size(); ++i) {
+    if (result.report.lines[i].placement == ir::Placement::Csd) {
+      EXPECT_GT(result.report.lines[i].observed_rate, 0.0) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isp

@@ -1,0 +1,156 @@
+// Property tests over the execution engine: determinism, monotonicity in
+// availability, conservation of link traffic, and sampler structure.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "baseline/baselines.hpp"
+#include "profile/sampler.hpp"
+#include "runtime/active_runtime.hpp"
+
+namespace isp {
+namespace {
+
+apps::AppConfig small() {
+  apps::AppConfig config;
+  config.size_factor = 0.2;
+  return config;
+}
+
+class EngineProperties : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineProperties, RunsAreDeterministic) {
+  const auto program = apps::make_app(GetParam(), small());
+  std::string first_json;
+  for (int run = 0; run < 2; ++run) {
+    system::SystemModel system;
+    runtime::ActiveRuntime active(system);
+    const auto result = active.run(program);
+    const auto json = result.report.to_json();
+    if (run == 0) {
+      first_json = json;
+    } else {
+      EXPECT_EQ(json, first_json) << "nondeterministic execution";
+    }
+  }
+}
+
+TEST_P(EngineProperties, LatencyMonotoneInCseAvailability) {
+  const auto program = apps::make_app(GetParam(), small());
+  system::SystemModel oracle_system;
+  const auto oracle =
+      baseline::programmer_directed_plan(oracle_system, program);
+
+  double previous = 0.0;
+  for (const double avail : {1.0, 0.75, 0.5, 0.25}) {
+    system::SystemModel system;
+    const auto report = baseline::run_static_isp(
+        system, program, oracle.best,
+        sim::AvailabilitySchedule::constant(avail));
+    EXPECT_GE(report.total.value(), previous)
+        << "lower availability must never run faster";
+    previous = report.total.value();
+  }
+}
+
+TEST_P(EngineProperties, RawInputTrafficBoundedByStorage) {
+  const auto program = apps::make_app(GetParam(), small());
+  system::SystemModel system;
+  const auto report = baseline::run_host_only(system, program);
+  // Host-only: every stored byte crosses the link exactly once.
+  const auto raw = report.dma
+                       .bytes[static_cast<int>(
+                           interconnect::TransferKind::RawInput)];
+  EXPECT_EQ(raw.count(), program.total_storage_bytes().count());
+  // And nothing else moves.
+  EXPECT_EQ(report.dma.total_bytes().count(), raw.count());
+}
+
+TEST_P(EngineProperties, CsdRunMovesLessRawData) {
+  const auto program = apps::make_app(GetParam(), small());
+  system::SystemModel host_system;
+  const auto host = baseline::run_host_only(host_system, program);
+
+  system::SystemModel system;
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(program);
+  if (result.plan.csd_line_count() == 0) GTEST_SKIP();
+
+  const auto host_raw =
+      host.dma.bytes[static_cast<int>(interconnect::TransferKind::RawInput)];
+  const auto isp_raw = result.report.dma.bytes[static_cast<int>(
+      interconnect::TransferKind::RawInput)];
+  EXPECT_LT(isp_raw.count(), host_raw.count())
+      << "offloading must reduce raw-input link traffic";
+}
+
+TEST_P(EngineProperties, StatusUpdatesOnlyFromCsdLines) {
+  const auto program = apps::make_app(GetParam(), small());
+  system::SystemModel system;
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(program);
+
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < program.line_count(); ++i) {
+    if (result.plan.placement[i] == ir::Placement::Csd &&
+        result.report.lines[i].placement == ir::Placement::Csd) {
+      expected += program.lines()[i].chunks;
+    }
+  }
+  // Without migration the counts match exactly.
+  if (result.report.migrations == 0) {
+    EXPECT_EQ(result.report.status_updates, expected);
+  } else {
+    EXPECT_LE(result.report.status_updates, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, EngineProperties,
+                         ::testing::Values("tpch-q6", "tpch-q1", "kmeans",
+                                           "blackscholes", "pagerank",
+                                           "mixedgemm"));
+
+TEST(Sampler, ProducesFourPointsPerLine) {
+  const auto program = apps::make_app("tpch-q6", small());
+  system::SystemModel system;
+  profile::Sampler sampler(system);
+  const auto set = sampler.run(program);
+  ASSERT_EQ(set.lines.size(), program.line_count());
+  for (const auto& line : set.lines) {
+    ASSERT_EQ(line.points.size(), 4u);
+    // Fractions ascend 2^-10 .. 2^-7 and sizes ascend with them.
+    for (std::size_t i = 1; i < line.points.size(); ++i) {
+      EXPECT_GT(line.points[i].fraction, line.points[i - 1].fraction);
+      EXPECT_GE(line.points[i].in_bytes.count(),
+                line.points[i - 1].in_bytes.count());
+    }
+  }
+  EXPECT_GT(set.overhead.value(), 0.0);
+}
+
+TEST(Sampler, CustomFractionsRespected) {
+  const auto program = apps::make_app("tpch-q6", small());
+  system::SystemModel system;
+  profile::SamplerConfig config;
+  config.fractions = {0.01, 0.02};
+  profile::Sampler sampler(system, config);
+  const auto set = sampler.run(program);
+  ASSERT_EQ(set.lines[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.lines[0].points[0].fraction, 0.01);
+}
+
+TEST(Sampler, SeparatesAccessFromCompute) {
+  const auto program = apps::make_app("tpch-q6", small());
+  system::SystemModel system;
+  profile::Sampler sampler(system);
+  const auto set = sampler.run(program);
+  // Line 0 reads storage: both components nonzero, and access scales
+  // linearly with the fraction while staying distinct from compute.
+  const auto& p0 = set.lines[0].points.front();
+  const auto& p3 = set.lines[0].points.back();
+  EXPECT_GT(p0.access.value(), 0.0);
+  EXPECT_GT(p0.compute.value(), 0.0);
+  EXPECT_NEAR(p3.access.value() / p0.access.value(), 8.0, 1.0);
+}
+
+}  // namespace
+}  // namespace isp

@@ -1,0 +1,268 @@
+// Tests for the extension features: host-side contention, the input-change
+// (CSE-stall) dynamic, NVMe-oF attachment, JSON report export.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/registry.hpp"
+#include "baseline/baselines.hpp"
+#include "runtime/active_runtime.hpp"
+#include "system/config.hpp"
+
+namespace isp {
+namespace {
+
+apps::AppConfig small() {
+  apps::AppConfig config;
+  config.size_factor = 0.25;
+  return config;
+}
+
+TEST(HostContention, StretchesHostLinesOnly) {
+  const auto program = apps::make_app("tpch-q6", small());
+  const auto plan = ir::Plan::host_only(program.line_count());
+
+  runtime::EngineOptions free_host;
+  free_host.monitoring = false;
+  free_host.migration = false;
+  system::SystemModel a;
+  const auto fast = runtime::run_program(a, program, plan,
+                                         codegen::ExecMode::NativeC,
+                                         free_host);
+
+  auto busy_host = free_host;
+  busy_host.host_availability = sim::AvailabilitySchedule::constant(0.5);
+  system::SystemModel b;
+  const auto slow = runtime::run_program(b, program, plan,
+                                         codegen::ExecMode::NativeC,
+                                         busy_host);
+
+  // Compute doubles; access (storage/link) is unaffected.
+  EXPECT_NEAR(slow.lines[0].compute.value(),
+              2.0 * fast.lines[0].compute.value(), 1e-6);
+  EXPECT_NEAR(slow.lines[0].access.value(), fast.lines[0].access.value(),
+              1e-9);
+}
+
+TEST(HostContention, StarvationDetected) {
+  const auto program = apps::make_app("tpch-q6", small());
+  const auto plan = ir::Plan::host_only(program.line_count());
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+  options.host_availability = sim::AvailabilitySchedule::constant(0.0);
+  system::SystemModel system;
+  EXPECT_THROW(runtime::run_program(system, program, plan,
+                                    codegen::ExecMode::NativeC, options),
+               Error);
+}
+
+TEST(HostContention, MakesOffloadMoreAttractive) {
+  // Host-only latency grows under host contention; the ActiveCpp latency
+  // (mostly CSD-resident for q6) barely moves.
+  const auto program = apps::make_app("tpch-q6", small());
+
+  system::SystemModel base_free;
+  const auto baseline_free = baseline::run_host_only(base_free, program);
+
+  runtime::RunConfig rc;
+  rc.engine.host_availability = sim::AvailabilitySchedule::constant(0.5);
+  system::SystemModel system;
+  runtime::ActiveRuntime active(system);
+  const auto busy = active.run(program, rc);
+
+  // ActiveCpp under host contention still beats even the *uncontended*
+  // baseline: the offloaded scan does not care about the host.
+  EXPECT_LT(busy.end_to_end().value(), baseline_free.total.value());
+}
+
+TEST(InputChange, StallKneeAppliesOnlyBeyondKnee) {
+  ir::CostModel model;
+  model.cycles_per_elem = 2.0;
+  model.csd_stall_knee_elems = 1000.0;
+  model.csd_stall_multiplier = 3.0;
+  EXPECT_DOUBLE_EQ(model.csd_stall_factor(500.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.csd_stall_factor(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.csd_stall_factor(2000.0), 3.0);
+  // Disabled by default.
+  ir::CostModel plain;
+  EXPECT_DOUBLE_EQ(plain.csd_stall_factor(1e12), 1.0);
+}
+
+TEST(InputChange, MonitorCatchesStalledCse) {
+  auto program = apps::make_app("tpch-q6", small());
+  auto& scan = program.line_mut(0);
+  scan.cost.csd_stall_knee_elems =
+      scan.elems_for(program.total_storage_bytes()) / 2.0;
+  scan.cost.csd_stall_multiplier = 4.0;
+
+  runtime::RunConfig rc;
+  system::SystemModel with_system;
+  runtime::ActiveRuntime with_runtime(with_system);
+  const auto with = with_runtime.run(program, rc);
+  EXPECT_GE(with.report.migrations, 1u)
+      << "the stall-induced rate collapse must trigger migration";
+
+  auto no_mig = rc;
+  no_mig.engine.migration = false;
+  system::SystemModel without_system;
+  runtime::ActiveRuntime without_runtime(without_system);
+  const auto without = without_runtime.run(program, no_mig);
+  EXPECT_LT(with.end_to_end().value(), without.end_to_end().value());
+}
+
+TEST(InputChange, StallDoesNotAffectHostRuns) {
+  auto program = apps::make_app("tpch-q6", small());
+  program.line_mut(0).cost.csd_stall_knee_elems = 1.0;
+  program.line_mut(0).cost.csd_stall_multiplier = 10.0;
+
+  const auto plan = ir::Plan::host_only(program.line_count());
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+  system::SystemModel stalled;
+  const auto with_knee = runtime::run_program(
+      stalled, program, plan, codegen::ExecMode::NativeC, options);
+
+  const auto clean_program = apps::make_app("tpch-q6", small());
+  system::SystemModel clean;
+  const auto without_knee = runtime::run_program(
+      clean, clean_program, plan, codegen::ExecMode::NativeC, options);
+  EXPECT_NEAR(with_knee.total.value(), without_knee.total.value(), 1e-9);
+}
+
+TEST(Attachment, NvmeOfConfigDiffers) {
+  const auto pcie = system::SystemConfig::paper_platform();
+  const auto fabric = system::SystemConfig::paper_platform_nvmeof();
+  EXPECT_EQ(pcie.attachment, system::AttachmentKind::PciE);
+  EXPECT_EQ(fabric.attachment, system::AttachmentKind::NvmeOF);
+  EXPECT_GT(fabric.link.base_latency, pcie.link.base_latency);
+  EXPECT_LT(fabric.bar_access_penalty, pcie.bar_access_penalty);
+  // Same bandwidths: the economics are attachment-independent.
+  EXPECT_EQ(fabric.link.bandwidth, pcie.link.bandwidth);
+}
+
+TEST(Attachment, SpeedupsNearIdenticalAcrossAttachments) {
+  const auto program = apps::make_app("tpch-q6", small());
+  double speedups[2] = {0.0, 0.0};
+  int i = 0;
+  for (const auto& config : {system::SystemConfig::paper_platform(),
+                             system::SystemConfig::paper_platform_nvmeof()}) {
+    system::SystemModel base_system(config);
+    const auto baseline = baseline::run_host_only(base_system, program);
+    system::SystemModel system(config);
+    runtime::ActiveRuntime active(system);
+    const auto result = active.run(program);
+    speedups[i++] = baseline.total.value() / result.end_to_end().value();
+  }
+  EXPECT_NEAR(speedups[0], speedups[1], 0.03);
+}
+
+TEST(ReportJson, WellFormedAndComplete) {
+  const auto program = apps::make_app("tpch-q6", small());
+  system::SystemModel system;
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(program);
+
+  const std::string json = result.report.to_json();
+  // Structural sanity without a JSON parser dependency: balanced braces and
+  // the expected keys.
+  int depth = 0;
+  int min_depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    min_depth = std::min(min_depth, depth);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_GE(min_depth, 0);
+  for (const char* key :
+       {"\"program\"", "\"total_s\"", "\"lines\"", "\"placement\"",
+        "\"migrations\"", "\"dma\"", "\"raw-input_bytes\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("tpch-q6"), std::string::npos);
+}
+
+TEST(PlanReuse, SkipsSamplingAndMatchesFreshRun) {
+  const auto program = apps::make_app("tpch-q6", small());
+
+  system::SystemModel first_system;
+  runtime::ActiveRuntime first_runtime(first_system);
+  const auto first = first_runtime.run(program);
+  EXPECT_GT(first.sampling_overhead.value(), 0.0);
+
+  runtime::RunConfig rc;
+  rc.reuse_plan = &first.plan;
+  system::SystemModel second_system;
+  runtime::ActiveRuntime second_runtime(second_system);
+  const auto second = second_runtime.run(program, rc);
+
+  EXPECT_DOUBLE_EQ(second.sampling_overhead.value(), 0.0);
+  EXPECT_EQ(second.plan.placement, first.plan.placement);
+  // Identical execution, minus the sampling phase.
+  EXPECT_NEAR(second.report.total.value(), first.report.total.value(),
+              1e-9);
+  EXPECT_LT(second.end_to_end().value(), first.end_to_end().value());
+}
+
+TEST(PlanReuse, RejectsMismatchedPlan) {
+  const auto q6 = apps::make_app("tpch-q6", small());
+  const auto kmeans = apps::make_app("kmeans", small());
+  system::SystemModel system;
+  runtime::ActiveRuntime runtime(system);
+  const auto result = runtime.run(q6);
+  runtime::RunConfig rc;
+  rc.reuse_plan = &result.plan;
+  EXPECT_THROW(runtime.run(kmeans, rc), Error);
+}
+
+TEST(WriteBack, ChargesNandProgramPath) {
+  auto program = apps::make_app("kmeans", small());
+  // Persist the final labels to flash.
+  program.line_mut(program.line_count() - 1).writes_storage = true;
+
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+
+  const auto plain = apps::make_app("kmeans", small());
+  system::SystemModel a;
+  const auto without = runtime::run_program(
+      a, plain, ir::Plan::host_only(plain.line_count()),
+      codegen::ExecMode::NativeC, options);
+  system::SystemModel b;
+  const auto with = runtime::run_program(
+      b, program, ir::Plan::host_only(program.line_count()),
+      codegen::ExecMode::NativeC, options);
+  // Labels (~66 MB at this scale) written at NAND program bandwidth.
+  EXPECT_GT(with.total.value(), without.total.value());
+  EXPECT_GT(b.csd_device().flash_array().bytes_written().count(), 0u);
+}
+
+TEST(WriteBack, CsdSideWritesSkipTheLink) {
+  auto program = apps::make_app("kmeans", small());
+  program.line_mut(program.line_count() - 1).writes_storage = true;
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+
+  ir::Plan plan = ir::Plan::host_only(program.line_count());
+  for (auto& p : plan.placement) p = ir::Placement::Csd;
+
+  system::SystemModel system;
+  const auto report = runtime::run_program(
+      system, program, plan, codegen::ExecMode::NativeC, options);
+  // Written on the device; the link only carries the final in-memory copy.
+  EXPECT_GT(system.csd_device().flash_array().bytes_written().count(), 0u);
+}
+
+TEST(ProgramMut, LineMutBoundsChecked) {
+  auto program = apps::make_app("tpch-q6", small());
+  EXPECT_NO_THROW(static_cast<void>(program.line_mut(0)));
+  EXPECT_THROW(static_cast<void>(program.line_mut(program.line_count())),
+               Error);
+}
+
+}  // namespace
+}  // namespace isp

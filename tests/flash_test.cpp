@@ -1,0 +1,176 @@
+// Unit + property tests: NAND timing, the flash array, and the FTL.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "flash/flash_array.hpp"
+#include "flash/ftl.hpp"
+#include "flash/nand.hpp"
+
+namespace isp::flash {
+namespace {
+
+TEST(Nand, DefaultGeometryMatchesPaperBandwidth) {
+  // §IV-A: 9 GB/s effective internal read bandwidth.
+  const auto bw = effective_read_bandwidth(NandGeometry{}, NandTiming{});
+  EXPECT_NEAR(bw.value() / 1e9, 9.0, 0.3);
+}
+
+TEST(Nand, WriteBandwidthBelowRead) {
+  const auto read = effective_read_bandwidth(NandGeometry{}, NandTiming{});
+  const auto write = effective_write_bandwidth(NandGeometry{}, NandTiming{});
+  EXPECT_LT(write.value(), read.value());
+  EXPECT_GT(write.value(), 0.0);
+}
+
+TEST(Nand, ChannelCeilingBinds) {
+  NandGeometry g;
+  g.channels = 1;  // single channel: 1.2 GB/s ceiling
+  const auto bw = effective_read_bandwidth(g, NandTiming{});
+  EXPECT_NEAR(bw.value() / 1e9, 1.2, 0.2);
+}
+
+TEST(FlashArray, BulkReadTime) {
+  FlashArray array;
+  // 6.9 GB at ~9 GB/s -> ~0.77 s.
+  const Seconds t = array.read_seconds(gigabytes(6.9));
+  EXPECT_NEAR(t.value(), 0.77, 0.05);
+  EXPECT_DOUBLE_EQ(array.read_seconds(Bytes{0}).value(), 0.0);
+}
+
+TEST(FlashArray, AvailabilityDeratesReads) {
+  FlashArray array;
+  array.set_availability(sim::AvailabilitySchedule::constant(0.5));
+  const SimTime done = array.read_finish(SimTime{0.0}, gigabytes(6.9));
+  EXPECT_NEAR(done.seconds(), 2.0 * 0.77, 0.1);
+}
+
+TEST(FlashArray, StatsAccumulate) {
+  FlashArray array;
+  array.note_read(Bytes{100});
+  array.note_write(Bytes{50});
+  EXPECT_EQ(array.bytes_read().count(), 100u);
+  EXPECT_EQ(array.bytes_written().count(), 50u);
+  array.reset_stats();
+  EXPECT_EQ(array.bytes_read().count(), 0u);
+}
+
+FtlConfig small_ftl() {
+  FtlConfig config;
+  config.geometry.channels = 1;
+  config.geometry.dies_per_channel = 1;
+  config.geometry.planes_per_die = 1;
+  config.geometry.blocks_per_die = 24;
+  config.geometry.pages_per_block = 8;
+  config.overprovision = 0.3;
+  return config;
+}
+
+TEST(Ftl, TranslateAfterWrite) {
+  Ftl ftl(small_ftl());
+  EXPECT_FALSE(ftl.translate(0).has_value());
+  ftl.write(0);
+  ASSERT_TRUE(ftl.translate(0).has_value());
+  ftl.check_invariants();
+}
+
+TEST(Ftl, OverwriteMovesPage) {
+  Ftl ftl(small_ftl());
+  ftl.write(3);
+  const auto first = ftl.translate(3);
+  ftl.write(3);
+  const auto second = ftl.translate(3);
+  ASSERT_TRUE(first && second);
+  EXPECT_NE(*first, *second);
+  ftl.check_invariants();
+}
+
+TEST(Ftl, TrimDropsMapping) {
+  Ftl ftl(small_ftl());
+  ftl.write(5);
+  ftl.trim(5);
+  EXPECT_FALSE(ftl.translate(5).has_value());
+  ftl.check_invariants();
+  // Trim of an unwritten page is a no-op.
+  EXPECT_NO_THROW(ftl.trim(6));
+}
+
+TEST(Ftl, RejectsOutOfRange) {
+  Ftl ftl(small_ftl());
+  EXPECT_THROW(ftl.write(ftl.logical_pages()), Error);
+  EXPECT_THROW(static_cast<void>(ftl.translate(ftl.logical_pages())),
+               Error);
+}
+
+TEST(Ftl, OverprovisionHidesCapacity) {
+  const Ftl ftl(small_ftl());
+  const auto physical = small_ftl().geometry.total_pages();
+  EXPECT_LT(ftl.logical_pages(), physical);
+  EXPECT_GT(ftl.logical_pages(), physical / 2);
+}
+
+TEST(Ftl, RejectsInfeasibleWatermarks) {
+  FtlConfig config = small_ftl();
+  config.overprovision = 0.01;  // logical blocks leave no room for GC
+  EXPECT_THROW(Ftl{config}, Error);
+}
+
+TEST(Ftl, SequentialFillNeverStarves) {
+  Ftl ftl(small_ftl());
+  for (Lpn lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
+    ftl.write(lpn);
+  }
+  ftl.check_invariants();
+  // Every page still resolves.
+  for (Lpn lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
+    EXPECT_TRUE(ftl.translate(lpn).has_value());
+  }
+}
+
+TEST(Ftl, SteadyStateOverwriteTriggersGc) {
+  Ftl ftl(small_ftl());
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    ftl.write(rng.uniform_u64(0, ftl.logical_pages() - 1));
+  }
+  EXPECT_GT(ftl.stats().gc_invocations, 0u);
+  EXPECT_GT(ftl.stats().erases, 0u);
+  EXPECT_GE(ftl.stats().write_amplification(), 1.0);
+  EXPECT_GE(ftl.gc_pressure(), 0.0);
+  EXPECT_LT(ftl.gc_pressure(), 1.0);
+  ftl.check_invariants();
+}
+
+// Property: invariants hold after arbitrary interleavings of write/trim, and
+// distinct logical pages never alias the same physical page.
+class FtlChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FtlChurn, InvariantsUnderRandomOps) {
+  Ftl ftl(small_ftl());
+  Rng rng(GetParam());
+  for (int i = 0; i < 3000; ++i) {
+    const Lpn lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
+    if (rng.next_double() < 0.85) {
+      ftl.write(lpn);
+    } else {
+      ftl.trim(lpn);
+    }
+  }
+  ftl.check_invariants();
+
+  std::set<Ppn> seen;
+  for (Lpn lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
+    if (const auto ppn = ftl.translate(lpn)) {
+      EXPECT_TRUE(seen.insert(*ppn).second)
+          << "two logical pages share ppn " << *ppn;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtlChurn,
+                         ::testing::Values(11, 23, 37, 41, 53, 67, 79, 97));
+
+}  // namespace
+}  // namespace isp::flash

@@ -1,0 +1,109 @@
+// Unit tests: link timing model and DMA engine statistics.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+#include "interconnect/dma.hpp"
+#include "interconnect/link.hpp"
+
+namespace isp::interconnect {
+namespace {
+
+LinkConfig simple_config() {
+  LinkConfig config;
+  config.bandwidth = gb_per_s(5.0);
+  config.base_latency = Seconds{10e-6};
+  config.max_payload = Bytes{128 * 1024};
+  config.per_chunk_overhead = Seconds{1e-6};
+  return config;
+}
+
+TEST(Link, ZeroBytesIsFree) {
+  Link link(simple_config());
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(Bytes{0}).value(), 0.0);
+}
+
+TEST(Link, LargeTransferApproachesBandwidth) {
+  Link link(simple_config());
+  const Seconds t = link.transfer_seconds(gigabytes(5.0));
+  // 1 s of pure bandwidth plus ~38k chunk overheads (38 ms) and latency.
+  EXPECT_GT(t.value(), 1.0);
+  EXPECT_LT(t.value(), 1.1);
+}
+
+TEST(Link, SmallTransferIsLatencyDominated) {
+  Link link(simple_config());
+  const Seconds t = link.transfer_seconds(Bytes{64});
+  EXPECT_GE(t.value(), 10e-6);
+  EXPECT_LT(t.value(), 20e-6);
+}
+
+TEST(Link, MonotoneInSize) {
+  Link link(simple_config());
+  Seconds prev = Seconds::zero();
+  for (std::uint64_t bytes = 1; bytes < (1ULL << 30); bytes <<= 4) {
+    const Seconds t = link.transfer_seconds(Bytes{bytes});
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Link, AvailabilityStretchesTransfers) {
+  Link link(simple_config());
+  link.set_availability(sim::AvailabilitySchedule::constant(0.5));
+  const SimTime done = link.transfer_finish(SimTime{0.0}, gigabytes(5.0));
+  EXPECT_GT(done.seconds(), 2.0);
+  EXPECT_LT(done.seconds(), 2.2);
+}
+
+TEST(Link, RejectsBadConfig) {
+  LinkConfig config = simple_config();
+  config.bandwidth = BytesPerSecond{0.0};
+  EXPECT_THROW(Link{config}, Error);
+  config = simple_config();
+  config.max_payload = Bytes{0};
+  EXPECT_THROW(Link{config}, Error);
+}
+
+TEST(Dma, RecordsStatsByKind) {
+  Link link(simple_config());
+  DmaEngine dma(link);
+  dma.transfer(SimTime{0.0}, Bytes{1000}, TransferKind::RawInput);
+  dma.transfer(SimTime{0.0}, Bytes{500}, TransferKind::RawInput);
+  dma.transfer(SimTime{0.0}, Bytes{42}, TransferKind::MigrationState);
+
+  const auto& stats = dma.stats();
+  EXPECT_EQ(stats.bytes[static_cast<int>(TransferKind::RawInput)].count(),
+            1500u);
+  EXPECT_EQ(stats.transfers[static_cast<int>(TransferKind::RawInput)], 2u);
+  EXPECT_EQ(
+      stats.bytes[static_cast<int>(TransferKind::MigrationState)].count(),
+      42u);
+  EXPECT_EQ(stats.total_bytes().count(), 1542u);
+  EXPECT_EQ(link.bytes_moved().count(), 1542u);
+
+  dma.reset_stats();
+  EXPECT_EQ(dma.stats().total_bytes().count(), 0u);
+}
+
+TEST(Dma, ScatterGatherAggregates) {
+  Link link(simple_config());
+  DmaEngine dma(link);
+  const std::array<Bytes, 3> segments = {Bytes{100}, Bytes{200}, Bytes{300}};
+  dma.transfer_sg(SimTime{0.0}, segments, TransferKind::Intermediate);
+  EXPECT_EQ(
+      dma.stats().bytes[static_cast<int>(TransferKind::Intermediate)].count(),
+      600u);
+  EXPECT_EQ(dma.stats().transfers[static_cast<int>(TransferKind::Intermediate)],
+            1u);
+}
+
+TEST(Dma, TransferKindNames) {
+  EXPECT_EQ(to_string(TransferKind::RawInput), "raw-input");
+  EXPECT_EQ(to_string(TransferKind::ProcessedOutput), "processed-output");
+  EXPECT_EQ(to_string(TransferKind::CodeImage), "code-image");
+}
+
+}  // namespace
+}  // namespace isp::interconnect

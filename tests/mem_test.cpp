@@ -1,0 +1,170 @@
+// Unit + property tests: address space, allocator, data objects.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mem/address_space.hpp"
+#include "mem/allocator.hpp"
+#include "mem/data_object.hpp"
+
+namespace isp::mem {
+namespace {
+
+TEST(AddressSpace, StandardLayoutResolvesKinds) {
+  const auto space = AddressSpace::standard_layout(1_GiB, 512_MiB);
+  EXPECT_EQ(space.kind_of(0), MemKind::HostDram);
+  EXPECT_EQ(space.kind_of((1_GiB).count() - 1), MemKind::HostDram);
+  EXPECT_EQ(space.kind_of((1_GiB).count()), MemKind::DeviceDram);
+  EXPECT_EQ(space.kind_of((1_GiB).count() + (512_MiB).count()),
+            MemKind::DeviceBar);
+  EXPECT_FALSE(
+      space.kind_of((1_GiB).count() + 2 * (512_MiB).count()).has_value());
+}
+
+TEST(AddressSpace, RejectsOverlap) {
+  AddressSpace space;
+  space.map(MemKind::HostDram, 0, Bytes{1000});
+  EXPECT_THROW(space.map(MemKind::DeviceDram, 500, Bytes{1000}), Error);
+  EXPECT_NO_THROW(space.map(MemKind::DeviceDram, 1000, Bytes{1000}));
+}
+
+TEST(AddressSpace, WindowLookup) {
+  const auto space = AddressSpace::standard_layout(1_GiB, 512_MiB);
+  const auto* host = space.window(MemKind::HostDram);
+  ASSERT_NE(host, nullptr);
+  EXPECT_EQ(host->size.count(), (1_GiB).count());
+  EXPECT_EQ(space.window(MemKind::DeviceBar)->size.count(), (512_MiB).count());
+}
+
+TEST(Allocator, FirstFitAndAlignment) {
+  const Window window{MemKind::HostDram, 4096, 1_MiB};
+  Allocator allocator(window);
+  const auto a = allocator.allocate(Bytes{100}, Bytes{64});
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->address % 64, 0u);
+  EXPECT_GE(a->address, 4096u);
+  const auto b = allocator.allocate(Bytes{100}, Bytes{256});
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->address % 256, 0u);
+  EXPECT_GE(b->address, a->address + 100);
+  allocator.check_invariants();
+}
+
+TEST(Allocator, ExhaustionReturnsNullopt) {
+  const Window window{MemKind::HostDram, 0, Bytes{1024}};
+  Allocator allocator(window);
+  EXPECT_TRUE(allocator.allocate(Bytes{512}, Bytes{1}));
+  EXPECT_TRUE(allocator.allocate(Bytes{512}, Bytes{1}));
+  EXPECT_FALSE(allocator.allocate(Bytes{1}, Bytes{1}));
+}
+
+TEST(Allocator, ReleaseCoalesces) {
+  const Window window{MemKind::HostDram, 0, Bytes{4096}};
+  Allocator allocator(window);
+  const auto a = allocator.allocate(Bytes{1024}, Bytes{1});
+  const auto b = allocator.allocate(Bytes{1024}, Bytes{1});
+  const auto c = allocator.allocate(Bytes{1024}, Bytes{1});
+  ASSERT_TRUE(a && b && c);
+  allocator.release(*a);
+  allocator.release(*c);
+  allocator.check_invariants();
+  // Freeing b merges everything back into one block.
+  allocator.release(*b);
+  allocator.check_invariants();
+  EXPECT_EQ(allocator.largest_free_block().count(), 4096u);
+}
+
+TEST(Allocator, DoubleFreeDetected) {
+  const Window window{MemKind::HostDram, 0, Bytes{4096}};
+  Allocator allocator(window);
+  const auto a = allocator.allocate(Bytes{128}, Bytes{1});
+  ASSERT_TRUE(a);
+  allocator.release(*a);
+  EXPECT_THROW(allocator.release(*a), Error);
+}
+
+TEST(Allocator, RejectsZeroAndForeign) {
+  const Window window{MemKind::HostDram, 0, Bytes{4096}};
+  Allocator allocator(window);
+  EXPECT_THROW(allocator.allocate(Bytes{0}), Error);
+  EXPECT_THROW(allocator.allocate(Bytes{64}, Bytes{3}), Error);
+  Allocation foreign{0, Bytes{64}, MemKind::DeviceDram};
+  EXPECT_THROW(allocator.release(foreign), Error);
+}
+
+class AllocatorChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorChurn, NoOverlapNoLeak) {
+  const Window window{MemKind::HostDram, 1 << 20, 8_MiB};
+  Allocator allocator(window);
+  Rng rng(GetParam());
+  std::vector<Allocation> live;
+
+  for (int i = 0; i < 2000; ++i) {
+    if (live.empty() || rng.next_double() < 0.6) {
+      const auto alloc =
+          allocator.allocate(Bytes{rng.uniform_u64(1, 32 * 1024)});
+      if (alloc) {
+        // No overlap with any live allocation.
+        for (const auto& other : live) {
+          const bool disjoint =
+              alloc->address + alloc->size.count() <= other.address ||
+              other.address + other.size.count() <= alloc->address;
+          ASSERT_TRUE(disjoint);
+        }
+        live.push_back(*alloc);
+      }
+    } else {
+      const auto idx = rng.uniform_u64(0, live.size() - 1);
+      allocator.release(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (i % 100 == 0) allocator.check_invariants();
+  }
+  for (const auto& a : live) allocator.release(a);
+  allocator.check_invariants();
+  EXPECT_EQ(allocator.free_bytes().count(), (8_MiB).count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorChurn,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(PlaceNearConsumer, Policy) {
+  EXPECT_EQ(place_near_consumer(true), MemKind::DeviceDram);
+  EXPECT_EQ(place_near_consumer(false), MemKind::HostDram);
+}
+
+TEST(Buffer, TypedViews) {
+  Buffer buffer;
+  buffer.resize_elems<double>(4);
+  EXPECT_EQ(buffer.size_bytes(), 32u);
+  EXPECT_EQ(buffer.size_as<double>(), 4u);
+  auto view = buffer.as<double>();
+  view[0] = 1.5;
+  view[3] = -2.5;
+  const auto& const_buffer = buffer;
+  EXPECT_DOUBLE_EQ(const_buffer.as<double>()[0], 1.5);
+  EXPECT_DOUBLE_EQ(const_buffer.as<double>()[3], -2.5);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(DataObject, SyncVirtualSize) {
+  DataObject obj;
+  obj.name = "x";
+  obj.physical.resize_elems<float>(1000);  // 4000 physical bytes
+  obj.sync_virtual_size(128.0);
+  EXPECT_EQ(obj.virtual_bytes.count(), 512000u);
+}
+
+TEST(DataObject, LocationNames) {
+  EXPECT_EQ(location_name(Location::Storage), "storage");
+  EXPECT_EQ(location_name(Location::HostDram), "host-dram");
+  EXPECT_EQ(location_name(Location::DeviceDram), "device-dram");
+}
+
+}  // namespace
+}  // namespace isp::mem

@@ -1,0 +1,225 @@
+// Unit tests: NVMe rings, controller command processing, ActivePy queues.
+#include <gtest/gtest.h>
+
+#include "flash/flash_array.hpp"
+#include "flash/ftl.hpp"
+#include "nvme/call_queue.hpp"
+#include "nvme/controller.hpp"
+#include "nvme/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace isp::nvme {
+namespace {
+
+TEST(Ring, EmptyAndFullSemantics) {
+  Ring<int> ring(4);  // 3 usable slots (NVMe: full at tail+1 == head)
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.full());
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_TRUE(ring.push(3));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.push(4));
+  EXPECT_EQ(ring.size(), 3u);
+}
+
+TEST(Ring, FifoOrderAcrossWrap) {
+  Ring<int> ring(4);
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 10; ++round) {
+    while (ring.push(next_in)) ++next_in;
+    while (const auto v = ring.pop()) {
+      EXPECT_EQ(*v, next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+  EXPECT_GT(next_in, 20);
+}
+
+TEST(Ring, PopEmptyReturnsNullopt) {
+  Ring<int> ring(4);
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(Ring, MinimumCapacityEnforced) {
+  EXPECT_THROW(Ring<int>{1}, Error);
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : array_(),
+        ftl_(make_ftl_config()),
+        controller_(simulator_, array_, &ftl_),
+        qp_(1, 16) {}
+
+  static flash::FtlConfig make_ftl_config() {
+    flash::FtlConfig config;
+    config.geometry.channels = 1;
+    config.geometry.dies_per_channel = 1;
+    config.geometry.planes_per_die = 1;
+    config.geometry.blocks_per_die = 24;
+    config.geometry.pages_per_block = 8;
+    config.overprovision = 0.3;
+    return config;
+  }
+
+  sim::Simulator simulator_;
+  flash::FlashArray array_;
+  flash::Ftl ftl_;
+  Controller controller_;
+  QueuePair qp_;
+};
+
+TEST_F(ControllerTest, WriteThenReadCompletes) {
+  qp_.sq().push(SubmissionEntry{.opcode = Opcode::Write,
+                                .command_id = 1,
+                                .lba = 0,
+                                .length_pages = 4});
+  qp_.sq().push(SubmissionEntry{.opcode = Opcode::Read,
+                                .command_id = 2,
+                                .lba = 0,
+                                .length_pages = 4});
+  controller_.ring_doorbell(qp_);
+  simulator_.run();
+
+  const auto c1 = qp_.cq().pop();
+  const auto c2 = qp_.cq().pop();
+  ASSERT_TRUE(c1 && c2);
+  EXPECT_EQ(c1->command_id, 1);
+  EXPECT_EQ(c1->status, Status::Success);
+  EXPECT_EQ(c2->command_id, 2);
+  EXPECT_EQ(c2->status, Status::Success);
+  EXPECT_EQ(controller_.commands_processed(), 2u);
+  EXPECT_GT(simulator_.now().seconds(), 0.0);
+}
+
+TEST_F(ControllerTest, ReadOfUnmappedPageFails) {
+  qp_.sq().push(SubmissionEntry{.opcode = Opcode::Read,
+                                .command_id = 7,
+                                .lba = 3,
+                                .length_pages = 1});
+  controller_.ring_doorbell(qp_);
+  simulator_.run();
+  const auto completion = qp_.cq().pop();
+  ASSERT_TRUE(completion);
+  EXPECT_EQ(completion->status, Status::Error);
+}
+
+TEST_F(ControllerTest, ExecHookHandlesCsdCommands) {
+  Seconds seen_service = Seconds::zero();
+  controller_.set_exec_hook([&](const SubmissionEntry& entry) {
+    EXPECT_EQ(entry.arg_address, 0xdead0000u);
+    seen_service = Seconds{0.25};
+    return seen_service;
+  });
+  qp_.sq().push(SubmissionEntry{.opcode = Opcode::CsdExec,
+                                .command_id = 9,
+                                .arg_address = 0xdead0000});
+  controller_.ring_doorbell(qp_);
+  simulator_.run();
+  const auto completion = qp_.cq().pop();
+  ASSERT_TRUE(completion);
+  EXPECT_EQ(completion->command_id, 9);
+  // Completion arrives no earlier than the execution service time.
+  EXPECT_GE(simulator_.now().seconds(), 0.25);
+}
+
+TEST_F(ControllerTest, ExecWithoutHookThrows) {
+  qp_.sq().push(SubmissionEntry{.opcode = Opcode::CsdExec, .command_id = 3});
+  controller_.ring_doorbell(qp_);
+  EXPECT_THROW(simulator_.run(), Error);
+}
+
+TEST_F(ControllerTest, AbortAcknowledgedQuickly) {
+  qp_.sq().push(SubmissionEntry{.opcode = Opcode::CsdAbort, .command_id = 4});
+  controller_.ring_doorbell(qp_);
+  simulator_.run();
+  const auto completion = qp_.cq().pop();
+  ASSERT_TRUE(completion);
+  EXPECT_EQ(completion->command_id, 4);
+  EXPECT_LT(simulator_.now().seconds(), 1e-3);
+}
+
+TEST(CallQueue, SubmitFetchRoundTrip) {
+  CallQueue queue(8);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_TRUE(queue.submit(CallEntry{.function_id = 1, .first_line = 4}));
+  const auto entry = queue.fetch();
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->function_id, 1u);
+  EXPECT_EQ(entry->first_line, 4u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST_F(ControllerTest, RoundRobinArbitrationIsFair) {
+  QueuePair second(2, 16);
+  // Seed both queues with writes to distinct logical pages.
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    qp_.sq().push(SubmissionEntry{.opcode = Opcode::Write,
+                                  .command_id = static_cast<std::uint16_t>(
+                                      100 + i),
+                                  .lba = i,
+                                  .length_pages = 1});
+    second.sq().push(SubmissionEntry{.opcode = Opcode::Write,
+                                     .command_id = static_cast<std::uint16_t>(
+                                         200 + i),
+                                     .lba = static_cast<std::uint64_t>(
+                                         32 + i),
+                                     .length_pages = 1});
+  }
+  controller_.ring_doorbell(qp_);
+  controller_.ring_doorbell(second);
+  EXPECT_EQ(controller_.queues_registered(), 2u);
+  simulator_.run();
+
+  // Both queues fully served.
+  std::size_t first_done = 0;
+  while (qp_.cq().pop()) ++first_done;
+  std::size_t second_done = 0;
+  while (second.cq().pop()) ++second_done;
+  EXPECT_EQ(first_done, 4u);
+  EXPECT_EQ(second_done, 4u);
+  EXPECT_EQ(controller_.commands_processed(), 8u);
+}
+
+TEST_F(ControllerTest, LateQueueJoinsTheRotation) {
+  qp_.sq().push(SubmissionEntry{.opcode = Opcode::Write,
+                                .command_id = 1,
+                                .lba = 0,
+                                .length_pages = 1});
+  controller_.ring_doorbell(qp_);
+  simulator_.run();
+  ASSERT_TRUE(qp_.cq().pop().has_value());
+
+  QueuePair late(3, 16);
+  late.sq().push(SubmissionEntry{.opcode = Opcode::Write,
+                                 .command_id = 2,
+                                 .lba = 5,
+                                 .length_pages = 1});
+  controller_.ring_doorbell(late);
+  simulator_.run();
+  const auto completion = late.cq().pop();
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_EQ(completion->command_id, 2);
+}
+
+TEST(StatusQueue, DropsOldestWhenFull) {
+  StatusQueue queue(4);  // 3 usable slots
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    StatusEntry e;
+    e.line = i;
+    queue.post(e);
+  }
+  EXPECT_EQ(queue.posted(), 10u);
+  EXPECT_GT(queue.dropped(), 0u);
+  // The freshest updates survive.
+  std::uint32_t last = 0;
+  while (const auto e = queue.poll()) last = e->line;
+  EXPECT_EQ(last, 9u);
+}
+
+}  // namespace
+}  // namespace isp::nvme

