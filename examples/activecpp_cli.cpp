@@ -19,6 +19,10 @@
 //   --nvmeof             attach the CSD over NVMe-oF/RDMA instead of PCIe
 //   --size-factor F      scale the Table-I dataset (default 1.0)
 //   --seed N             dataset seed
+//   --fault-rate F       inject faults at every device-stack site with
+//                        probability F per opportunity (0 = off, bit-for-bit
+//                        identical to a run without the fault layer)
+//   --fault-seed N       seed of the deterministic fault schedule
 //   --json               print the execution report as JSON
 //   --trace PATH         write a chrome://tracing timeline
 //   --list               list registered workloads and exit
@@ -47,6 +51,8 @@ struct CliOptions {
   bool nvmeof = false;
   double size_factor = 1.0;
   std::uint64_t seed = 42;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0;
   bool json = false;
   std::string trace_path;
 };
@@ -104,6 +110,10 @@ CliOptions parse(int argc, char** argv) {
       options.size_factor = std::atof(value(i));
     } else if (arg == "--seed") {
       options.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (arg == "--fault-rate") {
+      options.fault_rate = std::atof(value(i));
+    } else if (arg == "--fault-seed") {
+      options.fault_seed = std::strtoull(value(i), nullptr, 10);
     } else if (arg == "--json") {
       options.json = true;
     } else if (arg == "--trace") {
@@ -153,6 +163,8 @@ int main(int argc, char** argv) {
     rc.mode = options.mode;
     rc.engine.migration = options.migration;
     rc.engine.monitoring = options.monitoring;
+    rc.engine.fault.seed = options.fault_seed;
+    rc.engine.fault.set_rate_all(options.fault_rate);
     rc.engine.cse_availability =
         sim::AvailabilitySchedule::constant(options.availability);
     rc.engine.host_availability =

@@ -1,0 +1,68 @@
+// Typed, non-throwing operation status for device fault paths.
+//
+// The library's precondition violations throw isp::Error (error.hpp), but
+// *expected* device failures — an uncorrectable ECC read, an NVMe command
+// that exhausted its retries, a crashed CSE core — are part of normal
+// operation under fault injection and must never unwind the stack: the
+// recovery ladder (retry → escalate → degrade) handles them.  Status is the
+// typed result those paths return instead of hanging or throwing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace isp {
+
+enum class StatusCode : std::uint8_t {
+  Ok = 0,
+  Timeout,         // command-level timeout (NVMe)
+  DataError,       // uncorrectable ECC / media failure
+  DeviceCrash,     // CSE core crash / firmware failure
+  RetryExhausted,  // bounded retry policy ran out of attempts
+  Cancelled,       // dropped by the issuer before completion
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok:
+      return "ok";
+    case StatusCode::Timeout:
+      return "timeout";
+    case StatusCode::DataError:
+      return "data-error";
+    case StatusCode::DeviceCrash:
+      return "device-crash";
+    case StatusCode::RetryExhausted:
+      return "retry-exhausted";
+    case StatusCode::Cancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+/// Value-type status: code plus the retry attempts consumed reaching it.
+class Status {
+ public:
+  constexpr Status() = default;
+  constexpr explicit Status(StatusCode code, std::uint32_t attempts = 0)
+      : code_(code), attempts_(attempts) {}
+
+  static constexpr Status ok() { return Status{}; }
+
+  [[nodiscard]] constexpr bool is_ok() const {
+    return code_ == StatusCode::Ok;
+  }
+  [[nodiscard]] constexpr StatusCode code() const { return code_; }
+  [[nodiscard]] constexpr std::uint32_t attempts() const { return attempts_; }
+  [[nodiscard]] constexpr std::string_view message() const {
+    return to_string(code_);
+  }
+
+  constexpr bool operator==(const Status&) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::Ok;
+  std::uint32_t attempts_ = 0;
+};
+
+}  // namespace isp

@@ -47,9 +47,41 @@ void Firmware::poll() {
 
 void Firmware::run_chunk(nvme::CallEntry entry, Seconds chunk_time,
                          std::uint32_t chunk, double instr_per_chunk) {
+  Seconds crash_penalty = Seconds::zero();
+  if (injector_ != nullptr) {
+    // A crash costs the core restart plus the chunk's lost progress; the
+    // retry policy bounds how many times the firmware re-dispatches.
+    const auto op = injector_->attempt(
+        fault::Site::CseCrash, simulator_->now(),
+        injector_->config().cse_restart + chunk_time);
+    crash_penalty = op.penalty;
+    if (op.exhausted) {
+      // The core will not hold this function: abandon it, flag the host
+      // through the high-priority status path so the runtime pulls the
+      // line back (degradation ladder, final rung), and keep polling.
+      simulator_->schedule(crash_penalty, [this, entry, chunk, op] {
+        nvme::StatusEntry status;
+        status.line = entry.first_line;
+        status.chunk = chunk;
+        status.chunks_total = config_.chunks;
+        status.instructions_retired = instructions_retired_;
+        status.timestamp = simulator_->now();
+        status.high_priority_request = true;
+        status_->post(status);
+        busy_ = false;
+        ++functions_failed_;
+        if (on_failure_) {
+          on_failure_(entry,
+                      isp::Status{StatusCode::DeviceCrash, op.faults});
+        }
+        simulator_->schedule(config_.poll_interval, [this] { poll(); });
+      });
+      return;
+    }
+  }
   // Execute one chunk under the CSE's availability, then report.
-  const auto done =
-      cse_->availability().finish_time(simulator_->now(), chunk_time);
+  const auto done = cse_->availability().finish_time(
+      simulator_->now() + crash_penalty, chunk_time);
   ISP_CHECK(done < SimTime::infinity(), "CSE starved during firmware chunk");
   simulator_->schedule_at(done, [this, entry, chunk_time, chunk,
                                  instr_per_chunk] {

@@ -19,7 +19,9 @@
 
 #include <functional>
 
+#include "common/status.hpp"
 #include "csd/cse.hpp"
+#include "fault/fault.hpp"
 #include "nvme/call_queue.hpp"
 #include "sim/simulator.hpp"
 
@@ -38,6 +40,9 @@ class Firmware {
   /// CSE; `on_complete` fires when the function finishes.
   using ServiceTime = std::function<Seconds(const nvme::CallEntry&)>;
   using Completion = std::function<void(const nvme::CallEntry&)>;
+  /// Fires when a function is abandoned after the crash-retry policy is
+  /// exhausted (status carries StatusCode::DeviceCrash + attempts).
+  using Failure = std::function<void(const nvme::CallEntry&, isp::Status)>;
 
   Firmware(sim::Simulator& simulator, Cse& cse, nvme::CallQueue& calls,
            nvme::StatusQueue& status, FirmwareConfig config = {});
@@ -52,9 +57,25 @@ class Firmware {
   /// host to take work back (§III-D case 1).
   void raise_high_priority() { high_priority_ = true; }
 
+  /// Attach a fault injector (nullptr detaches; not owned).  Each chunk
+  /// then passes through the CseCrash site: a crashed core restarts (core
+  /// reset + the lost chunk re-run) with exponential backoff; when retries
+  /// are exhausted the function is abandoned, a high-priority status update
+  /// asks the host to pull the work back, and `on_failure` fires with a
+  /// typed DeviceCrash status — the loop keeps polling, it never hangs.
+  void set_injector(fault::Injector* injector) { injector_ = injector; }
+
+  /// Install the exhausted-crash callback (optional; see set_injector).
+  void set_on_failure(Failure on_failure) {
+    on_failure_ = std::move(on_failure);
+  }
+
   [[nodiscard]] bool busy() const { return busy_; }
   [[nodiscard]] std::uint64_t functions_executed() const {
     return functions_executed_;
+  }
+  [[nodiscard]] std::uint64_t functions_failed() const {
+    return functions_failed_;
   }
 
  private:
@@ -69,11 +90,14 @@ class Firmware {
   FirmwareConfig config_;
   ServiceTime service_time_;
   Completion on_complete_;
+  Failure on_failure_;
   bool running_ = false;
   bool busy_ = false;
   bool high_priority_ = false;
   double instructions_retired_ = 0.0;
   std::uint64_t functions_executed_ = 0;
+  std::uint64_t functions_failed_ = 0;
+  fault::Injector* injector_ = nullptr;
 };
 
 }  // namespace isp::csd

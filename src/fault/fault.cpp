@@ -1,0 +1,134 @@
+#include "fault/fault.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace isp::fault {
+
+std::string_view to_string(Site site) {
+  switch (site) {
+    case Site::NvmeCommand:
+      return "nvme-command";
+    case Site::FlashReadEcc:
+      return "flash-read-ecc";
+    case Site::FlashProgram:
+      return "flash-program";
+    case Site::DmaTransfer:
+      return "dma-transfer";
+    case Site::CseCrash:
+      return "cse-crash";
+    case Site::StatusLoss:
+      return "status-loss";
+    case Site::kCount:
+      break;
+  }
+  return "?";
+}
+
+Seconds RetryPolicy::backoff_before(std::uint32_t retry) const {
+  ISP_DCHECK(retry >= 1, "backoff is defined for retries, not the first try");
+  return initial_backoff *
+         std::pow(backoff_multiplier, static_cast<double>(retry - 1));
+}
+
+void FaultConfig::set_rate(Site site, double r) {
+  ISP_CHECK(r >= 0.0 && r <= 1.0, "fault rate must be in [0, 1]");
+  sites[static_cast<std::size_t>(site)].rate = r;
+}
+
+void FaultConfig::set_rate_all(double r) {
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    set_rate(static_cast<Site>(s), r);
+  }
+}
+
+double FaultConfig::rate(Site site) const {
+  return sites[static_cast<std::size_t>(site)].rate;
+}
+
+bool FaultConfig::enabled() const {
+  for (const auto& site : sites) {
+    if (site.rate > 0.0) return true;
+  }
+  return false;
+}
+
+FaultPlan::FaultPlan(FaultConfig config) : config_(config) {
+  ISP_CHECK(config_.retry.max_attempts >= 1,
+            "retry policy needs at least one attempt");
+  enabled_ = config_.enabled();
+  // One independent hash stream per site: the schedule at a site does not
+  // shift when another site consumes opportunities.
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    streams_[s] = splitmix64(config_.seed ^ (0xA24BAED4963EE407ULL * (s + 1)));
+  }
+}
+
+bool FaultPlan::fires(Site site) {
+  const auto s = static_cast<std::size_t>(site);
+  const std::uint64_t n = counters_[s]++;
+  const SiteConfig& sc = config_.sites[s];
+  if (sc.rate <= 0.0) return false;
+  if (n < sc.skip_first) return false;
+  return hash_unit(streams_[s] ^ splitmix64(n)) < sc.rate;
+}
+
+std::uint64_t FaultSummary::total_injected() const {
+  std::uint64_t total = 0;
+  for (const auto n : injected) total += n;
+  return total;
+}
+
+std::uint64_t FaultSummary::total_exhausted() const {
+  std::uint64_t total = 0;
+  for (const auto n : exhausted) total += n;
+  return total;
+}
+
+OpResult Injector::attempt(Site site, SimTime now, Seconds retry_cost,
+                           Seconds escalation_cost) {
+  OpResult result;
+  if (!plan_.enabled() || plan_.config().rate(site) <= 0.0) return result;
+
+  const RetryPolicy& policy = plan_.config().retry;
+  for (std::uint32_t try_no = 0; try_no < policy.max_attempts; ++try_no) {
+    if (!plan_.fires(site)) break;  // this try succeeds
+    ++result.faults;
+    // The failed try costs its site-specific price, and the issuer backs
+    // off (exponentially, in virtual time) before the next one.
+    result.penalty += retry_cost + policy.backoff_before(result.faults);
+    if (try_no + 1 == policy.max_attempts) {
+      result.exhausted = true;
+      result.penalty += escalation_cost;
+    }
+  }
+  note_outcome(site, now, result.faults, result.penalty, result.exhausted);
+  return result;
+}
+
+bool Injector::lost(Site site, SimTime now) {
+  if (!plan_.enabled()) return false;
+  if (!plan_.fires(site)) return false;
+  note_outcome(site, now, 1, Seconds::zero(), false);
+  return true;
+}
+
+void Injector::note_outcome(Site site, SimTime now, std::uint32_t faults,
+                            Seconds penalty, bool exhausted) {
+  if (faults == 0) return;
+  const auto s = static_cast<std::size_t>(site);
+  summary_.injected[s] += faults;
+  if (exhausted) {
+    ++summary_.exhausted[s];
+  } else {
+    ++summary_.recovered[s];
+  }
+  summary_.penalty += penalty;
+  if (records_.size() < kMaxRecords) {
+    records_.push_back(FaultRecord{site, now, faults, exhausted, penalty});
+  }
+}
+
+}  // namespace isp::fault

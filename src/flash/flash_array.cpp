@@ -31,6 +31,40 @@ SimTime FlashArray::write_finish(SimTime t0, Bytes bytes) const {
   return availability_.finish_time(t0, write_seconds(bytes));
 }
 
+FlashIo FlashArray::read_io(SimTime t0, Bytes bytes) {
+  FlashIo io;
+  io.done = read_finish(t0, bytes);
+  if (injector_ != nullptr) {
+    const auto op =
+        injector_->attempt(fault::Site::FlashReadEcc, t0, timing_.page_read,
+                           injector_->config().ecc_recovery);
+    io.done += op.penalty;
+    io.fault_penalty = op.penalty;
+    io.retries = op.faults;
+    if (op.exhausted) {
+      io.status = isp::Status{StatusCode::DataError, op.faults};
+    }
+  }
+  return io;
+}
+
+FlashIo FlashArray::write_io(SimTime t0, Bytes bytes) {
+  FlashIo io;
+  io.done = write_finish(t0, bytes);
+  if (injector_ != nullptr) {
+    const auto op =
+        injector_->attempt(fault::Site::FlashProgram, t0, timing_.page_program,
+                           injector_->config().block_retire);
+    io.done += op.penalty;
+    io.fault_penalty = op.penalty;
+    io.retries = op.faults;
+    if (op.exhausted) {
+      io.status = isp::Status{StatusCode::DataError, op.faults};
+    }
+  }
+  return io;
+}
+
 void FlashArray::set_availability(sim::AvailabilitySchedule schedule) {
   availability_ = std::move(schedule);
 }

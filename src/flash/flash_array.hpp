@@ -8,11 +8,22 @@
 // under test.
 #pragma once
 
+#include "common/status.hpp"
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "flash/nand.hpp"
 #include "sim/availability.hpp"
 
 namespace isp::flash {
+
+/// Outcome of a fault-aware bulk IO: completion time including any retry /
+/// recovery penalty, plus the typed status the device would surface.
+struct FlashIo {
+  SimTime done;
+  isp::Status status;         // non-Ok only after retries were exhausted
+  std::uint32_t retries = 0;  // faulted attempts the operation absorbed
+  Seconds fault_penalty;      // virtual time added by fault handling
+};
 
 class FlashArray {
  public:
@@ -36,6 +47,22 @@ class FlashArray {
   [[nodiscard]] SimTime read_finish(SimTime t0, Bytes bytes) const;
   [[nodiscard]] SimTime write_finish(SimTime t0, Bytes bytes) const;
 
+  /// Attach a fault injector (nullptr detaches; not owned).  Only the
+  /// fault-aware read_io/write_io paths consult it — the analytic
+  /// read_finish/write_finish stay untouched so fault-free timing is
+  /// bit-for-bit unchanged.
+  void set_injector(fault::Injector* injector) { injector_ = injector; }
+  [[nodiscard]] fault::Injector* injector() const { return injector_; }
+
+  /// Fault-aware bulk IO: read_finish/write_finish timing plus injection at
+  /// the FlashReadEcc / FlashProgram sites.  Each faulted attempt re-reads
+  /// (re-programs) a page and backs off; exhausted retries escalate to
+  /// RAID/parity reconstruction (reads) or block retirement (programs) and
+  /// surface a typed non-Ok Status — the operation still completes in
+  /// bounded virtual time, it never hangs.
+  FlashIo read_io(SimTime t0, Bytes bytes);
+  FlashIo write_io(SimTime t0, Bytes bytes);
+
   void set_availability(sim::AvailabilitySchedule schedule);
   [[nodiscard]] const sim::AvailabilitySchedule& availability() const {
     return availability_;
@@ -55,6 +82,7 @@ class FlashArray {
   sim::AvailabilitySchedule availability_;
   Bytes bytes_read_;
   Bytes bytes_written_;
+  fault::Injector* injector_ = nullptr;
 };
 
 }  // namespace isp::flash

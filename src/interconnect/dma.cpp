@@ -34,7 +34,15 @@ SimTime DmaEngine::transfer(SimTime t0, Bytes bytes, TransferKind kind) {
   stats_.bytes[idx] += bytes;
   stats_.transfers[idx] += 1;
   link_->note_bytes_moved(bytes);
-  return link_->transfer_finish(t0, bytes);
+  SimTime done = link_->transfer_finish(t0, bytes);
+  if (injector_ != nullptr) {
+    const auto op =
+        injector_->attempt(fault::Site::DmaTransfer, t0,
+                           link_->config().base_latency,
+                           injector_->config().link_reset);
+    done += op.penalty;
+  }
+  return done;
 }
 
 SimTime DmaEngine::transfer_sg(SimTime t0, std::span<const Bytes> segments,

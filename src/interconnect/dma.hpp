@@ -11,6 +11,7 @@
 #include <span>
 #include <string_view>
 
+#include "fault/fault.hpp"
 #include "interconnect/link.hpp"
 
 namespace isp::interconnect {
@@ -49,9 +50,17 @@ class DmaEngine {
   [[nodiscard]] const DmaStats& stats() const { return stats_; }
   void reset_stats() { stats_ = DmaStats{}; }
 
+  /// Attach a fault injector (nullptr detaches; not owned).  Transfers then
+  /// pass through the DmaTransfer site: a stalled transfer re-arms after the
+  /// link's command round-trip plus backoff; exhausted retries cost a full
+  /// link reset.  Without an injector, timing is bit-for-bit unchanged.
+  void set_injector(fault::Injector* injector) { injector_ = injector; }
+  [[nodiscard]] fault::Injector* injector() const { return injector_; }
+
  private:
   Link* link_;
   DmaStats stats_;
+  fault::Injector* injector_ = nullptr;
 };
 
 }  // namespace isp::interconnect

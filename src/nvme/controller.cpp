@@ -39,7 +39,17 @@ void Controller::process_next() {
   }
   const auto entry = qp->sq().pop();
   ISP_DCHECK(entry.has_value(), "selected queue drained concurrently");
+
+  if (injector_ != nullptr &&
+      injector_->draw(fault::Site::NvmeCommand)) {
+    handle_timeout(*qp, *entry);
+    return;
+  }
   ++commands_processed_;
+  if (!attempts_.empty()) {
+    // A previously timed-out command made it through on this attempt.
+    attempts_.erase(AttemptKey{qp->id(), entry->command_id});
+  }
 
   const Bytes page = array_->geometry().page_bytes;
   const Bytes io_bytes{static_cast<std::uint64_t>(entry->length_pages) *
@@ -60,7 +70,11 @@ void Controller::process_next() {
       }
       if (status == Status::Success) {
         array_->note_read(io_bytes);
-        done = array_->read_finish(simulator_->now(), io_bytes);
+        // Fault-aware path: an uncorrectable read (ECC retries exhausted,
+        // reconstruction failed) surfaces to the host as a command error.
+        const auto io = array_->read_io(simulator_->now(), io_bytes);
+        done = io.done;
+        if (!io.status.is_ok()) status = Status::Error;
       }
       break;
     }
@@ -71,7 +85,9 @@ void Controller::process_next() {
         }
       }
       array_->note_write(io_bytes);
-      done = array_->write_finish(simulator_->now(), io_bytes);
+      const auto io = array_->write_io(simulator_->now(), io_bytes);
+      done = io.done;
+      if (!io.status.is_ok()) status = Status::Error;
       break;
     }
     case Opcode::CsdExec: {
@@ -94,6 +110,48 @@ void Controller::process_next() {
                             complete(*qp, command_id, status);
                             process_next();
                           });
+}
+
+void Controller::handle_timeout(QueuePair& qp, const SubmissionEntry& entry) {
+  // The fetched command is lost inside the device, so no completion is
+  // posted for this attempt — posting one and then re-executing the command
+  // is exactly the dangling-CQ-entry bug this path exists to prevent (the
+  // host would see two completions for one command id; regression-tested in
+  // tests/nvme_test.cpp).  Recovery is host-visible: the command timeout
+  // elapses, the host backs off exponentially and requeues the command at
+  // the SQ tail.  Attempts are bounded by the retry policy; the exhausted
+  // case completes exactly once with Status::Error instead of hanging.
+  const fault::FaultConfig& fc = injector_->config();
+  const AttemptKey key{qp.id(), entry.command_id};
+  const std::uint32_t faulted = ++attempts_[key];
+  const bool exhausted = faulted >= fc.retry.max_attempts;
+  const Seconds wait =
+      fc.nvme_command_timeout + fc.retry.backoff_before(faulted);
+  injector_->note_outcome(fault::Site::NvmeCommand, simulator_->now(),
+                          /*faults=*/1, wait, exhausted);
+
+  QueuePair* qpp = &qp;
+  if (exhausted) {
+    attempts_.erase(key);
+    ++commands_failed_;
+    const auto command_id = entry.command_id;
+    simulator_->schedule(wait, [this, qpp, command_id] {
+      complete(*qpp, command_id, Status::Error);
+      process_next();
+    });
+    return;
+  }
+  const SubmissionEntry retry = entry;
+  simulator_->schedule(wait, [this, qpp, retry] {
+    if (!qpp->sq().push(retry)) {
+      // The host refilled the SQ while we backed off; the command cannot be
+      // requeued, so fail it in a typed way rather than drop it silently.
+      attempts_.erase(AttemptKey{qpp->id(), retry.command_id});
+      ++commands_failed_;
+      complete(*qpp, retry.command_id, Status::Error);
+    }
+    process_next();
+  });
 }
 
 void Controller::complete(QueuePair& qp, std::uint16_t command_id,

@@ -9,8 +9,11 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "flash/flash_array.hpp"
 #include "flash/ftl.hpp"
 #include "nvme/queue.hpp"
@@ -38,18 +41,35 @@ class Controller {
 
   void set_exec_hook(ExecHook hook) { exec_hook_ = std::move(hook); }
 
+  /// Attach a fault injector (nullptr detaches; not owned).  Fetched
+  /// commands then pass through the NvmeCommand site: a faulted command is
+  /// lost inside the device, recovered by a host-visible timeout + requeue
+  /// at the SQ tail, and — after the retry policy is exhausted — completed
+  /// with Status::Error.  Exactly one completion is posted per command
+  /// regardless of how many attempts it took (no dangling CQ entries).
+  void set_injector(fault::Injector* injector) { injector_ = injector; }
+
   [[nodiscard]] std::uint64_t commands_processed() const {
     return commands_processed_;
+  }
+  /// Commands that exhausted their retries and completed with Error.
+  [[nodiscard]] std::uint64_t commands_failed() const {
+    return commands_failed_;
   }
   [[nodiscard]] std::size_t queues_registered() const {
     return queues_.size();
   }
 
  private:
+  /// (queue pair id, command id): retries are tracked per command so
+  /// interleaved commands from different queues back off independently.
+  using AttemptKey = std::pair<std::uint16_t, std::uint16_t>;
+
   /// Next queue with work, in round-robin order from the cursor; nullptr if
   /// every SQ is empty.
   QueuePair* select_queue();
   void process_next();
+  void handle_timeout(QueuePair& qp, const SubmissionEntry& entry);
   void complete(QueuePair& qp, std::uint16_t command_id, Status status);
 
   sim::Simulator* simulator_;
@@ -61,6 +81,9 @@ class Controller {
   std::size_t rr_cursor_ = 0;
   bool busy_ = false;
   std::uint64_t commands_processed_ = 0;
+  std::uint64_t commands_failed_ = 0;
+  fault::Injector* injector_ = nullptr;
+  std::map<AttemptKey, std::uint32_t> attempts_;
 };
 
 }  // namespace isp::nvme

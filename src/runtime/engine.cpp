@@ -114,6 +114,56 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
 
   const auto bar_penalty = system_->config().bar_access_penalty;
 
+  // Fault injection: one deterministic plan per run, wired into the DMA
+  // engine and applied inline at the flash/CSE/status sites below.  With
+  // every site at rate zero nothing is created or attached, so fault-free
+  // runs take exactly the seed code paths (bit-for-bit identical timing).
+  std::optional<fault::Injector> injector_storage;
+  fault::Injector* injector = nullptr;
+  if (options.fault.enabled()) {
+    injector_storage.emplace(options.fault);
+    injector = &*injector_storage;
+  }
+  dma.set_injector(injector);
+  struct DmaInjectorGuard {
+    interconnect::DmaEngine* dma;
+    ~DmaInjectorGuard() { dma->set_injector(nullptr); }
+  } dma_guard{&dma};
+  const fault::FaultConfig& fcfg = options.fault;
+
+  // Flash IO with injection at the FlashReadEcc / FlashProgram sites: each
+  // faulted attempt re-reads (re-programs) a page and backs off; exhausted
+  // retries escalate to RAID reconstruction / block retirement.  Either way
+  // the data survives — faults here cost time, never correctness.
+  auto faulted_flash_read = [&](SimTime t0, Bytes bytes, LineRecord* rec) {
+    SimTime done = flash.read_finish(t0, bytes);
+    if (injector != nullptr) {
+      const auto op =
+          injector->attempt(fault::Site::FlashReadEcc, t0,
+                            flash.timing().page_read, fcfg.ecc_recovery);
+      done += op.penalty;
+      if (rec != nullptr) {
+        rec->faults += op.faults;
+        rec->fault_penalty += op.penalty;
+      }
+    }
+    return done;
+  };
+  auto faulted_flash_write = [&](SimTime t0, Bytes bytes, LineRecord* rec) {
+    SimTime done = flash.write_finish(t0, bytes);
+    if (injector != nullptr) {
+      const auto op =
+          injector->attempt(fault::Site::FlashProgram, t0,
+                            flash.timing().page_program, fcfg.block_retire);
+      done += op.penalty;
+      if (rec != nullptr) {
+        rec->faults += op.faults;
+        rec->fault_penalty += op.penalty;
+      }
+    }
+    return done;
+  };
+
   for (std::size_t i = 0; i < program.line_count(); ++i) {
     const auto& line = program.lines()[i];
     const auto& low = lowered.lines[i];
@@ -135,14 +185,15 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
       if (obj.location == mem::Location::Storage) {
         rec.storage_bytes += obj.virtual_bytes;
         if (placement == ir::Placement::Csd) {
-          const SimTime done = flash.read_finish(t, obj.virtual_bytes);
+          const SimTime done = faulted_flash_read(t, obj.virtual_bytes, &rec);
           flash.note_read(obj.virtual_bytes);
           rec.access += done - t;
           t = done;
         } else {
           // Host read streams through the device: NAND and link pipeline;
           // the slower stage bounds completion.
-          const SimTime via_flash = flash.read_finish(t, obj.virtual_bytes);
+          const SimTime via_flash =
+              faulted_flash_read(t, obj.virtual_bytes, &rec);
           const SimTime via_link =
               dma.transfer(t, obj.virtual_bytes, TransferKind::RawInput);
           flash.note_read(obj.virtual_bytes);
@@ -159,8 +210,11 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
                        : TransferKind::Intermediate);
         Seconds base = link.transfer_seconds(obj.virtual_bytes);
         if (obj.bar_remote) base = base * bar_penalty;
-        const SimTime done = link.availability().finish_time(t, base);
-        dma.transfer(t, obj.virtual_bytes, kind);  // stats only
+        SimTime done = link.availability().finish_time(t, base);
+        // Stats only when fault-free; under injection the DMA path may
+        // stall past the analytic bound, and the slower estimate wins.
+        const SimTime via_dma = dma.transfer(t, obj.virtual_bytes, kind);
+        if (injector != nullptr) done = std::max(done, via_dma);
         rec.transfer_in += done - t;
         t = done;
         obj.location = local;
@@ -234,6 +288,29 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
           instructions / static_cast<double>(line.chunks);
       const SimTime compute_start = t;
       for (std::uint32_t c = 0; c < line.chunks; ++c) {
+        if (injector != nullptr) {
+          // CSE core crash mid-chunk: a crashed core restarts (core reset
+          // plus the chunk's lost progress, half a chunk on average) under
+          // the bounded retry policy.  Exhausted retries mean the core will
+          // not hold this line — abandon the CSD run at this chunk boundary
+          // and fall through to the migration machinery below, which pulls
+          // the unprocessed fraction back to the host (degradation ladder,
+          // final rung: a fully-faulted device degrades to no-ISP).
+          const auto op = injector->attempt(
+              fault::Site::CseCrash, t, fcfg.cse_restart + chunk_wall * 0.5);
+          if (op.faults > 0) {
+            rec.faults += op.faults;
+            rec.fault_penalty += op.penalty;
+            t += op.penalty;
+          }
+          if (op.exhausted && options.migration) {
+            injector->note_degradation();
+            aborted_mid_line = true;
+            line_frac_left = static_cast<double>(line.chunks - c) /
+                             static_cast<double>(line.chunks);
+            break;
+          }
+        }
         const SimTime done = cse_schedule.finish_time(t, chunk_wall);
         ISP_CHECK(done < SimTime::infinity(),
                   "CSE availability starves line '" << line.name << "'");
@@ -246,15 +323,26 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
 
         // Patched status-update code (§III-C(b)) — ActivePy instrumentation,
         // absent from conventional static frameworks (monitoring off).
+        bool update_lost = false;
         if (low.status_updates && options.monitoring) {
-          csd.status_queue().post(nvme::StatusEntry{
-              .line = static_cast<std::uint32_t>(i),
-              .chunk = c,
-              .chunks_total = line.chunks,
-              .instructions_retired = csd_instructions_cum,
-              .timestamp = t,
-              .high_priority_request = false});
-          ++report.status_updates;
+          update_lost = injector != nullptr &&
+                        injector->lost(fault::Site::StatusLoss, t);
+          if (update_lost) {
+            // Dropped on its way to the host.  The post cost was already
+            // paid, and cumulative instruction counts make the stream
+            // self-healing: the next update covers the gap.
+            rec.faults += 1;
+            if (monitor) monitor->note_lost_update();
+          } else {
+            csd.status_queue().post(nvme::StatusEntry{
+                .line = static_cast<std::uint32_t>(i),
+                .chunk = c,
+                .chunks_total = line.chunks,
+                .instructions_retired = csd_instructions_cum,
+                .timestamp = t,
+                .high_priority_request = false});
+            ++report.status_updates;
+          }
           constexpr auto kStatusCost = Seconds{2e-7};
           rec.overhead += kStatusCost;
           t += kStatusCost;
@@ -280,7 +368,7 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
         // re-run it from scratch on the host (lines are pure single-entry-
         // single-exit regions, so partial work is simply discarded), or —
         // when the line just finished — migrate between lines.
-        if (monitor && low.status_updates) {
+        if (monitor && low.status_updates && !update_lost) {
           const bool anomaly = monitor->observe(t, csd_instructions_cum);
           if (anomaly && options.migration && !migrated && !migrate_pending) {
             // Work strictly after this line, common to both options.
@@ -375,7 +463,7 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
           const Bytes tail{static_cast<std::uint64_t>(
               obj.virtual_bytes.as_double() * line_frac_left)};
           if (dataset_names.count(name) > 0) {
-            const SimTime via_flash = flash.read_finish(t, tail);
+            const SimTime via_flash = faulted_flash_read(t, tail, &rec);
             const SimTime via_link =
                 dma.transfer(t, tail, TransferKind::RawInput);
             flash.note_read(tail);
@@ -384,8 +472,10 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
             t = done;
           } else {
             const Seconds base = link.transfer_seconds(tail) * bar_penalty;
-            const SimTime done = link.availability().finish_time(t, base);
-            dma.transfer(t, tail, TransferKind::MigrationState);
+            SimTime done = link.availability().finish_time(t, base);
+            const SimTime via_dma =
+                dma.transfer(t, tail, TransferKind::MigrationState);
+            if (injector != nullptr) done = std::max(done, via_dma);
             rec.transfer_in += done - t;
             t = done;
           }
@@ -446,14 +536,14 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
     // two stages pipeline, so the slower bounds completion).
     if (line.writes_storage && rec.out_bytes.count() > 0) {
       if (placement == ir::Placement::Csd) {
-        const SimTime done = flash.write_finish(t, rec.out_bytes);
+        const SimTime done = faulted_flash_write(t, rec.out_bytes, &rec);
         flash.note_write(rec.out_bytes);
         rec.access += done - t;
         t = done;
       } else {
         const SimTime via_link =
             dma.transfer(t, rec.out_bytes, TransferKind::Intermediate);
-        const SimTime via_flash = flash.write_finish(t, rec.out_bytes);
+        const SimTime via_flash = faulted_flash_write(t, rec.out_bytes, &rec);
         flash.note_write(rec.out_bytes);
         const SimTime done = std::max(via_link, via_flash);
         rec.access += done - t;
@@ -508,8 +598,10 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
     if (obj.location == mem::Location::DeviceDram) {
       Seconds base = link.transfer_seconds(obj.virtual_bytes);
       if (obj.bar_remote) base = base * bar_penalty;
-      const SimTime done = link.availability().finish_time(t, base);
-      dma.transfer(t, obj.virtual_bytes, TransferKind::ProcessedOutput);
+      SimTime done = link.availability().finish_time(t, base);
+      const SimTime via_dma =
+          dma.transfer(t, obj.virtual_bytes, TransferKind::ProcessedOutput);
+      if (injector != nullptr) done = std::max(done, via_dma);
       t = done;
       obj.location = mem::Location::HostDram;
       obj.bar_remote = false;
@@ -518,6 +610,10 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
 
   report.total = t - SimTime::zero();
   report.dma = dma.stats();
+  if (injector != nullptr) {
+    report.faults = injector->summary();
+    report.fault_records = injector->records();
+  }
   return report;
 }
 

@@ -25,6 +25,7 @@
 #include <optional>
 
 #include "codegen/lowering.hpp"
+#include "fault/fault.hpp"
 #include "ir/plan.hpp"
 #include "ir/program.hpp"
 #include "runtime/monitor.hpp"
@@ -62,6 +63,11 @@ struct EngineOptions {
   /// Live-variable block saved on migration (locals; shared-memory objects
   /// are accounted separately by residency).
   Bytes migration_state_bytes = Bytes{256 * 1024};
+  /// Deterministic fault injection across the device stack.  With every
+  /// site at rate zero (the default) no injector is created and the engine
+  /// takes exactly the fault-free code paths — timing is bit-for-bit
+  /// identical to a build without the fault layer.
+  fault::FaultConfig fault;
 };
 
 class Engine {

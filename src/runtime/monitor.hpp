@@ -74,6 +74,13 @@ class Monitor {
   /// immediately rather than waiting for the rate detectors.
   void raise_high_priority() { anomaly_ = true; }
 
+  /// A status update was dropped before the monitor saw it (fault
+  /// injection, Site::StatusLoss).  Cumulative instruction counts make the
+  /// stream self-healing — the next update covers the gap — so the monitor
+  /// only counts the loss for the report.
+  void note_lost_update() { ++lost_updates_; }
+  [[nodiscard]] std::uint64_t lost_updates() const { return lost_updates_; }
+
  private:
   MonitorConfig config_;
   double estimated_rate_;
@@ -84,6 +91,7 @@ class Monitor {
   SimTime prev_time_;
   double prev_instructions_ = 0.0;
   bool has_window_ = false;
+  std::uint64_t lost_updates_ = 0;
 };
 
 }  // namespace isp::runtime

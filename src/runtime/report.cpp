@@ -46,9 +46,23 @@ std::string ExecutionReport::to_json() const {
        << "\"marshal_s\":" << l.marshal.value() << ","
        << "\"in_bytes\":" << l.in_bytes.count() << ","
        << "\"out_bytes\":" << l.out_bytes.count() << ","
-       << "\"storage_bytes\":" << l.storage_bytes.count() << "}";
+       << "\"storage_bytes\":" << l.storage_bytes.count() << ","
+       << "\"faults\":" << l.faults << ","
+       << "\"fault_penalty_s\":" << l.fault_penalty.value() << "}";
   }
-  os << "],\"dma\":{";
+  os << "],\"faults\":{"
+     << "\"injected\":" << faults.total_injected() << ","
+     << "\"exhausted\":" << faults.total_exhausted() << ","
+     << "\"degradations\":" << faults.degradations << ","
+     << "\"penalty_s\":" << faults.penalty.value() << ",\"by_site\":{";
+  for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+    if (s > 0) os << ",";
+    os << "\"" << fault::to_string(static_cast<fault::Site>(s))
+       << "\":{\"injected\":" << faults.injected[s]
+       << ",\"recovered\":" << faults.recovered[s]
+       << ",\"exhausted\":" << faults.exhausted[s] << "}";
+  }
+  os << "}},\"dma\":{";
   bool first = true;
   for (std::size_t k = 0; k < dma.bytes.size(); ++k) {
     if (!first) os << ",";
@@ -66,6 +80,12 @@ std::string ExecutionReport::to_string() const {
   os << "program " << program << ": " << std::fixed << std::setprecision(3)
      << total.value() << " s end-to-end, " << migrations << " migration(s), "
      << status_updates << " status update(s)\n";
+  if (faults.total_injected() > 0) {
+    os << "  faults: " << faults.total_injected() << " injected, "
+       << faults.total_exhausted() << " exhausted, " << faults.degradations
+       << " degradation(s), " << std::setprecision(4)
+       << faults.penalty.value() << " s penalty\n";
+  }
   for (const auto& l : lines) {
     os << "  [" << std::setw(2) << l.index << "] " << std::left
        << std::setw(28) << l.name << std::right << " on " << std::setw(4)

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "interconnect/dma.hpp"
 #include "ir/plan.hpp"
 
@@ -31,6 +32,8 @@ struct LineRecord {
   Bytes out_bytes;       // virtual output volume
   Bytes storage_bytes;   // stored data consumed
   double observed_rate = 0.0;  // instructions/s over the line (CSD lines)
+  std::uint32_t faults = 0;    // injected faults attributed to this line
+  Seconds fault_penalty;       // virtual time the line lost to fault handling
 };
 
 struct ExecutionReport {
@@ -45,6 +48,11 @@ struct ExecutionReport {
   std::uint32_t csd_calls = 0;  // call-queue invocations
 
   interconnect::DmaStats dma;
+
+  /// Aggregate fault-injection outcome (all zeros on fault-free runs) and
+  /// the per-episode log behind it (bounded; feeds the trace export).
+  fault::FaultSummary faults;
+  std::vector<fault::FaultRecord> fault_records;
 
   [[nodiscard]] Seconds compute_total() const;
   [[nodiscard]] Seconds access_total() const;

@@ -48,6 +48,18 @@ std::string to_chrome_trace(const ExecutionReport& report) {
     cursor += line.marshal.value();
     emit(os, first, line.name, track, cursor, line.compute.value());
   }
+
+  // Fault-handling episodes as instant events on their own track, so a
+  // faulted run shows *where* the retries and escalations landed.
+  for (const auto& f : report.fault_records) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"fault:" << fault::to_string(f.site)
+       << (f.exhausted ? " (exhausted)" : "")
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":\"faults\",\"ts\":"
+       << f.time.seconds() * 1e6 << ",\"args\":{\"faults\":" << f.faults
+       << ",\"penalty_us\":" << f.penalty.value() * 1e6 << "}}";
+  }
   os << "]";
   return os.str();
 }

@@ -1,6 +1,10 @@
 // Property tests over the execution engine: determinism, monotonicity in
-// availability, conservation of link traffic, and sampler structure.
+// availability, conservation of link traffic, migration under injected
+// faults, and sampler structure.
 #include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
 
 #include "apps/registry.hpp"
 #include "baseline/baselines.hpp"
@@ -108,6 +112,136 @@ INSTANTIATE_TEST_SUITE_P(Apps, EngineProperties,
                          ::testing::Values("tpch-q6", "tpch-q1", "kmeans",
                                            "blackscholes", "pagerank",
                                            "mixedgemm"));
+
+// ---------------------------------------------------------------------------
+// Migration under fault.  For every injectable engine-path fault site and a
+// sweep of first-fault positions (skip_first moves the fault across
+// chunks/pages/transfers, and with it the cut line a forced migration
+// breaks at), a planned run with recovery and migration armed must preserve
+// functional results, keep its virtual-time books consistent with the
+// simulated clock, and replay bit-for-bit.
+
+const ir::Program& fault_program() {
+  static const ir::Program program = apps::make_app("tpch-q6", small());
+  return program;
+}
+
+const ir::ObjectStore& host_reference() {
+  static const ir::ObjectStore store = [] {
+    runtime::EngineOptions options;
+    options.monitoring = false;
+    options.migration = false;
+    system::SystemModel system;
+    auto s = fault_program().make_store();
+    runtime::run_program(system, fault_program(),
+                         ir::Plan::host_only(fault_program().line_count()),
+                         codegen::ExecMode::NativeC, options, &s);
+    return s;
+  }();
+  return store;
+}
+
+const ir::Plan& planned() {
+  static const ir::Plan plan = [] {
+    system::SystemModel system;
+    runtime::ActiveRuntime active(system);
+    auto result = active.run(fault_program());
+    return result.plan;
+  }();
+  return plan;
+}
+
+/// Fault-free run of the planned placement (same options as the faulted
+/// runs, minus the faults): the baseline the penalty bound compares against.
+const runtime::ExecutionReport& fault_free_planned() {
+  static const runtime::ExecutionReport report = [] {
+    system::SystemModel system;
+    runtime::EngineOptions options;
+    return runtime::run_program(system, fault_program(), planned(),
+                                codegen::ExecMode::NativeC, options);
+  }();
+  return report;
+}
+
+class MigrationUnderFault
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MigrationUnderFault, PreservesResultsAndAccountsVirtualTime) {
+  const auto site = static_cast<fault::Site>(std::get<0>(GetParam()));
+  const auto skip = static_cast<std::uint64_t>(std::get<1>(GetParam()));
+  const auto& program = fault_program();
+
+  runtime::EngineOptions options;  // monitoring + migration armed
+  options.fault.seed = 31;
+  options.fault.sites[static_cast<std::size_t>(site)] =
+      fault::SiteConfig{.rate = 1.0, .skip_first = skip};
+
+  system::SystemModel system;
+  auto store = program.make_store();
+  const auto report =
+      runtime::run_program(system, program, planned(),
+                           codegen::ExecMode::NativeC, options, &store);
+
+  // (1) Functional results identical to the host-only fault-free reference:
+  // retries, escalations, and forced migrations never corrupt data.
+  const auto& final_name = program.lines().back().outputs.front();
+  const auto& h = host_reference().at(final_name).physical;
+  const auto& f = store.at(final_name).physical;
+  ASSERT_EQ(h.size_bytes(), f.size_bytes());
+  EXPECT_EQ(0, std::memcmp(h.as<std::byte>().data(),
+                           f.as<std::byte>().data(), h.size_bytes()));
+
+  // (2) The books match the simulator clock: line records advance
+  // monotonically and the reported total covers the last of them.
+  SimTime prev_start = SimTime::zero();
+  for (const auto& rec : report.lines) {
+    EXPECT_GE(rec.start.seconds(), prev_start.seconds() - 1e-12);
+    EXPECT_GE(rec.end.seconds(), rec.start.seconds() - 1e-12);
+    prev_start = rec.start;
+  }
+  ASSERT_FALSE(report.lines.empty());
+  EXPECT_GE(report.total.value() + 1e-9, report.lines.back().end.seconds());
+
+  // (3) Seed-deterministic replay, bit for bit.
+  system::SystemModel system2;
+  auto store2 = program.make_store();
+  const auto replay =
+      runtime::run_program(system2, program, planned(),
+                           codegen::ExecMode::NativeC, options, &store2);
+  EXPECT_EQ(report.to_json(), replay.to_json());
+
+  // (4) When nothing migrated in either run, the accounted fault penalty
+  // bounds the slowdown exactly: total lands in
+  // [fault-free, fault-free + penalty] (pipelined stages can swallow part
+  // of a penalty, so the lower edge is the fault-free time itself).
+  const auto& base = fault_free_planned();
+  if (report.migrations == 0 && base.migrations == 0) {
+    EXPECT_GE(report.total.value(), base.total.value() - 1e-9);
+    EXPECT_LE(report.total.value(),
+              base.total.value() + report.faults.penalty.value() + 1e-9);
+  }
+
+  // (5) Site-specific recovery outcomes.
+  if (site == fault::Site::StatusLoss) {
+    // Only the skip_first prefix can reach the host; everything after is
+    // lost, and the run must still complete without the monitor's feed.
+    EXPECT_LE(report.status_updates, skip);
+  }
+  if (site == fault::Site::CseCrash &&
+      report.faults.total_exhausted() > 0) {
+    // An exhausted crash must degrade to the host, and the degradation
+    // must be recorded as such.
+    EXPECT_GE(report.migrations, 1u);
+    EXPECT_GE(report.faults.degradations, 1u);
+  }
+}
+
+// Engine-path sites (NvmeCommand is exercised through the controller in
+// nvme_test.cpp) x first-fault positions.
+INSTANTIATE_TEST_SUITE_P(
+    SitesAndCuts, MigrationUnderFault,
+    ::testing::Combine(::testing::Range(1, 6),
+                       ::testing::Values(0, 1, 3, 7)));
 
 TEST(Sampler, ProducesFourPointsPerLine) {
   const auto program = apps::make_app("tpch-q6", small());

@@ -1,0 +1,392 @@
+// Unit tests for the deterministic fault-injection subsystem: the FaultPlan
+// schedule itself (seed determinism, per-site independence, skip_first), the
+// Injector's bounded-retry accounting, and the per-site recovery paths in
+// the flash array, the DMA engine, and the CSD firmware.  Every exhausted
+// retry must surface a typed isp::Status in bounded virtual time — never a
+// hang.  NVMe command timeout/requeue is covered in nvme_test.cpp; the
+// engine-level degradation ladder in engine_property_test.cpp.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "csd/cse.hpp"
+#include "csd/firmware.hpp"
+#include "fault/fault.hpp"
+#include "flash/flash_array.hpp"
+#include "interconnect/dma.hpp"
+#include "interconnect/link.hpp"
+#include "nvme/call_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace isp {
+namespace {
+
+constexpr auto kEcc = fault::Site::FlashReadEcc;
+constexpr auto kProgram = fault::Site::FlashProgram;
+constexpr auto kDma = fault::Site::DmaTransfer;
+constexpr auto kCrash = fault::Site::CseCrash;
+constexpr auto kLoss = fault::Site::StatusLoss;
+
+std::vector<bool> draw_sequence(fault::FaultPlan& plan, fault::Site site,
+                                std::size_t n) {
+  std::vector<bool> seq;
+  seq.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) seq.push_back(plan.fires(site));
+  return seq;
+}
+
+TEST(FaultPlan, DeterministicForFixedSeed) {
+  fault::FaultConfig config;
+  config.seed = 42;
+  config.set_rate_all(0.5);
+
+  fault::FaultPlan a(config);
+  fault::FaultPlan b(config);
+  for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+    const auto site = static_cast<fault::Site>(s);
+    EXPECT_EQ(draw_sequence(a, site, 1000), draw_sequence(b, site, 1000))
+        << "site " << fault::to_string(site);
+  }
+
+  config.seed = 43;
+  fault::FaultPlan c(config);
+  fault::FaultPlan d(config);
+  EXPECT_NE(draw_sequence(c, kEcc, 1000), draw_sequence(d, kCrash, 1000))
+      << "sites share one stream";
+  fault::FaultPlan e(config);
+  config.seed = 44;
+  fault::FaultPlan f(config);
+  EXPECT_NE(draw_sequence(e, kEcc, 1000), draw_sequence(f, kEcc, 1000))
+      << "seed does not reach the schedule";
+}
+
+TEST(FaultPlan, RateEndpoints) {
+  fault::FaultConfig config;
+  config.seed = 7;
+  config.set_rate(kEcc, 1.0);
+  fault::FaultPlan plan(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(plan.fires(kEcc));
+    EXPECT_FALSE(plan.fires(kDma));  // rate 0 never fires
+  }
+  EXPECT_EQ(plan.opportunities(kEcc), 100u);
+  EXPECT_EQ(plan.opportunities(kDma), 100u);
+}
+
+TEST(FaultPlan, SkipFirstPlacesFirstFaultExactly) {
+  fault::FaultConfig config;
+  config.seed = 7;
+  config.sites[static_cast<std::size_t>(kCrash)] = {.rate = 1.0,
+                                                    .skip_first = 5};
+  fault::FaultPlan plan(config);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(plan.fires(kCrash)) << i;
+  EXPECT_TRUE(plan.fires(kCrash));
+  EXPECT_EQ(plan.opportunities(kCrash), 6u);
+}
+
+TEST(FaultPlan, SitesHaveIndependentStreams) {
+  fault::FaultConfig config;
+  config.seed = 99;
+  config.set_rate_all(0.5);
+
+  // Interleaving draws at one site must not shift another site's schedule.
+  fault::FaultPlan solo(config);
+  const auto reference = draw_sequence(solo, kProgram, 200);
+
+  fault::FaultPlan interleaved(config);
+  std::vector<bool> observed;
+  for (std::size_t i = 0; i < 200; ++i) {
+    (void)interleaved.fires(kEcc);
+    (void)interleaved.fires(kCrash);
+    observed.push_back(interleaved.fires(kProgram));
+  }
+  EXPECT_EQ(observed, reference);
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentially) {
+  const fault::RetryPolicy policy;  // 10 us initial, x2
+  EXPECT_NEAR(policy.backoff_before(1).value(), 10e-6, 1e-12);
+  EXPECT_NEAR(policy.backoff_before(2).value(), 20e-6, 1e-12);
+  EXPECT_NEAR(policy.backoff_before(3).value(), 40e-6, 1e-12);
+  EXPECT_NEAR(policy.backoff_before(4).value(), 80e-6, 1e-12);
+}
+
+TEST(Injector, AttemptChargesRetriesBackoffAndEscalation) {
+  fault::FaultConfig config;
+  config.seed = 3;
+  config.set_rate(kEcc, 1.0);
+  fault::Injector injector(config);
+
+  const Seconds retry_cost{100e-6};
+  const Seconds escalation{1e-3};
+  const auto op = injector.attempt(kEcc, SimTime{1.0}, retry_cost, escalation);
+
+  // Rate 1.0: all max_attempts tries fault, then the escalation lands.
+  EXPECT_EQ(op.faults, config.retry.max_attempts);
+  EXPECT_TRUE(op.exhausted);
+  const double expected = 4 * 100e-6                        // retried tries
+                          + (10 + 20 + 40 + 80) * 1e-6     // backoff ladder
+                          + 1e-3;                          // escalation
+  EXPECT_NEAR(op.penalty.value(), expected, 1e-12);
+
+  const auto& s = injector.summary();
+  EXPECT_EQ(s.injected[static_cast<std::size_t>(kEcc)], 4u);
+  EXPECT_EQ(s.exhausted[static_cast<std::size_t>(kEcc)], 1u);
+  EXPECT_EQ(s.recovered[static_cast<std::size_t>(kEcc)], 0u);
+  EXPECT_NEAR(s.penalty.value(), expected, 1e-12);
+  ASSERT_EQ(injector.records().size(), 1u);
+  EXPECT_EQ(injector.records()[0].site, kEcc);
+  EXPECT_TRUE(injector.records()[0].exhausted);
+  EXPECT_NEAR(injector.records()[0].time.seconds(), 1.0, 1e-12);
+}
+
+TEST(Injector, RateZeroSiteConsumesNoOpportunities) {
+  fault::FaultConfig config;
+  config.seed = 3;
+  config.set_rate(kEcc, 1.0);  // plan enabled, but kDma stays at 0
+  fault::Injector injector(config);
+
+  const auto op = injector.attempt(kDma, SimTime::zero(), Seconds{1e-3});
+  EXPECT_EQ(op.faults, 0u);
+  EXPECT_FALSE(op.exhausted);
+  EXPECT_EQ(op.penalty.value(), 0.0);
+  // Early-out must not burn a draw: the kDma schedule is unshifted.
+  EXPECT_EQ(injector.plan().opportunities(kDma), 0u);
+  EXPECT_TRUE(injector.records().empty());
+}
+
+TEST(Injector, DisabledPlanIsInert) {
+  fault::Injector injector{fault::FaultConfig{}};
+  EXPECT_FALSE(injector.enabled());
+  const auto op = injector.attempt(kCrash, SimTime::zero(), Seconds{1.0});
+  EXPECT_EQ(op.faults, 0u);
+  EXPECT_EQ(op.penalty.value(), 0.0);
+  EXPECT_FALSE(injector.lost(kLoss, SimTime::zero()));
+  EXPECT_EQ(injector.plan().opportunities(kCrash), 0u);
+  EXPECT_EQ(injector.summary().total_injected(), 0u);
+}
+
+TEST(Injector, BookkeepingConsistentAtIntermediateRate) {
+  fault::FaultConfig config;
+  config.seed = 17;
+  config.set_rate(kProgram, 0.5);
+  fault::Injector injector(config);
+
+  std::uint64_t faults_seen = 0;
+  std::uint64_t episodes_with_faults = 0;
+  double penalty_seen = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto op =
+        injector.attempt(kProgram, SimTime::zero(), Seconds{1e-6});
+    faults_seen += op.faults;
+    penalty_seen += op.penalty.value();
+    if (op.faults > 0) ++episodes_with_faults;
+    EXPECT_LE(op.faults, config.retry.max_attempts);
+  }
+
+  const auto& s = injector.summary();
+  const auto idx = static_cast<std::size_t>(kProgram);
+  EXPECT_EQ(s.injected[idx], faults_seen);
+  EXPECT_EQ(s.recovered[idx] + s.exhausted[idx], episodes_with_faults);
+  EXPECT_NEAR(s.penalty.value(), penalty_seen, 1e-9);
+  EXPECT_EQ(injector.records().size(), episodes_with_faults);
+  // At rate 0.5 over 200 episodes, both outcomes must occur.
+  EXPECT_GT(s.recovered[idx], 0u);
+  EXPECT_GT(s.injected[idx], 0u);
+}
+
+TEST(Injector, LostRecordsSingleInjection) {
+  fault::FaultConfig config;
+  config.seed = 5;
+  config.set_rate(kLoss, 1.0);
+  fault::Injector injector(config);
+
+  EXPECT_TRUE(injector.lost(kLoss, SimTime{2.0}));
+  const auto idx = static_cast<std::size_t>(kLoss);
+  EXPECT_EQ(injector.summary().injected[idx], 1u);
+  EXPECT_EQ(injector.summary().recovered[idx], 1u);
+  EXPECT_EQ(injector.summary().exhausted[idx], 0u);
+  EXPECT_EQ(injector.summary().penalty.value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Flash array: ECC-read and program faults.
+
+TEST(FlashFaults, ReadIoCleanWithoutInjector) {
+  flash::FlashArray array;
+  const Bytes bytes{1 << 20};
+  const auto io = array.read_io(SimTime{1.0}, bytes);
+  EXPECT_TRUE(io.status.is_ok());
+  EXPECT_EQ(io.retries, 0u);
+  EXPECT_EQ(io.fault_penalty.value(), 0.0);
+  EXPECT_EQ(io.done.seconds(), array.read_finish(SimTime{1.0}, bytes).seconds());
+}
+
+TEST(FlashFaults, ExhaustedReadSurfacesDataErrorInBoundedTime) {
+  fault::FaultConfig config;
+  config.seed = 11;
+  config.set_rate(kEcc, 1.0);
+  fault::Injector injector(config);
+  flash::FlashArray array;
+  array.set_injector(&injector);
+
+  const Bytes bytes{1 << 20};
+  const auto io = array.read_io(SimTime::zero(), bytes);
+  EXPECT_EQ(io.status.code(), StatusCode::DataError);
+  EXPECT_EQ(io.status.attempts(), config.retry.max_attempts);
+  EXPECT_EQ(io.retries, config.retry.max_attempts);
+
+  // Penalty: max_attempts re-reads + backoff ladder + RAID reconstruction.
+  const double expected_penalty = 4 * array.timing().page_read.value() +
+                                  (10 + 20 + 40 + 80) * 1e-6 +
+                                  config.ecc_recovery.value();
+  EXPECT_NEAR(io.fault_penalty.value(), expected_penalty, 1e-12);
+  EXPECT_NEAR(io.done.seconds(),
+              array.read_finish(SimTime::zero(), bytes).seconds() +
+                  expected_penalty,
+              1e-12);
+  array.set_injector(nullptr);
+}
+
+TEST(FlashFaults, ExhaustedProgramRetiresBlock) {
+  fault::FaultConfig config;
+  config.seed = 11;
+  config.set_rate(kProgram, 1.0);
+  fault::Injector injector(config);
+  flash::FlashArray array;
+  array.set_injector(&injector);
+
+  const auto io = array.write_io(SimTime::zero(), Bytes{1 << 16});
+  EXPECT_EQ(io.status.code(), StatusCode::DataError);
+  const double expected_penalty = 4 * array.timing().page_program.value() +
+                                  (10 + 20 + 40 + 80) * 1e-6 +
+                                  config.block_retire.value();
+  EXPECT_NEAR(io.fault_penalty.value(), expected_penalty, 1e-12);
+  EXPECT_EQ(
+      injector.summary().exhausted[static_cast<std::size_t>(kProgram)], 1u);
+  array.set_injector(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// DMA engine: transfer stalls and link reset.
+
+TEST(DmaFaults, ExhaustedTransferCostsLinkReset) {
+  interconnect::Link link{interconnect::LinkConfig{}};
+  interconnect::DmaEngine dma(link);
+
+  const Bytes bytes{1 << 20};
+  const SimTime clean =
+      dma.transfer(SimTime::zero(), bytes, interconnect::TransferKind::RawInput);
+  EXPECT_EQ(clean.seconds(),
+            link.transfer_finish(SimTime::zero(), bytes).seconds());
+
+  fault::FaultConfig config;
+  config.seed = 23;
+  config.set_rate(kDma, 1.0);
+  fault::Injector injector(config);
+  dma.set_injector(&injector);
+
+  const SimTime faulted =
+      dma.transfer(SimTime::zero(), bytes, interconnect::TransferKind::RawInput);
+  const double expected_penalty = 4 * link.config().base_latency.value() +
+                                  (10 + 20 + 40 + 80) * 1e-6 +
+                                  config.link_reset.value();
+  EXPECT_NEAR(faulted.seconds(), clean.seconds() + expected_penalty, 1e-12);
+  EXPECT_EQ(injector.summary().exhausted[static_cast<std::size_t>(kDma)], 1u);
+  dma.set_injector(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// CSD firmware: crash-restart recovery and crash-exhaustion abandonment.
+
+TEST(FirmwareFaults, CrashedChunksRestartAndTheFunctionCompletes) {
+  sim::Simulator simulator;
+  csd::Cse cse;
+  nvme::CallQueue calls(8);
+  nvme::StatusQueue status(64);
+  csd::FirmwareConfig fw_config;
+  fw_config.chunks = 4;
+  csd::Firmware firmware(simulator, cse, calls, status, fw_config);
+
+  // One clean draw then a fault, per chunk at most: skip_first places the
+  // first crash deterministically and rate 1.0 would never recover, so use
+  // a mid rate with a seed whose schedule recovers every chunk (asserted
+  // below — determinism keeps this stable forever).
+  fault::FaultConfig config;
+  config.seed = 2;
+  config.set_rate(kCrash, 0.4);
+  fault::Injector injector(config);
+  firmware.set_injector(&injector);
+
+  int completed = 0;
+  int failed = 0;
+  firmware.start([](const nvme::CallEntry&) { return Seconds{0.01}; },
+                 [&](const nvme::CallEntry&) { ++completed; });
+  firmware.set_on_failure(
+      [&](const nvme::CallEntry&, isp::Status) { ++failed; });
+  calls.submit(nvme::CallEntry{.function_id = 1, .first_line = 0});
+
+  simulator.run_until(SimTime{0.5});
+  firmware.stop();
+  simulator.run_until(SimTime{1.0});
+
+  EXPECT_EQ(completed, 1);
+  EXPECT_EQ(failed, 0);
+  EXPECT_EQ(firmware.functions_executed(), 1u);
+  EXPECT_EQ(firmware.functions_failed(), 0u);
+  EXPECT_FALSE(firmware.busy());
+  const auto idx = static_cast<std::size_t>(kCrash);
+  EXPECT_GT(injector.summary().injected[idx], 0u);
+  EXPECT_GT(injector.summary().recovered[idx], 0u);
+  EXPECT_EQ(injector.summary().exhausted[idx], 0u);
+}
+
+TEST(FirmwareFaults, ExhaustedCrashesAbandonWithTypedStatusAndNeverHang) {
+  sim::Simulator simulator;
+  csd::Cse cse;
+  nvme::CallQueue calls(8);
+  nvme::StatusQueue status(64);
+  csd::Firmware firmware(simulator, cse, calls, status);
+
+  fault::FaultConfig config;
+  config.seed = 4;
+  config.set_rate(kCrash, 1.0);  // every restart crashes again
+  fault::Injector injector(config);
+  firmware.set_injector(&injector);
+
+  std::vector<isp::Status> failures;
+  int completed = 0;
+  firmware.start([](const nvme::CallEntry&) { return Seconds{0.01}; },
+                 [&](const nvme::CallEntry&) { ++completed; });
+  firmware.set_on_failure([&](const nvme::CallEntry& entry, isp::Status s) {
+    EXPECT_EQ(entry.function_id, 9u);
+    failures.push_back(s);
+  });
+  calls.submit(nvme::CallEntry{.function_id = 9, .first_line = 2});
+
+  simulator.run_until(SimTime{0.5});
+  firmware.stop();
+  simulator.run_until(SimTime{1.0});  // the poll loop must drain, not hang
+
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].code(), StatusCode::DeviceCrash);
+  EXPECT_EQ(failures[0].attempts(), config.retry.max_attempts);
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(firmware.functions_executed(), 0u);
+  EXPECT_EQ(firmware.functions_failed(), 1u);
+  EXPECT_FALSE(firmware.busy());
+
+  // The abandonment reached the host as a high-priority status update —
+  // the hook the runtime's degradation ladder hangs off.
+  bool high_priority_seen = false;
+  while (const auto e = status.poll()) {
+    high_priority_seen |= e->high_priority_request;
+  }
+  EXPECT_TRUE(high_priority_seen);
+  EXPECT_EQ(injector.summary().exhausted[static_cast<std::size_t>(kCrash)],
+            1u);
+}
+
+}  // namespace
+}  // namespace isp

@@ -1,6 +1,9 @@
 // Unit tests: NVMe rings, controller command processing, ActivePy queues.
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "fault/fault.hpp"
 #include "flash/flash_array.hpp"
 #include "flash/ftl.hpp"
 #include "nvme/call_queue.hpp"
@@ -204,6 +207,101 @@ TEST_F(ControllerTest, LateQueueJoinsTheRotation) {
   const auto completion = late.cq().pop();
   ASSERT_TRUE(completion.has_value());
   EXPECT_EQ(completion->command_id, 2);
+}
+
+// Regression: the latent dangling-CQ-entry bug class.  A naive timeout
+// implementation posts a completion for the timed-out attempt AND lets the
+// requeued retry complete again, so the host sees two completions for one
+// command id.  The contract is exactly one completion per command, no
+// matter how many attempts the fault schedule forces.
+TEST_F(ControllerTest, TimedOutCommandsPostNoDanglingCompletions) {
+  fault::FaultConfig config;
+  config.seed = 99;
+  config.set_rate(fault::Site::NvmeCommand, 0.5);
+  fault::Injector injector(config);
+  controller_.set_injector(&injector);
+
+  constexpr std::uint16_t kCommands = 8;
+  for (std::uint16_t i = 0; i < kCommands; ++i) {
+    qp_.sq().push(SubmissionEntry{.opcode = Opcode::Write,
+                                  .command_id = i,
+                                  .lba = i,
+                                  .length_pages = 1});
+  }
+  controller_.ring_doorbell(qp_);
+  simulator_.run();  // must drain: bounded retries, no livelock
+
+  std::map<std::uint16_t, int> seen;
+  while (const auto c = qp_.cq().pop()) ++seen[c->command_id];
+  EXPECT_EQ(seen.size(), kCommands);
+  for (const auto& [id, count] : seen) {
+    EXPECT_EQ(count, 1) << "command " << id << " completed " << count
+                        << " times";
+  }
+  // Every command either executed or failed typed — none vanished.
+  EXPECT_EQ(controller_.commands_processed() + controller_.commands_failed(),
+            kCommands);
+  EXPECT_GT(injector.summary().total_injected(), 0u);
+}
+
+TEST_F(ControllerTest, ExhaustedRetriesCompleteOnceWithTypedError) {
+  fault::FaultConfig config;
+  config.set_rate(fault::Site::NvmeCommand, 1.0);  // every attempt is lost
+  fault::Injector injector(config);
+  controller_.set_injector(&injector);
+
+  qp_.sq().push(SubmissionEntry{.opcode = Opcode::Write,
+                                .command_id = 42,
+                                .lba = 0,
+                                .length_pages = 1});
+  controller_.ring_doorbell(qp_);
+  simulator_.run();  // terminates: the retry policy bounds the attempts
+
+  const auto completion = qp_.cq().pop();
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_EQ(completion->command_id, 42);
+  EXPECT_EQ(completion->status, Status::Error);
+  EXPECT_FALSE(qp_.cq().pop().has_value());  // exactly one completion
+  EXPECT_EQ(controller_.commands_processed(), 0u);
+  EXPECT_EQ(controller_.commands_failed(), 1u);
+
+  // Virtual time covers every timeout + exponential backoff: with the
+  // default policy, 4 x 50us timeouts plus 10+20+40+80us of backoff.
+  const auto& retry = config.retry;
+  Seconds expected = Seconds::zero();
+  for (std::uint32_t a = 1; a <= retry.max_attempts; ++a) {
+    expected += config.nvme_command_timeout + retry.backoff_before(a);
+  }
+  EXPECT_GE(simulator_.now().seconds(), expected.value());
+  EXPECT_LT(simulator_.now().seconds(), expected.value() + 1e-3);
+}
+
+TEST_F(ControllerTest, UncorrectableEccReadSurfacesAsCommandError) {
+  fault::FaultConfig config;
+  config.set_rate(fault::Site::FlashReadEcc, 1.0);
+  fault::Injector injector(config);
+  array_.set_injector(&injector);
+
+  qp_.sq().push(SubmissionEntry{.opcode = Opcode::Write,
+                                .command_id = 1,
+                                .lba = 0,
+                                .length_pages = 2});
+  qp_.sq().push(SubmissionEntry{.opcode = Opcode::Read,
+                                .command_id = 2,
+                                .lba = 0,
+                                .length_pages = 2});
+  controller_.ring_doorbell(qp_);
+  simulator_.run();
+
+  const auto w = qp_.cq().pop();
+  const auto r = qp_.cq().pop();
+  ASSERT_TRUE(w && r);
+  EXPECT_EQ(w->status, Status::Success);  // program site is at rate 0
+  EXPECT_EQ(r->command_id, 2);
+  EXPECT_EQ(r->status, Status::Error);
+  EXPECT_EQ(injector.summary().exhausted[static_cast<std::size_t>(
+                fault::Site::FlashReadEcc)],
+            1u);
 }
 
 TEST(StatusQueue, DropsOldestWhenFull) {

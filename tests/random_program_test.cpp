@@ -13,8 +13,10 @@
 //   * every run is deterministic.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <string>
+#include <tuple>
 
 #include "baseline/baselines.hpp"
 #include "common/rng.hpp"
@@ -167,6 +169,68 @@ TEST_P(RandomPrograms, PlacementInvariantResults) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
                          ::testing::Range<std::uint64_t>(1000, 1012));
+
+/// Fuzz sweep: random programs x random fault schedules.  Whatever the
+/// FaultPlan throws at the device stack — ECC retries, program failures, DMA
+/// stalls, CSE crashes that force mid-line migration, lost status updates —
+/// every run must terminate in bounded virtual time with functional results
+/// byte-identical to the host-only fault-free run: graceful degradation is
+/// functionally invisible.
+class RandomFaultedPrograms
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(RandomFaultedPrograms, TerminatesWithHostIdenticalResults) {
+  const auto [program_seed, fault_seed] = GetParam();
+  const auto program = random_program(program_seed);
+
+  // Fault-free host-only reference.
+  runtime::EngineOptions clean;
+  clean.monitoring = false;
+  clean.migration = false;
+  system::SystemModel host_system;
+  auto host_store = program.make_store();
+  runtime::run_program(host_system, program,
+                       ir::Plan::host_only(program.line_count()),
+                       codegen::ExecMode::NativeC, clean, &host_store);
+
+  // All-CSD plan under an aggressive fault schedule, recovery fully armed.
+  runtime::EngineOptions faulted;  // monitoring + migration stay on
+  faulted.fault.seed = fault_seed;
+  faulted.fault.set_rate(fault::Site::FlashReadEcc, 0.3);
+  faulted.fault.set_rate(fault::Site::FlashProgram, 0.3);
+  faulted.fault.set_rate(fault::Site::DmaTransfer, 0.3);
+  faulted.fault.set_rate(fault::Site::CseCrash, 0.5);
+  faulted.fault.set_rate(fault::Site::StatusLoss, 0.5);
+
+  ir::Plan all_csd = ir::Plan::host_only(program.line_count());
+  for (auto& p : all_csd.placement) p = ir::Placement::Csd;
+  system::SystemModel csd_system;
+  auto csd_store = program.make_store();
+  const auto report =
+      runtime::run_program(csd_system, program, all_csd,
+                           codegen::ExecMode::NativeC, faulted, &csd_store);
+
+  // Terminated, with the fault handling accounted in finite virtual time.
+  ASSERT_TRUE(std::isfinite(report.total.value()));
+  EXPECT_GT(report.total.value(), 0.0);
+  EXPECT_GE(report.faults.penalty.value(), 0.0);
+  EXPECT_EQ(report.faults.total_injected() > 0,
+            !report.fault_records.empty());
+
+  const auto& final_name = program.lines().back().outputs.front();
+  const auto& h = host_store.at(final_name).physical;
+  const auto& f = csd_store.at(final_name).physical;
+  ASSERT_EQ(h.size_bytes(), f.size_bytes());
+  EXPECT_EQ(0, std::memcmp(h.as<std::byte>().data(),
+                           f.as<std::byte>().data(), h.size_bytes()));
+}
+
+// 10 programs x 5 fault schedules = 50 fuzz combinations.
+INSTANTIATE_TEST_SUITE_P(
+    SeedMatrix, RandomFaultedPrograms,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1000, 1010),
+                       ::testing::Range<std::uint64_t>(0, 5)));
 
 }  // namespace
 }  // namespace isp
