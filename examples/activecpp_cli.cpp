@@ -19,13 +19,22 @@
 //   --nvmeof             attach the CSD over NVMe-oF/RDMA instead of PCIe
 //   --size-factor F      scale the Table-I dataset (default 1.0)
 //   --seed N             dataset seed
-//   --fault-rate F       inject faults at every device-stack site with
-//                        probability F per opportunity (0 = off, bit-for-bit
-//                        identical to a run without the fault layer)
+//   --fault-rate F       inject faults at every device-stack point-fault
+//                        site with probability F per opportunity (0 = off,
+//                        bit-for-bit identical to a run without the fault
+//                        layer)
 //   --fault-seed N       seed of the deterministic fault schedule
+//   --power-loss-rate F  whole-device power cut with probability F per event
+//                        boundary; the device recovers (NVMe reset, FTL
+//                        journal/checkpoint remount) and the run completes
+//                        with host-identical output
+//   --crash-at N         deterministic single power loss at the N-th event
+//                        boundary (the crash-point sweep's knob)
 //   --json               print the execution report as JSON
 //   --trace PATH         write a chrome://tracing timeline
 //   --list               list registered workloads and exit
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,9 +62,47 @@ struct CliOptions {
   std::uint64_t seed = 42;
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 0;
+  double power_loss_rate = 0.0;
+  std::int64_t crash_at = -1;  // -1 = disabled
   bool json = false;
   std::string trace_path;
 };
+
+/// Strict numeric parsing: std::atof silently turns garbage into 0.0, so
+/// "--fault-rate banana" used to mean "no faults".  Reject anything that is
+/// not a complete, finite number, with a clear message and exit code 2.
+double parse_double(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !std::isfinite(v)) {
+    std::fprintf(stderr, "%s: '%s' is not a number\n", flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+double parse_double_in(const char* flag, const char* text, double lo,
+                       double hi) {
+  const double v = parse_double(flag, text);
+  if (v < lo || v > hi) {
+    std::fprintf(stderr, "%s: %g is outside [%g, %g]\n", flag, v, lo, hi);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::uint64_t parse_uint(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-') {
+    std::fprintf(stderr, "%s: '%s' is not a non-negative integer\n", flag,
+                 text);
+    std::exit(2);
+  }
+  return v;
+}
 
 isp::codegen::ExecMode parse_mode(const std::string& mode) {
   if (mode == "nativec") return isp::codegen::ExecMode::NativeC;
@@ -91,11 +138,13 @@ CliOptions parse(int argc, char** argv) {
     } else if (arg == "--mode") {
       options.mode = parse_mode(value(i));
     } else if (arg == "--availability") {
-      options.availability = std::atof(value(i));
+      options.availability =
+          parse_double_in("--availability", value(i), 1e-6, 1.0);
     } else if (arg == "--contention") {
-      options.contention = std::atof(value(i));
+      options.contention = parse_double_in("--contention", value(i), 0.0, 1.0);
     } else if (arg == "--host-availability") {
-      options.host_availability = std::atof(value(i));
+      options.host_availability =
+          parse_double_in("--host-availability", value(i), 1e-6, 1.0);
     } else if (arg == "--no-migration") {
       options.migration = false;
     } else if (arg == "--no-monitoring") {
@@ -107,13 +156,23 @@ CliOptions parse(int argc, char** argv) {
     } else if (arg == "--nvmeof") {
       options.nvmeof = true;
     } else if (arg == "--size-factor") {
-      options.size_factor = std::atof(value(i));
+      options.size_factor = parse_double("--size-factor", value(i));
+      if (options.size_factor <= 0.0) {
+        std::fprintf(stderr, "--size-factor must be positive\n");
+        std::exit(2);
+      }
     } else if (arg == "--seed") {
-      options.seed = std::strtoull(value(i), nullptr, 10);
+      options.seed = parse_uint("--seed", value(i));
     } else if (arg == "--fault-rate") {
-      options.fault_rate = std::atof(value(i));
+      options.fault_rate = parse_double_in("--fault-rate", value(i), 0.0, 1.0);
     } else if (arg == "--fault-seed") {
-      options.fault_seed = std::strtoull(value(i), nullptr, 10);
+      options.fault_seed = parse_uint("--fault-seed", value(i));
+    } else if (arg == "--power-loss-rate") {
+      options.power_loss_rate =
+          parse_double_in("--power-loss-rate", value(i), 0.0, 1.0);
+    } else if (arg == "--crash-at") {
+      options.crash_at =
+          static_cast<std::int64_t>(parse_uint("--crash-at", value(i)));
     } else if (arg == "--json") {
       options.json = true;
     } else if (arg == "--trace") {
@@ -165,6 +224,17 @@ int main(int argc, char** argv) {
     rc.engine.monitoring = options.monitoring;
     rc.engine.fault.seed = options.fault_seed;
     rc.engine.fault.set_rate_all(options.fault_rate);
+    if (options.crash_at >= 0) {
+      // One deterministic power loss at exactly the N-th event boundary.
+      auto& site = rc.engine.fault.sites[static_cast<std::size_t>(
+          fault::Site::PowerLoss)];
+      site.rate = 1.0;
+      site.skip_first = static_cast<std::uint64_t>(options.crash_at);
+      site.max_faults = 1;
+    } else if (options.power_loss_rate > 0.0) {
+      rc.engine.fault.set_rate(fault::Site::PowerLoss,
+                               options.power_loss_rate);
+    }
     rc.engine.cse_availability =
         sim::AvailabilitySchedule::constant(options.availability);
     rc.engine.host_availability =

@@ -8,7 +8,8 @@ CsdDevice::CsdDevice(sim::Simulator& simulator, CsdConfig config)
       flash_(config.nand_geometry, config.nand_timing),
       ftl_(std::make_unique<flash::Ftl>(
           flash::FtlConfig{.geometry = config.nand_geometry,
-                           .overprovision = config.ftl_overprovision})),
+                           .overprovision = config.ftl_overprovision,
+                           .journal = config.ftl_journal})),
       controller_(simulator, flash_, ftl_.get(), config.controller),
       io_queue_(/*id=*/1, config.queue_depth),
       call_queue_(config.call_queue_depth),
@@ -23,6 +24,20 @@ void CsdDevice::apply_gc_pressure() {
   const double pressure = ftl_->gc_pressure();
   flash_.set_availability(
       sim::AvailabilitySchedule::constant(1.0 - pressure));
+}
+
+PowerCycleOutcome CsdDevice::power_cycle() {
+  PowerCycleOutcome out;
+  out.commands_requeued = controller_.power_cycle();
+  cse_.reset_counters();  // perf counters are volatile
+  if (ftl_->journaling() && ftl_->mounted()) {
+    out.crash = ftl_->power_loss();
+    out.recovery = ftl_->recover();
+    out.remount_time =
+        config_.nand_timing.page_read *
+        static_cast<double>(out.recovery.media_reads());
+  }
+  return out;
 }
 
 }  // namespace isp::csd

@@ -20,11 +20,23 @@ struct CsdConfig {
   flash::NandGeometry nand_geometry;
   flash::NandTiming nand_timing;
   double ftl_overprovision = 0.125;
+  /// The device FTL journals its metadata by default: a real CSD must
+  /// survive power loss.  (A bare Ftl constructed directly stays
+  /// journal-free, so existing unit tests and cost models are unchanged.)
+  flash::FtlJournalConfig ftl_journal{.enabled = true};
   Bytes device_dram = 8_GiB;
   std::uint32_t queue_depth = 64;
   std::uint32_t call_queue_depth = 64;
   std::uint32_t status_queue_depth = 256;
   nvme::ControllerConfig controller;
+};
+
+/// What one whole-device power cycle did and cost.
+struct PowerCycleOutcome {
+  std::uint64_t commands_requeued = 0;  // aborted + requeued NVMe commands
+  flash::FtlCrash crash;                // volatile FTL state lost
+  flash::FtlRecovery recovery;          // remount replay/scan statistics
+  Seconds remount_time;                 // recovery media reads × page_read
 };
 
 class CsdDevice {
@@ -49,6 +61,15 @@ class CsdDevice {
   /// Fold GC pressure into the flash array's availability: when the FTL is
   /// relocating pages, ISP reads see a derated internal bandwidth.
   void apply_gc_pressure();
+
+  /// Whole-device power cycle: reset the NVMe controller (in-flight
+  /// commands complete with Status::Aborted and are requeued by the host),
+  /// clear the CSE's volatile state, crash and remount the FTL
+  /// (checkpoint + journal replay, OOB tail scan).  Returns the outcome;
+  /// remount_time converts the remount's media reads through NandTiming.
+  /// The controller is left quiescent — the recovery orchestration calls
+  /// controller().restart() once the power_cycle downtime has elapsed.
+  PowerCycleOutcome power_cycle();
 
  private:
   CsdConfig config_;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "common/status.hpp"
 #include "csd/cse.hpp"
@@ -70,12 +71,24 @@ class Firmware {
     on_failure_ = std::move(on_failure);
   }
 
+  /// Power cut mid-function: the chunk chain in flight is invalidated
+  /// (epoch gate), volatile firmware state — progress counters, the
+  /// high-priority flag — is cleared, and the interrupted call is
+  /// re-submitted to the call queue (the call record is host-resident) so
+  /// the rebooted firmware restarts it from chunk 0.  The poll loop re-arms
+  /// itself if it was running.
+  void power_cycle();
+
   [[nodiscard]] bool busy() const { return busy_; }
   [[nodiscard]] std::uint64_t functions_executed() const {
     return functions_executed_;
   }
   [[nodiscard]] std::uint64_t functions_failed() const {
     return functions_failed_;
+  }
+  /// Functions interrupted by a power cycle and re-submitted for restart.
+  [[nodiscard]] std::uint64_t functions_restarted() const {
+    return functions_restarted_;
   }
 
  private:
@@ -97,6 +110,12 @@ class Firmware {
   double instructions_retired_ = 0.0;
   std::uint64_t functions_executed_ = 0;
   std::uint64_t functions_failed_ = 0;
+  std::uint64_t functions_restarted_ = 0;
+  /// Bumped by power_cycle(); stale chunk/poll lambdas fire as no-ops.
+  std::uint64_t epoch_ = 0;
+  /// The call being executed right now (fetch is destructive, so this is
+  /// what a power cycle must put back).
+  std::optional<nvme::CallEntry> current_;
   fault::Injector* injector_ = nullptr;
 };
 

@@ -21,6 +21,8 @@ std::string_view to_string(Site site) {
       return "cse-crash";
     case Site::StatusLoss:
       return "status-loss";
+    case Site::PowerLoss:
+      return "power-loss";
     case Site::kCount:
       break;
   }
@@ -40,6 +42,7 @@ void FaultConfig::set_rate(Site site, double r) {
 
 void FaultConfig::set_rate_all(double r) {
   for (std::size_t s = 0; s < kSiteCount; ++s) {
+    if (static_cast<Site>(s) == Site::PowerLoss) continue;
     set_rate(static_cast<Site>(s), r);
   }
 }
@@ -72,7 +75,10 @@ bool FaultPlan::fires(Site site) {
   const SiteConfig& sc = config_.sites[s];
   if (sc.rate <= 0.0) return false;
   if (n < sc.skip_first) return false;
-  return hash_unit(streams_[s] ^ splitmix64(n)) < sc.rate;
+  if (sc.max_faults > 0 && fired_[s] >= sc.max_faults) return false;
+  if (hash_unit(streams_[s] ^ splitmix64(n)) >= sc.rate) return false;
+  ++fired_[s];
+  return true;
 }
 
 std::uint64_t FaultSummary::total_injected() const {

@@ -35,6 +35,7 @@ enum class Site : std::uint8_t {
   DmaTransfer,      // DMA transfer stall on the host link
   CseCrash,         // CSE core crash mid-chunk
   StatusLoss,       // status update lost before the monitor sees it
+  PowerLoss,        // whole-device power cut at an event boundary
   kCount
 };
 
@@ -59,6 +60,10 @@ struct SiteConfig {
   /// Opportunities at this site that never fault — lets tests place the
   /// first fault at an exact chunk/command/page deterministically.
   std::uint64_t skip_first = 0;
+  /// Cap on faults this site may fire over a run (0 = unlimited).  With
+  /// rate 1, skip_first k and max_faults 1 the site fires exactly once, at
+  /// the (k+1)-th opportunity — the crash-point sweep's one knob.
+  std::uint64_t max_faults = 0;
 };
 
 struct FaultConfig {
@@ -77,8 +82,15 @@ struct FaultConfig {
   Seconds block_retire = Seconds{5e-3};
   /// Escalation when the DMA engine exhausts retries: reset the link.
   Seconds link_reset = Seconds{1e-3};
+  /// Whole-device power cycle after a PowerLoss: controller reset plus
+  /// firmware reboot, before the FTL remount (journal/checkpoint replay)
+  /// adds its media-read cost on top.
+  Seconds power_cycle = Seconds{10e-3};
 
   void set_rate(Site site, double rate);
+  /// Set every *point-fault* site to `rate`.  PowerLoss is deliberately
+  /// excluded: it is a whole-device event with its own recovery machinery,
+  /// enabled explicitly via set_rate(Site::PowerLoss, r).
   void set_rate_all(double rate);
   [[nodiscard]] double rate(Site site) const;
   /// True if any site can fire (a rate above zero).
@@ -107,6 +119,7 @@ class FaultPlan {
   FaultConfig config_;
   bool enabled_ = false;
   std::array<std::uint64_t, kSiteCount> counters_{};
+  std::array<std::uint64_t, kSiteCount> fired_{};    // faults fired per site
   std::array<std::uint64_t, kSiteCount> streams_{};  // per-site hash stream
 };
 

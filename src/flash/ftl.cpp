@@ -15,6 +15,15 @@ Ftl::Ftl(FtlConfig config) : config_(config) {
   ISP_CHECK(config_.gc_low_watermark >= 1 &&
                 config_.gc_high_watermark > config_.gc_low_watermark,
             "bad GC watermarks");
+  if (config_.journal.enabled) {
+    ISP_CHECK(config_.journal.entry_bytes > 0 &&
+                  config_.journal.checkpoint_entry_bytes > 0,
+              "journal entries need a size");
+    ISP_CHECK(config_.journal.checkpoint_interval_pages >= 1,
+              "checkpoint interval must be at least one journal page");
+    ISP_CHECK(journal_entries_per_page() >= 1,
+              "journal entry larger than a flash page");
+  }
 
   const auto physical_pages = g.total_pages();
   logical_pages_ = static_cast<std::uint64_t>(
@@ -33,7 +42,12 @@ Ftl::Ftl(FtlConfig config) : config_(config) {
   l2p_.assign(logical_pages_, std::nullopt);
   p2l_.assign(physical_pages, std::nullopt);
   blocks_.assign(g.total_blocks(), Block{});
+  retired_.assign(g.total_blocks(), 0);
   free_count_ = static_cast<std::uint32_t>(g.total_blocks());
+  if (config_.journal.enabled) {
+    media_.assign(physical_pages, std::nullopt);
+    checkpoint_.assign(logical_pages_, std::nullopt);
+  }
 
   active_block_ = allocate_free_block();
   gc_active_block_ = allocate_free_block();
@@ -45,6 +59,11 @@ Ppn Ftl::block_first_page(std::uint64_t block) const {
 
 std::uint64_t Ftl::page_block(Ppn ppn) const {
   return ppn / config_.geometry.pages_per_block;
+}
+
+std::uint32_t Ftl::journal_entries_per_page() const {
+  return static_cast<std::uint32_t>(config_.geometry.page_bytes.count() /
+                                    config_.journal.entry_bytes);
 }
 
 std::uint64_t Ftl::allocate_free_block() {
@@ -72,30 +91,85 @@ Ppn Ftl::append_to_active(bool for_gc) {
   return ppn;
 }
 
+void Ftl::journal_append(Lpn lpn, Ppn ppn, std::uint64_t seq) {
+  if (!config_.journal.enabled) return;
+  journal_buf_.push_back(JournalEntry{lpn, ppn, seq});
+  if (journal_buf_.size() < journal_entries_per_page()) return;
+  // The open journal page filled: program it.  Its entries become durable
+  // and the write is charged as real metadata traffic.
+  journal_.insert(journal_.end(), journal_buf_.begin(), journal_buf_.end());
+  last_durable_seq_ = journal_buf_.back().seq;
+  journal_buf_.clear();
+  ++stats_.meta_writes;
+  ++journal_pages_since_fold_;
+  ++meta_pages_live_;
+  if (journal_pages_since_fold_ >= config_.journal.checkpoint_interval_pages) {
+    fold_checkpoint();
+  }
+}
+
+void Ftl::fold_checkpoint() {
+  // Snapshot the whole map; the old checkpoint + journal region is then
+  // recycled (erased) and a fresh journal starts empty.
+  checkpoint_ = l2p_;
+  checkpoint_seq_ = seq_;
+  const auto page = config_.geometry.page_bytes.count();
+  checkpoint_pages_ =
+      (mapped_count_ * config_.journal.checkpoint_entry_bytes + page - 1) /
+      page;
+  if (checkpoint_pages_ == 0) checkpoint_pages_ = 1;  // map header page
+  stats_.meta_writes += checkpoint_pages_;
+  ++stats_.checkpoint_folds;
+  const auto ppb = config_.geometry.pages_per_block;
+  stats_.erases += (meta_pages_live_ + ppb - 1) / ppb;
+  meta_pages_live_ = checkpoint_pages_;
+  journal_.clear();
+  journal_buf_.clear();
+  journal_pages_since_fold_ = 0;
+  last_durable_seq_ = checkpoint_seq_;
+}
+
+void Ftl::install_mapping(Lpn lpn, Ppn ppn, bool for_gc) {
+  l2p_[lpn] = ppn;
+  p2l_[ppn] = lpn;
+  ++blocks_[page_block(ppn)].valid;
+  const std::uint64_t seq = ++seq_;
+  if (config_.journal.enabled) {
+    media_[ppn] = Oob{lpn, seq};
+    journal_append(lpn, ppn, seq);
+  }
+  (void)for_gc;
+}
+
 void Ftl::write(Lpn lpn) {
+  ISP_CHECK(mounted_, "FTL not mounted (crashed; call recover() first)");
   ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
-  // Invalidate the previous location, if any.
+  // Invalidate the previous location, if any.  No journal entry is needed
+  // for the invalidation itself: validity is derived from the newest
+  // mapping during recovery.
   if (const auto old = l2p_[lpn]) {
     p2l_[*old] = std::nullopt;
     Block& blk = blocks_[page_block(*old)];
     ISP_DCHECK(blk.valid > 0, "valid-count underflow");
     --blk.valid;
+  } else {
+    ++mapped_count_;
   }
   const Ppn ppn = append_to_active(/*for_gc=*/false);
-  l2p_[lpn] = ppn;
-  p2l_[ppn] = lpn;
-  ++blocks_[page_block(ppn)].valid;
+  install_mapping(lpn, ppn, /*for_gc=*/false);
   ++stats_.host_writes;
 
   if (free_count_ <= config_.gc_low_watermark) garbage_collect();
 }
 
 std::optional<Ppn> Ftl::translate(Lpn lpn) const {
+  ISP_CHECK(mounted_, "FTL not mounted (crashed; call recover() first)");
   ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
   return l2p_[lpn];
 }
 
 void Ftl::trim(Lpn lpn) {
+  ISP_CHECK(mounted_, "FTL not mounted (crashed; call recover() first)");
   ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
   if (const auto old = l2p_[lpn]) {
     p2l_[*old] = std::nullopt;
@@ -103,7 +177,64 @@ void Ftl::trim(Lpn lpn) {
     ISP_DCHECK(blk.valid > 0, "valid-count underflow");
     --blk.valid;
     l2p_[lpn] = std::nullopt;
+    --mapped_count_;
+    journal_append(lpn, kTrimMark, ++seq_);
   }
+}
+
+void Ftl::retire_block(std::uint64_t block) {
+  ISP_CHECK(mounted_, "FTL not mounted (crashed; call recover() first)");
+  ISP_CHECK(block < blocks_.size(), "block out of range: " << block);
+  if (retired_[block]) return;
+  // Feasibility after losing one more block, mirroring the constructor.
+  const auto& g = config_.geometry;
+  const auto logical_blocks =
+      (logical_pages_ + g.pages_per_block - 1) / g.pages_per_block;
+  ISP_CHECK(logical_blocks + 2 + config_.gc_high_watermark + retired_count_ +
+                    1 <=
+                g.total_blocks(),
+            "cannot retire block " << block
+                                   << ": too few healthy blocks would remain");
+
+  // The append points must not sit on a dying block.
+  const bool had_data = blocks_[block].next_free_page > 0;
+  if (block == active_block_ || block == gc_active_block_) {
+    std::uint64_t replacement = allocate_free_block();
+    (block == active_block_ ? active_block_ : gc_active_block_) = replacement;
+  }
+  // Relocate whatever is still valid, exactly like a GC victim.
+  const Ppn first = block_first_page(block);
+  for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+    const Ppn src = first + p;
+    if (const auto lpn = p2l_[src]) {
+      const Ppn dst = append_to_active(/*for_gc=*/true);
+      p2l_[src] = std::nullopt;
+      --blocks_[block].valid;
+      install_mapping(*lpn, dst, /*for_gc=*/true);
+      ++stats_.gc_writes;
+    }
+  }
+  ISP_DCHECK(blocks_[block].valid == 0, "retired block not fully relocated");
+  if (blocks_[block].is_free) {
+    --free_count_;
+  } else if (had_data) {
+    ++stats_.erases;  // decommission erase of a programmed block
+  }
+  if (!media_.empty()) {
+    for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+      media_[first + p] = std::nullopt;
+    }
+  }
+  blocks_[block] = Block{};
+  blocks_[block].is_free = false;
+  blocks_[block].next_free_page = g.pages_per_block;  // never appendable
+  retired_[block] = 1;
+  ++retired_count_;
+  ++stats_.blocks_retired;
+  if (config_.journal.enabled) ++stats_.meta_writes;  // bad-block table entry
+
+  // Retirement can eat into the free pool; let GC restore the watermark.
+  if (free_count_ <= config_.gc_low_watermark) garbage_collect();
 }
 
 void Ftl::garbage_collect() {
@@ -114,7 +245,8 @@ void Ftl::garbage_collect() {
     std::uint64_t victim = blocks_.size();
     std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
     for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
-      if (blocks_[b].is_free || b == active_block_ || b == gc_active_block_)
+      if (blocks_[b].is_free || retired_[b] || b == active_block_ ||
+          b == gc_active_block_)
         continue;
       if (blocks_[b].next_free_page != pages_per_block) continue;
       if (blocks_[b].valid < best_valid) {
@@ -136,27 +268,201 @@ void Ftl::garbage_collect() {
         const Ppn dst = append_to_active(/*for_gc=*/true);
         p2l_[src] = std::nullopt;
         --blocks_[victim].valid;
-        l2p_[*lpn] = dst;
-        p2l_[dst] = *lpn;
-        ++blocks_[page_block(dst)].valid;
+        install_mapping(*lpn, dst, /*for_gc=*/true);
         ++stats_.gc_writes;
       }
     }
     ISP_DCHECK(blocks_[victim].valid == 0, "victim not fully invalidated");
+    if (!media_.empty()) {
+      for (std::uint32_t p = 0; p < pages_per_block; ++p) {
+        media_[first + p] = std::nullopt;
+      }
+    }
     blocks_[victim] = Block{};
     ++free_count_;
     ++stats_.erases;
   }
 }
 
+FtlCrash Ftl::power_loss() {
+  ISP_CHECK(config_.journal.enabled,
+            "power_loss() requires journal mode (FtlJournalConfig::enabled)");
+  ISP_CHECK(mounted_, "device already crashed");
+  FtlCrash crash;
+  crash.lost_tail_updates = journal_buf_.size();
+  for (const auto& e : journal_buf_) {
+    if (e.ppn == kTrimMark) ++crash.lost_trims;
+  }
+  // Everything volatile is gone.  The durable state — media OOB, programmed
+  // journal pages, the checkpoint, and the bad-block table — survives.
+  journal_buf_.clear();
+  l2p_.assign(logical_pages_, std::nullopt);
+  p2l_.assign(media_.size(), std::nullopt);
+  for (auto& b : blocks_) b = Block{};
+  mapped_count_ = 0;
+  free_count_ = 0;
+  mounted_ = false;
+  return crash;
+}
+
+FtlRecovery Ftl::recover() {
+  ISP_CHECK(config_.journal.enabled, "recover() requires journal mode");
+  ISP_CHECK(!mounted_, "recover() on a mounted FTL");
+  FtlRecovery rec;
+  const auto pages_per_block = config_.geometry.pages_per_block;
+
+  // 1. Candidate map from the checkpoint, each entry stamped with the fold
+  //    sequence (everything in the checkpoint is at least that old).
+  std::vector<std::optional<std::pair<Ppn, std::uint64_t>>> m(logical_pages_);
+  for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
+    if (checkpoint_[lpn]) m[lpn] = {*checkpoint_[lpn], checkpoint_seq_};
+  }
+  rec.checkpoint_pages_read = checkpoint_pages_;
+
+  // 2. Replay the durable journal in order.
+  for (const auto& e : journal_) {
+    if (e.ppn == kTrimMark) {
+      m[e.lpn] = std::nullopt;
+    } else {
+      m[e.lpn] = {e.ppn, e.seq};
+    }
+  }
+  rec.journal_entries_replayed = journal_.size();
+  rec.journal_pages_read =
+      (journal_.size() + journal_entries_per_page() - 1) /
+      journal_entries_per_page();
+
+  // 3. OOB scan: only blocks holding pages programmed after the last
+  //    durable journal page need reading (their block headers carry the
+  //    program sequence, so the set is known without a full-device scan).
+  //    This is what rescues the journal's volatile tail: every data-page
+  //    program stamped its lpn+seq on the media.
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    const Ppn first = block_first_page(b);
+    bool has_new = false;
+    for (std::uint32_t p = 0; p < pages_per_block; ++p) {
+      const auto& oob = media_[first + p];
+      if (oob && oob->seq > last_durable_seq_) {
+        has_new = true;
+        break;
+      }
+    }
+    if (!has_new) continue;
+    ++rec.blocks_scanned;
+    rec.pages_scanned += pages_per_block;
+    for (std::uint32_t p = 0; p < pages_per_block; ++p) {
+      const Ppn ppn = first + p;
+      const auto& oob = media_[ppn];
+      if (!oob || oob->seq <= last_durable_seq_) continue;
+      if (!m[oob->lpn] || oob->seq > m[oob->lpn]->second) {
+        m[oob->lpn] = {ppn, oob->seq};
+        ++rec.tail_updates_rescued;
+      }
+    }
+  }
+
+  // 4. Confirm every candidate against the media: a mapping whose physical
+  //    page was erased (its relocation entry sat in the lost tail) is
+  //    stale — the OOB scan already supplied the newer location.
+  for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
+    if (!m[lpn]) continue;
+    const Ppn ppn = m[lpn]->first;
+    if (!media_[ppn] || media_[ppn]->lpn != lpn) {
+      m[lpn] = std::nullopt;
+      ++rec.stale_mappings_dropped;
+    }
+  }
+
+  // 5. Rebuild the volatile state: forward/reverse map, per-block append
+  //    pointers (programmed pages are a prefix of each block), valid
+  //    counts, and the free pool.
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    Block nb;
+    if (retired_[b]) {
+      nb.is_free = false;
+      nb.next_free_page = pages_per_block;
+      blocks_[b] = nb;
+      continue;
+    }
+    const Ppn first = block_first_page(b);
+    std::uint32_t programmed = 0;
+    for (std::uint32_t p = 0; p < pages_per_block; ++p) {
+      if (media_[first + p]) programmed = p + 1;
+    }
+    nb.next_free_page = programmed;
+    nb.is_free = (programmed == 0);
+    blocks_[b] = nb;
+  }
+  mapped_count_ = 0;
+  for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
+    if (!m[lpn]) continue;
+    const Ppn ppn = m[lpn]->first;
+    l2p_[lpn] = ppn;
+    p2l_[ppn] = lpn;
+    ++blocks_[page_block(ppn)].valid;
+    ++mapped_count_;
+  }
+  rec.mappings_recovered = mapped_count_;
+  free_count_ = 0;
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].is_free) ++free_count_;
+  }
+
+  // 6. Re-open the partially written blocks as the append points so they
+  //    are not stranded (GC only reclaims full blocks).  Normal operation
+  //    leaves at most two partial blocks (host + GC append); if recovery
+  //    somehow finds more, compact the extras away.
+  std::vector<std::uint64_t> partial;
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].is_free || retired_[b]) continue;
+    if (blocks_[b].next_free_page < pages_per_block) partial.push_back(b);
+  }
+  mounted_ = true;
+  if (partial.size() >= 1) {
+    active_block_ = partial[0];
+  } else {
+    active_block_ = allocate_free_block();
+  }
+  if (partial.size() >= 2) {
+    gc_active_block_ = partial[1];
+  } else {
+    gc_active_block_ = allocate_free_block();
+  }
+  for (std::size_t i = 2; i < partial.size(); ++i) {
+    const std::uint64_t b = partial[i];
+    const Ppn first = block_first_page(b);
+    for (std::uint32_t p = 0; p < pages_per_block; ++p) {
+      const Ppn src = first + p;
+      if (const auto lpn = p2l_[src]) {
+        const Ppn dst = append_to_active(/*for_gc=*/true);
+        p2l_[src] = std::nullopt;
+        --blocks_[b].valid;
+        install_mapping(*lpn, dst, /*for_gc=*/true);
+        ++stats_.gc_writes;
+      }
+      media_[src] = std::nullopt;
+    }
+    blocks_[b] = Block{};
+    ++free_count_;
+    ++stats_.erases;
+  }
+
+  ++stats_.recoveries;
+  // The remount contract: every invariant holds before the first IO.
+  check_invariants();
+  return rec;
+}
+
 double Ftl::gc_pressure() const {
   const double host = static_cast<double>(stats_.host_writes);
-  const double gc = static_cast<double>(stats_.gc_writes);
-  if (host + gc == 0.0) return 0.0;
-  return gc / (host + gc);
+  const double internal =
+      static_cast<double>(stats_.gc_writes + stats_.meta_writes);
+  if (host + internal == 0.0) return 0.0;
+  return internal / (host + internal);
 }
 
 void Ftl::check_invariants() const {
+  ISP_CHECK(mounted_, "invariants undefined on an unmounted FTL");
   const auto pages_per_block = config_.geometry.pages_per_block;
 
   // l2p / p2l are mutually consistent bijections on their valid domain.
@@ -174,9 +480,12 @@ void Ftl::check_invariants() const {
     if (p2l_[ppn].has_value()) ++reverse_mapped;
   }
   ISP_CHECK(mapped == reverse_mapped, "map cardinality mismatch");
+  ISP_CHECK(mapped == mapped_count_, "mapped-count bookkeeping mismatch");
 
-  // Per-block valid counts match the reverse map; free blocks hold nothing.
+  // Per-block valid counts match the reverse map; free blocks hold nothing;
+  // retired blocks are out of service entirely.
   std::uint32_t free_seen = 0;
+  std::uint32_t retired_seen = 0;
   for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
     std::uint32_t valid = 0;
     for (std::uint32_t p = 0; p < pages_per_block; ++p) {
@@ -184,6 +493,12 @@ void Ftl::check_invariants() const {
     }
     ISP_CHECK(valid == blocks_[b].valid,
               "block " << b << " valid-count mismatch");
+    if (retired_[b]) {
+      ISP_CHECK(!blocks_[b].is_free, "retired block in the free pool");
+      ISP_CHECK(valid == 0, "retired block holds valid pages");
+      ++retired_seen;
+      continue;
+    }
     if (blocks_[b].is_free) {
       ISP_CHECK(valid == 0, "free block contains valid pages");
       ISP_CHECK(blocks_[b].next_free_page == 0, "free block partially written");
@@ -193,6 +508,11 @@ void Ftl::check_invariants() const {
               "append pointer past block end");
   }
   ISP_CHECK(free_seen == free_count_, "free-count bookkeeping mismatch");
+  ISP_CHECK(retired_seen == retired_count_,
+            "retired-count bookkeeping mismatch");
+  // Free + in-use + retired partition the array.
+  ISP_CHECK(free_seen + retired_seen <= blocks_.size(),
+            "block partition overflow");
 }
 
 }  // namespace isp::flash

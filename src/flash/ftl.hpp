@@ -1,17 +1,31 @@
-// Page-mapped flash translation layer with greedy garbage collection.
+// Page-mapped flash translation layer with greedy garbage collection and
+// power-loss crash consistency.
 //
 // The FTL is the "storage management workload" the paper names as a source
 // of CSE/bandwidth contention (§II-B(3)).  It maintains the logical→physical
 // page map, performs out-of-place writes, and reclaims space with a greedy
 // min-valid-cost GC policy.  gc_pressure() summarises how much internal
-// bandwidth background GC is consuming, which the CSD model converts into an
-// availability schedule for the flash array.
+// bandwidth background storage management (GC plus metadata persistence) is
+// consuming, which the CSD model converts into an availability schedule for
+// the flash array.
+//
+// Durability (journal mode, docs/fault-model.md "Power loss and recovery"):
+// every mapping update is appended to a journal held in reserved flash
+// pages; full journal pages are programmed (charged as real meta writes) and
+// periodically folded into a checkpoint of the whole map.  Data-page
+// programs carry the logical page number and a global sequence number in
+// their out-of-band area, so a remount after power loss replays
+// checkpoint + journal and then scans only the blocks written after the last
+// durable journal page.  The volatile tail that can be lost is exactly the
+// buffered (un-programmed) journal entries — and because writes and GC
+// relocations are recoverable from the OOB scan, the only updates a crash
+// can actually lose are trims buffered since the last journal page program.
 //
 // Invariants (enforced and property-tested):
 //   * a logical page maps to at most one valid physical page;
 //   * no two logical pages share a physical page;
 //   * per-block valid counts equal the number of valid pages in the block;
-//   * free + active + full + gc block counts always sum to the block total.
+//   * free + in-use + retired block counts always sum to the block total.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +40,18 @@ namespace isp::flash {
 using Lpn = std::uint64_t;  // logical page number
 using Ppn = std::uint64_t;  // physical page number
 
+/// Durable-metadata knobs.  Disabled by default so a bare Ftl behaves (and
+/// costs) exactly as before; CsdDevice enables it for the whole device.
+struct FtlJournalConfig {
+  bool enabled = false;
+  /// One mapping update in the journal (lpn + ppn/trim + sequence).
+  std::uint32_t entry_bytes = 16;
+  /// One map slot in a checkpoint page.
+  std::uint32_t checkpoint_entry_bytes = 8;
+  /// Fold the journal into a fresh checkpoint after this many journal pages.
+  std::uint32_t checkpoint_interval_pages = 64;
+};
+
 struct FtlConfig {
   NandGeometry geometry;
   /// Fraction of physical blocks hidden from the logical space.
@@ -34,18 +60,51 @@ struct FtlConfig {
   std::uint32_t gc_low_watermark = 2;
   /// Stop GC when free blocks recover to this many.
   std::uint32_t gc_high_watermark = 4;
+  FtlJournalConfig journal;
 };
 
 struct FtlStats {
   std::uint64_t host_writes = 0;   // pages written by the host
   std::uint64_t gc_writes = 0;     // pages relocated by GC
+  std::uint64_t meta_writes = 0;   // journal + checkpoint pages programmed
   std::uint64_t erases = 0;        // blocks erased
   std::uint64_t gc_invocations = 0;
+  std::uint64_t checkpoint_folds = 0;
+  std::uint64_t blocks_retired = 0;
+  std::uint64_t recoveries = 0;    // successful remounts after power loss
 
+  /// Metadata persistence is real write traffic: it amplifies exactly like
+  /// GC relocation does.
   [[nodiscard]] double write_amplification() const {
     if (host_writes == 0) return 1.0;
-    return static_cast<double>(host_writes + gc_writes) /
+    return static_cast<double>(host_writes + gc_writes + meta_writes) /
            static_cast<double>(host_writes);
+  }
+};
+
+/// What a power cut destroys: the buffered journal tail that was never
+/// programmed.  Writes and relocations in the tail are still recoverable
+/// from the data pages' OOB metadata; buffered trims are genuinely lost
+/// (the recovered map may resurrect them).
+struct FtlCrash {
+  std::uint64_t lost_tail_updates = 0;
+  std::uint64_t lost_trims = 0;
+};
+
+/// Cost and outcome of one remount.  Media reads are reported as counts so
+/// the caller can convert with its NandTiming (the FTL itself is untimed).
+struct FtlRecovery {
+  std::uint64_t checkpoint_pages_read = 0;
+  std::uint64_t journal_pages_read = 0;
+  std::uint64_t journal_entries_replayed = 0;
+  std::uint64_t blocks_scanned = 0;   // OOB scan of blocks newer than journal
+  std::uint64_t pages_scanned = 0;
+  std::uint64_t mappings_recovered = 0;  // live map entries after remount
+  std::uint64_t tail_updates_rescued = 0;  // recovered from OOB, not journal
+  std::uint64_t stale_mappings_dropped = 0;
+
+  [[nodiscard]] std::uint64_t media_reads() const {
+    return checkpoint_pages_read + journal_pages_read + pages_scanned;
   }
 };
 
@@ -65,12 +124,40 @@ class Ftl {
   /// Trim: drop the mapping, invalidating the physical page.
   void trim(Lpn lpn);
 
+  /// Decommission a block (grown-bad media): relocate its valid pages, add
+  /// it to the durable bad-block table, and exclude it from allocation
+  /// forever.  The escalation behind the FlashProgram site's block_retire
+  /// penalty.  No-op if already retired.
+  void retire_block(std::uint64_t block);
+
   [[nodiscard]] const FtlStats& stats() const { return stats_; }
   [[nodiscard]] std::uint32_t free_blocks() const { return free_count_; }
+  [[nodiscard]] std::uint32_t retired_blocks() const { return retired_count_; }
+  [[nodiscard]] std::uint64_t total_blocks() const { return blocks_.size(); }
 
-  /// Fraction of array bandwidth GC has consumed over the run so far: the
-  /// relocated+erase traffic relative to host traffic.  Used to derate the
-  /// internal bandwidth visible to ISP tasks.
+  [[nodiscard]] bool journaling() const { return config_.journal.enabled; }
+  [[nodiscard]] bool mounted() const { return mounted_; }
+  /// Mapping updates buffered in the volatile journal tail right now.
+  [[nodiscard]] std::uint64_t journal_tail_updates() const {
+    return journal_buf_.size();
+  }
+
+  /// Power cut: all volatile state (map, reverse map, block bookkeeping,
+  /// buffered journal tail) is gone.  Requires journal mode.  Every call
+  /// except recover(), stats() and the config accessors is invalid until
+  /// the remount completes.
+  FtlCrash power_loss();
+
+  /// Remount after power_loss(): replay checkpoint + journal, OOB-scan the
+  /// blocks written since the last durable journal page, rebuild the
+  /// reverse map and per-block valid counts, re-open the partially written
+  /// blocks, and re-verify every invariant.
+  FtlRecovery recover();
+
+  /// Fraction of array bandwidth background storage management has consumed
+  /// over the run so far: relocated + metadata traffic relative to all
+  /// write traffic.  Used to derate the internal bandwidth visible to ISP
+  /// tasks.
   [[nodiscard]] double gc_pressure() const;
 
   /// Validate every invariant; throws isp::Error on violation.  Cheap enough
@@ -84,20 +171,58 @@ class Ftl {
     bool is_free = true;
   };
 
+  /// OOB metadata stamped on every programmed data page (durable until the
+  /// block is erased): which logical page it holds and when it was written.
+  struct Oob {
+    Lpn lpn = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// One durable mapping update.  ppn == kTrimMark encodes a trim.
+  struct JournalEntry {
+    Lpn lpn = 0;
+    Ppn ppn = 0;
+    std::uint64_t seq = 0;
+  };
+  static constexpr Ppn kTrimMark = ~Ppn{0};
+
   [[nodiscard]] Ppn block_first_page(std::uint64_t block) const;
   [[nodiscard]] std::uint64_t page_block(Ppn ppn) const;
+  [[nodiscard]] std::uint32_t journal_entries_per_page() const;
   std::uint64_t allocate_free_block();
   Ppn append_to_active(bool for_gc);
   void garbage_collect();
+  void install_mapping(Lpn lpn, Ppn ppn, bool for_gc);
+  void journal_append(Lpn lpn, Ppn ppn, std::uint64_t seq);
+  void fold_checkpoint();
 
   FtlConfig config_;
   std::uint64_t logical_pages_;
+  bool mounted_ = true;
+
+  // ---- volatile state (lost on power_loss) ----------------------------
   std::vector<std::optional<Ppn>> l2p_;
   std::vector<std::optional<Lpn>> p2l_;  // valid reverse map (nullopt = invalid/free)
   std::vector<Block> blocks_;
   std::uint64_t active_block_;     // current host append block
   std::uint64_t gc_active_block_;  // current GC relocation block
   std::uint32_t free_count_;
+  std::uint64_t mapped_count_ = 0;
+  std::vector<JournalEntry> journal_buf_;  // entries in the open journal page
+
+  // ---- durable state (survives power_loss) ----------------------------
+  std::vector<std::optional<Oob>> media_;  // OOB of every programmed page
+  std::vector<JournalEntry> journal_;      // entries on programmed pages
+  std::vector<std::optional<Ppn>> checkpoint_;
+  std::uint64_t checkpoint_seq_ = 0;
+  std::uint64_t checkpoint_pages_ = 0;
+  std::uint64_t last_durable_seq_ = 0;
+  std::uint64_t seq_ = 0;  // global mapping-update sequence
+  std::uint32_t journal_pages_since_fold_ = 0;
+  std::uint64_t meta_pages_live_ = 0;  // journal+checkpoint pages not yet recycled
+  std::vector<char> retired_;          // durable bad-block table
+  std::uint32_t retired_count_ = 0;
+
   FtlStats stats_;
 };
 

@@ -17,7 +17,11 @@ void Controller::ring_doorbell(QueuePair& qp) {
   }
   if (busy_) return;  // already draining; the loop will pick new entries up
   busy_ = true;
-  simulator_->schedule(config_.doorbell_to_fetch, [this] { process_next(); });
+  const auto epoch = epoch_;
+  simulator_->schedule(config_.doorbell_to_fetch, [this, epoch] {
+    if (epoch != epoch_) return;  // reset while the fetch was in flight
+    process_next();
+  });
 }
 
 QueuePair* Controller::select_queue() {
@@ -39,13 +43,13 @@ void Controller::process_next() {
   }
   const auto entry = qp->sq().pop();
   ISP_DCHECK(entry.has_value(), "selected queue drained concurrently");
+  inflight_[AttemptKey{qp->id(), entry->command_id}] = {qp, *entry};
 
   if (injector_ != nullptr &&
       injector_->draw(fault::Site::NvmeCommand)) {
     handle_timeout(*qp, *entry);
     return;
   }
-  ++commands_processed_;
   if (!attempts_.empty()) {
     // A previously timed-out command made it through on this attempt.
     attempts_.erase(AttemptKey{qp->id(), entry->command_id});
@@ -105,8 +109,15 @@ void Controller::process_next() {
   }
 
   const auto command_id = entry->command_id;
+  const auto epoch = epoch_;
   simulator_->schedule_at(done + config_.completion_post,
-                          [this, qp, command_id, status] {
+                          [this, qp, command_id, status, epoch] {
+                            if (epoch != epoch_) return;  // aborted by reset
+                            // Counted at completion, not at fetch: an attempt
+                            // cut down by a power cycle completes as Aborted
+                            // and is requeued — only the attempt that posts
+                            // its completion was processed.
+                            ++commands_processed_;
                             complete(*qp, command_id, status);
                             process_next();
                           });
@@ -131,19 +142,25 @@ void Controller::handle_timeout(QueuePair& qp, const SubmissionEntry& entry) {
                           /*faults=*/1, wait, exhausted);
 
   QueuePair* qpp = &qp;
+  const auto epoch = epoch_;
   if (exhausted) {
     attempts_.erase(key);
     ++commands_failed_;
     const auto command_id = entry.command_id;
-    simulator_->schedule(wait, [this, qpp, command_id] {
+    simulator_->schedule(wait, [this, qpp, command_id, epoch] {
+      if (epoch != epoch_) return;  // aborted by reset
       complete(*qpp, command_id, Status::Error);
       process_next();
     });
     return;
   }
   const SubmissionEntry retry = entry;
-  simulator_->schedule(wait, [this, qpp, retry] {
-    if (!qpp->sq().push(retry)) {
+  simulator_->schedule(wait, [this, qpp, retry, epoch] {
+    if (epoch != epoch_) return;  // aborted by reset
+    if (qpp->sq().push(retry)) {
+      // Back in the host SQ: no longer in flight inside the device.
+      inflight_.erase(AttemptKey{qpp->id(), retry.command_id});
+    } else {
       // The host refilled the SQ while we backed off; the command cannot be
       // requeued, so fail it in a typed way rather than drop it silently.
       attempts_.erase(AttemptKey{qpp->id(), retry.command_id});
@@ -156,8 +173,54 @@ void Controller::handle_timeout(QueuePair& qp, const SubmissionEntry& entry) {
 
 void Controller::complete(QueuePair& qp, std::uint16_t command_id,
                           Status status) {
+  inflight_.erase(AttemptKey{qp.id(), command_id});
   const bool posted = qp.cq().push(CompletionEntry{command_id, status});
   ISP_CHECK(posted, "completion queue overflow on qp " << qp.id());
+}
+
+std::uint64_t Controller::power_cycle() {
+  // Invalidate everything scheduled: pending fetches, completion posts and
+  // timeout/requeue lambdas all carry the old epoch and will no-op.
+  ++epoch_;
+  busy_ = false;
+  attempts_.clear();
+  const auto inflight = std::move(inflight_);
+  inflight_.clear();
+  std::uint64_t requeued = 0;
+  for (const auto& [key, cmd] : inflight) {
+    QueuePair* qp = cmd.first;
+    // Exactly one completion per submission: the aborted attempt posts its
+    // reset status here, and the host's requeue is a fresh submission that
+    // will earn its own completion when the restarted controller serves it.
+    const bool posted = qp->cq().push(
+        CompletionEntry{cmd.second.command_id, Status::Aborted});
+    ISP_CHECK(posted, "completion queue overflow on reset, qp " << qp->id());
+    if (qp->sq().push(cmd.second)) {
+      ++requeued;
+    } else {
+      ++commands_failed_;  // host SQ refilled meanwhile; surfaced as Aborted
+    }
+  }
+  commands_requeued_ += requeued;
+  return requeued;
+}
+
+void Controller::restart() {
+  if (busy_) return;
+  bool pending = false;
+  for (QueuePair* qp : queues_) {
+    if (!qp->sq().empty()) {
+      pending = true;
+      break;
+    }
+  }
+  if (!pending) return;
+  busy_ = true;
+  const auto epoch = epoch_;
+  simulator_->schedule(config_.doorbell_to_fetch, [this, epoch] {
+    if (epoch != epoch_) return;
+    process_next();
+  });
 }
 
 }  // namespace isp::nvme

@@ -49,12 +49,30 @@ class Controller {
   /// regardless of how many attempts it took (no dangling CQ entries).
   void set_injector(fault::Injector* injector) { injector_ = injector; }
 
+  /// Whole-device power cut (reset): every pending controller event is
+  /// invalidated (epoch gate, so stale lambdas fire as no-ops), and every
+  /// in-flight command — fetched but not yet completed — completes exactly
+  /// once with Status::Aborted and is requeued by the host at its SQ tail,
+  /// reusing the exactly-one-completion machinery of the timeout path.
+  /// Queue contents survive: SQ/CQ rings live in host memory.  Returns the
+  /// number of commands requeued.  The controller stays quiescent until
+  /// restart().
+  std::uint64_t power_cycle();
+
+  /// Re-arm the fetch loop after a power cycle (the host re-rings the
+  /// doorbells once the device reports ready).  No-op if nothing is queued.
+  void restart();
+
   [[nodiscard]] std::uint64_t commands_processed() const {
     return commands_processed_;
   }
   /// Commands that exhausted their retries and completed with Error.
   [[nodiscard]] std::uint64_t commands_failed() const {
     return commands_failed_;
+  }
+  /// Commands aborted by a power cycle and requeued by the host.
+  [[nodiscard]] std::uint64_t commands_requeued() const {
+    return commands_requeued_;
   }
   [[nodiscard]] std::size_t queues_registered() const {
     return queues_.size();
@@ -82,8 +100,15 @@ class Controller {
   bool busy_ = false;
   std::uint64_t commands_processed_ = 0;
   std::uint64_t commands_failed_ = 0;
+  std::uint64_t commands_requeued_ = 0;
+  /// Bumped by power_cycle(); scheduled lambdas capture the value at
+  /// schedule time and fire as no-ops if the device was reset meanwhile.
+  std::uint64_t epoch_ = 0;
   fault::Injector* injector_ = nullptr;
   std::map<AttemptKey, std::uint32_t> attempts_;
+  /// Commands fetched from an SQ whose completion has not been posted yet;
+  /// a power cycle aborts + requeues exactly these.
+  std::map<AttemptKey, std::pair<QueuePair*, SubmissionEntry>> inflight_;
 };
 
 }  // namespace isp::nvme

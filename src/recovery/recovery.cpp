@@ -1,0 +1,120 @@
+#include "recovery/recovery.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "system/model.hpp"
+
+namespace isp::recovery {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t digest_outputs(const ir::Program& program,
+                             const ir::ObjectStore& store) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& line : program.lines()) {
+    for (const auto& name : line.outputs) {
+      if (!store.contains(name)) continue;
+      const auto& obj = store.at(name);
+      fnv_mix(h, name.data(), name.size());
+      const auto bytes = obj.physical.as<const std::byte>();
+      fnv_mix(h, bytes.data(), bytes.size());
+    }
+  }
+  return h;
+}
+
+bool CrashSweepResult::all_outputs_match() const {
+  return std::all_of(points.begin(), points.end(),
+                     [](const CrashPointOutcome& p) {
+                       return !p.crashed || p.output_matches;
+                     });
+}
+
+bool CrashSweepResult::all_invariants_hold() const {
+  return std::all_of(points.begin(), points.end(),
+                     [](const CrashPointOutcome& p) {
+                       return !p.crashed || p.ftl_invariants_ok;
+                     });
+}
+
+Seconds CrashSweepResult::worst_recovery() const {
+  Seconds worst;
+  for (const auto& p : points) worst = std::max(worst, p.recovery_overhead);
+  return worst;
+}
+
+CrashSweepResult crash_sweep(const ir::Program& program, const ir::Plan& plan,
+                             const CrashSweepOptions& options) {
+  ISP_CHECK(options.stride >= 1, "sweep stride must be at least 1");
+  CrashSweepResult result;
+  result.app = program.name();
+
+  // Reference run: same mode and engine options, no faults at all.
+  {
+    system::SystemModel system;
+    auto store = program.make_store();
+    runtime::EngineOptions opts = options.engine;
+    opts.fault = fault::FaultConfig{};
+    const auto report = runtime::run_program(system, program, plan,
+                                             options.mode, opts, &store);
+    result.reference_digest = digest_outputs(program, store);
+    result.reference_total = report.total;
+  }
+
+  for (std::uint64_t k = 0;; ++k) {
+    if (options.max_points > 0 && k >= options.max_points) break;
+
+    // Exactly one crash, at the (k·stride + 1)-th PowerLoss opportunity.
+    system::SystemModel system;
+    auto store = program.make_store();
+    runtime::EngineOptions opts = options.engine;
+    opts.fault = fault::FaultConfig{};
+    opts.fault.seed = options.fault_seed;
+    auto& site =
+        opts.fault.sites[static_cast<std::size_t>(fault::Site::PowerLoss)];
+    site.rate = 1.0;
+    site.skip_first = k * options.stride;
+    site.max_faults = 1;
+
+    const auto report = runtime::run_program(system, program, plan,
+                                             options.mode, opts, &store);
+
+    if (report.power_losses == 0) break;  // the run ended before the boundary
+
+    CrashPointOutcome point;
+    point.boundary = k * options.stride;
+    point.crashed = true;
+    point.digest = digest_outputs(program, store);
+    point.output_matches = point.digest == result.reference_digest;
+    point.total = report.total;
+    point.recovery_overhead = report.recovery_overhead;
+
+    auto& ftl = system.csd_device().ftl();
+    point.ftl_recoveries = ftl.stats().recoveries;
+    try {
+      ftl.check_invariants();
+      point.ftl_invariants_ok = ftl.mounted() && point.ftl_recoveries >= 1;
+    } catch (const Error&) {
+      point.ftl_invariants_ok = false;
+    }
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace isp::recovery

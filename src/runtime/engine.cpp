@@ -164,6 +164,71 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
     return done;
   };
 
+  // ---- Power loss ------------------------------------------------------
+  // Only armed when the PowerLoss site has a rate: the engine then drives
+  // the device FTL for real (datasets mounted as logical writes, result
+  // write-back journalled), so crashes have durable metadata to recover
+  // from, and every line start / CSD chunk boundary becomes a crash
+  // opportunity.  At rate zero none of this executes and the run is
+  // bit-for-bit identical to the fault-free engine, FtlStats included.
+  const bool power_loss_on =
+      injector != nullptr && fcfg.rate(fault::Site::PowerLoss) > 0.0 &&
+      csd.ftl().journaling();
+  flash::Ftl* ftl = power_loss_on ? &csd.ftl() : nullptr;
+  std::uint64_t wb_cursor = 0;
+  if (ftl != nullptr && ftl->mounted()) {
+    // Mount the program's storage datasets: their pages become live FTL
+    // mappings, charged as host writes (journal + checkpoint traffic shows
+    // up in FtlStats and write amplification exactly like data does).
+    const auto page = flash.geometry().page_bytes.count();
+    for (const auto& name : dataset_names) {
+      const auto& obj = store.at(name);
+      const std::uint64_t pages =
+          (obj.virtual_bytes.count() + page - 1) / page;
+      for (std::uint64_t p = 0; p < pages; ++p) {
+        ftl->write(wb_cursor % ftl->logical_pages());
+        ++wb_cursor;
+      }
+    }
+  }
+  // One whole-device power cycle: NVMe reset (in-flight commands abort and
+  // requeue), CSE/firmware state cleared, FTL crash + remount.  Device DRAM
+  // does not survive, so the code image must be redistributed and device-
+  // resident objects fall back to their host-side shadows (shared mutable
+  // memory keeps the host copy canonical) — consumers re-transfer, they
+  // never recompute.
+  auto apply_power_loss = [&](SimTime& tt, LineRecord* rec) {
+    const auto outcome = csd.power_cycle();
+    const Seconds downtime = fcfg.power_cycle + outcome.remount_time;
+    injector->note_outcome(fault::Site::PowerLoss, tt, 1, downtime, false);
+    ++report.power_losses;
+    if (rec != nullptr) {
+      rec->faults += 1;
+      rec->fault_penalty += downtime;
+    }
+    tt += downtime;
+    code_distributed = lowered.csd_code_image.count() == 0;
+    // Device DRAM contents are gone: re-home every device-resident object.
+    for (const auto& ln : program.lines()) {
+      for (const auto& out : ln.outputs) {
+        if (!store.contains(out)) continue;
+        auto& obj = store.at(out);
+        if (obj.location == mem::Location::DeviceDram) {
+          obj.location = mem::Location::HostDram;
+          obj.bar_remote = false;
+        }
+      }
+    }
+    for (const auto& name : dataset_names) {
+      auto& obj = store.at(name);
+      if (obj.location == mem::Location::DeviceDram) {
+        // Storage-backed data needs no shadow: it re-reads from flash.
+        obj.location = mem::Location::Storage;
+      }
+    }
+    return outcome;
+  };
+
   for (std::size_t i = 0; i < program.line_count(); ++i) {
     const auto& line = program.lines()[i];
     const auto& low = lowered.lines[i];
@@ -176,6 +241,14 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
     rec.name = line.name;
     rec.placement = placement;
     rec.start = t;
+
+    // Every line start is a crash opportunity (host lines included: the
+    // whole device power-cycles and the next storage access waits for it).
+    if (power_loss_on && injector->draw(fault::Site::PowerLoss)) {
+      const SimTime crash_start = t;
+      apply_power_loss(t, &rec);
+      report.recovery_overhead += t - crash_start;
+    }
 
     // ---- 1. Input residency -------------------------------------------
     Bytes in_bytes{0};
@@ -287,7 +360,69 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
       const double chunk_instr =
           instructions / static_cast<double>(line.chunks);
       const SimTime compute_start = t;
-      for (std::uint32_t c = 0; c < line.chunks; ++c) {
+      std::uint32_t crashes_this_line = 0;
+      std::uint32_t c = 0;
+      while (c < line.chunks) {
+        // Every chunk boundary is a crash opportunity.  The device power-
+        // cycles; the engine restarts the offloaded function from its last
+        // completed chunk when the status stream recorded progress, or from
+        // the top of the line otherwise — and if crashes keep coming, the
+        // degradation ladder's last rung pulls the line back to the host.
+        if (power_loss_on && crashes_this_line < fcfg.retry.max_attempts &&
+            injector->draw(fault::Site::PowerLoss)) {
+          ++crashes_this_line;
+          const SimTime crash_start = t;
+          apply_power_loss(t, &rec);
+          if (crashes_this_line >= fcfg.retry.max_attempts &&
+              options.migration) {
+            // The device keeps browning out: stop re-offloading this line.
+            injector->note_degradation();
+            aborted_mid_line = true;
+            line_frac_left = static_cast<double>(line.chunks - c) /
+                             static_cast<double>(line.chunks);
+            report.recovery_overhead += t - crash_start;
+            break;
+          }
+          const bool resumable = low.status_updates && options.monitoring;
+          if (!resumable) c = 0;  // no durable progress record: from the top
+          // Re-stage what the restarted function needs: the code image and
+          // the unprocessed tail of this line's inputs (datasets re-read
+          // from flash, intermediates re-transferred from the host shadow),
+          // then re-invoke through the call queue.
+          if (!code_distributed) {
+            const SimTime done = dma.transfer(t, lowered.csd_code_image,
+                                              TransferKind::CodeImage);
+            rec.overhead += done - t;
+            t = done;
+            code_distributed = true;
+          }
+          const double frac = static_cast<double>(line.chunks - c) /
+                              static_cast<double>(line.chunks);
+          for (const auto& name : line.inputs) {
+            auto& obj = store.at(name);
+            if (obj.location == mem::Location::DeviceDram) continue;
+            const Bytes tail{static_cast<std::uint64_t>(
+                obj.virtual_bytes.as_double() * frac)};
+            if (obj.location == mem::Location::Storage ||
+                dataset_names.count(name) > 0) {
+              const SimTime done = faulted_flash_read(t, tail, &rec);
+              flash.note_read(tail);
+              rec.access += done - t;
+              t = done;
+            } else {
+              const SimTime done =
+                  dma.transfer(t, tail, TransferKind::Intermediate);
+              rec.transfer_in += done - t;
+              t = done;
+            }
+            obj.location = mem::Location::DeviceDram;
+            obj.bar_remote = false;
+          }
+          const Seconds call = csd.call_overhead();
+          rec.overhead += call;
+          t += call;
+          report.recovery_overhead += t - crash_start;
+        }
         if (injector != nullptr) {
           // CSE core crash mid-chunk: a crashed core restarts (core reset
           // plus the chunk's lost progress, half a chunk on average) under
@@ -426,6 +561,7 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
           }
         }
         if (aborted_mid_line) break;
+        ++c;
       }
       const Seconds elapsed = t - compute_start;
       rec.compute += elapsed;
@@ -548,6 +684,16 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
         const SimTime done = std::max(via_link, via_flash);
         rec.access += done - t;
         t = done;
+      }
+      if (ftl != nullptr && ftl->mounted()) {
+        // Persisted pages go through the FTL: mapping updates hit the
+        // journal, and the metadata traffic amplifies the write like GC.
+        const auto page = flash.geometry().page_bytes.count();
+        const std::uint64_t pages = (rec.out_bytes.count() + page - 1) / page;
+        for (std::uint64_t p = 0; p < pages; ++p) {
+          ftl->write(wb_cursor % ftl->logical_pages());
+          ++wb_cursor;
+        }
       }
     }
 

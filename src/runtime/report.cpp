@@ -32,7 +32,10 @@ std::string ExecutionReport::to_json() const {
      << "\"migrations\":" << migrations << ","
      << "\"migration_overhead_s\":" << migration_overhead.value() << ","
      << "\"status_updates\":" << status_updates << ","
-     << "\"csd_calls\":" << csd_calls << ",\"lines\":[";
+     << "\"csd_calls\":" << csd_calls << ","
+     << "\"power_losses\":" << power_losses << ","
+     << "\"recovery_overhead_s\":" << recovery_overhead.value()
+     << ",\"lines\":[";
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const auto& l = lines[i];
     if (i > 0) os << ",";
@@ -85,6 +88,11 @@ std::string ExecutionReport::to_string() const {
        << faults.total_exhausted() << " exhausted, " << faults.degradations
        << " degradation(s), " << std::setprecision(4)
        << faults.penalty.value() << " s penalty\n";
+  }
+  if (power_losses > 0) {
+    os << "  power losses: " << power_losses << " survived, "
+       << std::setprecision(4) << recovery_overhead.value()
+       << " s recovery overhead\n";
   }
   for (const auto& l : lines) {
     os << "  [" << std::setw(2) << l.index << "] " << std::left

@@ -47,6 +47,12 @@ struct ExecutionReport {
   std::uint64_t status_updates = 0;
   std::uint32_t csd_calls = 0;  // call-queue invocations
 
+  /// Whole-device power cycles survived during the run, and the virtual
+  /// time they cost end to end: downtime + FTL remount (journal/checkpoint
+  /// replay, OOB scan) + re-staging lost device-DRAM state.
+  std::uint32_t power_losses = 0;
+  Seconds recovery_overhead;
+
   interconnect::DmaStats dma;
 
   /// Aggregate fault-injection outcome (all zeros on fault-free runs) and

@@ -143,6 +143,108 @@ TEST(Ftl, SteadyStateOverwriteTriggersGc) {
   ftl.check_invariants();
 }
 
+// Lower overprovisioning leaves headroom to retire several blocks: the
+// feasibility check keeps logical + spare + watermark + retired <= total.
+FtlConfig retirable_ftl() {
+  FtlConfig config = small_ftl();
+  config.overprovision = 0.5;
+  return config;
+}
+
+TEST(FtlRetire, RetiredBlockRelocatesValidPagesAndStaysExcluded) {
+  Ftl ftl(retirable_ftl());
+  for (Lpn lpn = 0; lpn < ftl.logical_pages(); ++lpn) ftl.write(lpn);
+
+  // Retire the block holding lpn 0's page: the mapping must survive on a
+  // different block, and the accounting must partition exactly.
+  const Ppn victim_ppn = *ftl.translate(0);
+  const auto victim_block =
+      victim_ppn / retirable_ftl().geometry.pages_per_block;
+  const auto free_before = ftl.free_blocks();
+  ftl.retire_block(victim_block);
+
+  EXPECT_EQ(ftl.retired_blocks(), 1u);
+  EXPECT_EQ(ftl.stats().blocks_retired, 1u);
+  ASSERT_TRUE(ftl.translate(0).has_value());
+  EXPECT_NE(*ftl.translate(0) / retirable_ftl().geometry.pages_per_block,
+            victim_block);
+  ftl.check_invariants();
+  // Retiring again is a no-op.
+  ftl.retire_block(victim_block);
+  EXPECT_EQ(ftl.retired_blocks(), 1u);
+  // A retired block never rejoins the free pool, so at equal load the pool
+  // can only have shrunk.
+  EXPECT_LE(ftl.free_blocks(), free_before);
+}
+
+TEST(FtlRetire, RefusesToRetireBelowFeasibility) {
+  Ftl ftl(retirable_ftl());
+  std::uint64_t retired = 0;
+  std::uint64_t block = 0;
+  // Retire until the feasibility guard trips; it must trip before the FTL
+  // could deadlock, and every successful retirement keeps the invariants.
+  try {
+    for (;; ++block) {
+      ftl.retire_block(block);
+      ++retired;
+      ftl.check_invariants();
+    }
+  } catch (const Error&) {
+  }
+  EXPECT_GT(retired, 0u);
+  EXPECT_EQ(ftl.retired_blocks(), retired);
+  EXPECT_LT(retired, ftl.total_blocks());
+  ftl.check_invariants();
+  // The survivor set still absorbs a full logical overwrite pass.
+  for (Lpn lpn = 0; lpn < ftl.logical_pages(); ++lpn) ftl.write(lpn);
+  ftl.check_invariants();
+}
+
+// Property: block retirement interleaved with GC-inducing churn.  The GC
+// victim scan must skip retired blocks, relocation must never target one,
+// and free + in-use + retired must partition the block set throughout.
+class FtlRetireChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FtlRetireChurn, InvariantsUnderChurnWithRetirement) {
+  Ftl ftl(retirable_ftl());
+  Rng rng(GetParam());
+  std::uint64_t next_retire = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const Lpn lpn = rng.uniform_u64(0, ftl.logical_pages() - 1);
+    if (rng.next_double() < 0.85) {
+      ftl.write(lpn);
+    } else {
+      ftl.trim(lpn);
+    }
+    // Every ~700 ops retire another block — mid-churn, so GC is typically
+    // between victims when the block disappears from its candidate set.
+    if (i % 700 == 350 && ftl.retired_blocks() < 3) {
+      ftl.retire_block(next_retire);
+      next_retire += 5;  // spread across the array
+      ftl.check_invariants();
+    }
+  }
+  EXPECT_EQ(ftl.retired_blocks(), 3u);
+  EXPECT_GT(ftl.stats().gc_invocations, 0u)
+      << "churn too light to exercise GC against retirement";
+  ftl.check_invariants();
+
+  std::set<Ppn> seen;
+  const auto ppb = retirable_ftl().geometry.pages_per_block;
+  for (Lpn lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
+    if (const auto ppn = ftl.translate(lpn)) {
+      EXPECT_TRUE(seen.insert(*ppn).second);
+      // No live page may sit on a retired block.
+      EXPECT_NE(*ppn / ppb, 0u);
+      EXPECT_NE(*ppn / ppb, 5u);
+      EXPECT_NE(*ppn / ppb, 10u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtlRetireChurn,
+                         ::testing::Values(7, 29, 59, 83));
+
 // Property: invariants hold after arbitrary interleavings of write/trim, and
 // distinct logical pages never alias the same physical page.
 class FtlChurn : public ::testing::TestWithParam<std::uint64_t> {};
