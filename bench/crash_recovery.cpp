@@ -12,11 +12,13 @@
 //   3. keep the recovery overhead bounded (downtime + remount + re-staging
 //      stays a small multiple of the power-cycle cost, never a re-run).
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "apps/registry.hpp"
 #include "baseline/baselines.hpp"
 #include "bench/bench_util.hpp"
+#include "exec/cli.hpp"
 #include "recovery/recovery.hpp"
 #include "system/model.hpp"
 
@@ -29,7 +31,9 @@ constexpr std::uint64_t kMinCrashPoints = 50;
 /// top.  A multiple of the fault-free total catches runaway re-execution.
 constexpr double kRecoverySlack = 0.5;
 
-bool sweep_app(const std::string& app_name, std::uint64_t stride) {
+bool sweep_app(const std::string& app_name, std::uint64_t stride,
+               unsigned jobs,
+               std::uint64_t min_points = kMinCrashPoints) {
   using namespace isp;
   apps::AppConfig config;
   const auto program = apps::make_app(app_name, config);
@@ -39,6 +43,7 @@ bool sweep_app(const std::string& app_name, std::uint64_t stride) {
 
   recovery::CrashSweepOptions options;
   options.stride = stride;
+  options.jobs = jobs;
   const auto sweep = recovery::crash_sweep(program, oracle.best, options);
 
   std::uint64_t mismatches = 0;
@@ -47,7 +52,7 @@ bool sweep_app(const std::string& app_name, std::uint64_t stride) {
     if (!p.output_matches) ++mismatches;
     if (!p.ftl_invariants_ok) ++broken_ftl;
   }
-  const bool enough = sweep.points.size() >= kMinCrashPoints;
+  const bool enough = sweep.points.size() >= min_points;
   const bool bounded =
       sweep.worst_recovery().value() <=
       sweep.reference_total.value() * kRecoverySlack;
@@ -66,19 +71,28 @@ bool sweep_app(const std::string& app_name, std::uint64_t stride) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace isp;
+  const unsigned jobs = exec::jobs_from_args(argc, argv);
+  bool quick = false;  // --quick: one app, coarse stride (sanitizer CI)
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
   bench::print_header(
       "Crash-point sweep: power loss at every event boundary, recover, "
       "verify");
   std::printf("each crashed run must match the fault-free output digest and "
               "remount a\nconsistent FTL; >= %llu crash points per app\n\n",
-              static_cast<unsigned long long>(kMinCrashPoints));
+              static_cast<unsigned long long>(quick ? 10 : kMinCrashPoints));
 
   bool ok = true;
-  ok &= sweep_app("tpch-q6", 2);
-  ok &= sweep_app("kmeans", 4);
-  ok &= sweep_app("blackscholes", 3);
+  if (quick) {
+    ok &= sweep_app("tpch-q6", 12, jobs, 10);
+  } else {
+    ok &= sweep_app("tpch-q6", 2, jobs);
+    ok &= sweep_app("kmeans", 4, jobs);
+    ok &= sweep_app("blackscholes", 3, jobs);
+  }
 
   std::printf("\n%s\n", ok ? "ALL PASS" : "FAILURES ABOVE");
   return ok ? 0 : 1;

@@ -12,10 +12,13 @@
 #include "apps/registry.hpp"
 #include "baseline/baselines.hpp"
 #include "bench/bench_util.hpp"
+#include "exec/cli.hpp"
+#include "exec/pool.hpp"
 #include "plan/equation1.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace isp;
+  const unsigned jobs = exec::jobs_from_args(argc, argv);
 
   bench::print_header(
       "Equation 1: net profit S (seconds) for a 6.9 GB task, CT_host = 5 s");
@@ -52,16 +55,30 @@ int main() {
               "S (s)");
   bench::print_rule();
   bool all_positive = true;
-  for (const auto& app : apps::table1_apps()) {
-    apps::AppConfig config;
-    const auto program = apps::make_app(app.name, config);
-    system::SystemModel system;
-    const auto oracle = baseline::programmer_directed_plan(system, program);
-    const double s =
-        oracle.host_only_latency.value() - oracle.best_latency.value();
+  // One independent oracle run per Table-I app: fan out, print in table
+  // order (run_batch keeps results in submission order).
+  struct Row {
+    double host_only = 0.0;
+    double best = 0.0;
+  };
+  const auto& table_apps = apps::table1_apps();
+  const auto rows = exec::run_batch(
+      table_apps.size(),
+      [&](std::size_t i) {
+        apps::AppConfig config;
+        const auto program = apps::make_app(table_apps[i].name, config);
+        system::SystemModel system;
+        const auto oracle =
+            baseline::programmer_directed_plan(system, program);
+        return Row{oracle.host_only_latency.value(),
+                   oracle.best_latency.value()};
+      },
+      jobs);
+  for (std::size_t i = 0; i < table_apps.size(); ++i) {
+    const double s = rows[i].host_only - rows[i].best;
     all_positive = all_positive && (s >= 0.0);
-    std::printf("%-14s %11.2fs %11.2fs %+9.2fs\n", app.name.c_str(),
-                oracle.host_only_latency.value(), oracle.best_latency.value(),
+    std::printf("%-14s %11.2fs %11.2fs %+9.2fs\n",
+                table_apps[i].name.c_str(), rows[i].host_only, rows[i].best,
                 s);
   }
   bench::print_rule();

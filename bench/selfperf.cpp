@@ -1,0 +1,232 @@
+// Self-performance harness: how fast does the simulator itself run?
+//
+// ROADMAP north star: "runs as fast as the hardware allows".  This harness
+// measures, in wall-clock terms,
+//   1. simulations/sec for a batch of independent faulted runs, serial
+//      (--jobs 1) vs parallel (--jobs N), with an exact-equality check that
+//      the parallel batch produced bit-identical results — the executor's
+//      determinism contract, enforced every time this bench runs;
+//   2. micro timings for the hot simulation kernels this PR optimised:
+//      AvailabilitySchedule queries (cursor + binary search) and the FTL
+//      write/remount path (reserved journal buffers, allocation hint,
+//      reused recovery scratch).
+// Results are printed and exported to results/BENCH_selfperf.json so runs
+// are comparable across machines and revisions.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "bench/bench_util.hpp"
+#include "exec/cli.hpp"
+#include "exec/pool.hpp"
+#include "flash/ftl.hpp"
+#include "runtime/active_runtime.hpp"
+#include "sim/availability.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// One batch task: a full planned run of a small app under a seed-specific
+/// fault schedule, digested to a single word.  Everything mutable is
+/// constructed inside the call (the run_batch contract).
+std::uint64_t simulate_one(std::size_t task_index) {
+  using namespace isp;
+  apps::AppConfig config;
+  config.size_factor = 0.1;
+  const auto program = apps::make_app("tpch-q6", config);
+
+  system::SystemModel system;
+  runtime::RunConfig rc;
+  rc.engine.fault.seed = 100 + task_index;
+  rc.engine.fault.set_rate(fault::Site::FlashReadEcc, 0.2);
+  rc.engine.fault.set_rate(fault::Site::CseCrash, 0.3);
+  rc.engine.fault.set_rate(fault::Site::StatusLoss, 0.3);
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(program, rc);
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv_mix(h, static_cast<std::uint64_t>(result.report.total.value() * 1e12));
+  h = fnv_mix(h, result.report.faults.total_injected());
+  h = fnv_mix(h, result.report.status_updates);
+  h = fnv_mix(h, result.report.migrations);
+  return h;
+}
+
+struct BatchTiming {
+  double seconds = 0.0;
+  std::vector<std::uint64_t> digests;
+};
+
+BatchTiming run_batch_timed(std::size_t tasks, unsigned jobs) {
+  const auto t0 = Clock::now();
+  BatchTiming timing;
+  timing.digests =
+      isp::exec::run_batch(tasks, [](std::size_t i) { return simulate_one(i); },
+                           jobs);
+  timing.seconds = elapsed_seconds(t0);
+  return timing;
+}
+
+/// Availability kernel: monotone queries over a many-step schedule — the
+/// engine's access pattern, where the cursor should make lookups O(1).
+double availability_queries_per_sec() {
+  using namespace isp;
+  std::vector<std::pair<SimTime, double>> steps;
+  for (int i = 0; i < 256; ++i) {
+    steps.emplace_back(SimTime{i * 0.25}, (i % 4 == 0) ? 1.0 : 0.4);
+  }
+  const auto schedule = sim::AvailabilitySchedule::steps(std::move(steps));
+
+  constexpr int kQueries = 2'000'000;
+  double sink = 0.0;
+  const auto t0 = Clock::now();
+  for (int q = 0; q < kQueries; ++q) {
+    const SimTime t{(q % 640) * 0.1};  // sweeps forward, wraps (cursor reset)
+    sink += schedule.fraction_at(t);
+    if (q % 16 == 0) {
+      sink += schedule.finish_time(t, Seconds{0.5}).seconds();
+    }
+  }
+  const double secs = elapsed_seconds(t0);
+  std::printf("  (availability checksum %.1f)\n", sink);
+  return static_cast<double>(kQueries) / secs;
+}
+
+/// FTL kernel: journalled writes with overwrites (exercises GC, the journal
+/// buffers and the allocation hint), then repeated power cycles (exercises
+/// the reused recovery scratch).
+struct FtlRates {
+  double writes_per_sec = 0.0;
+  double remounts_per_sec = 0.0;
+};
+
+FtlRates ftl_kernel_rates() {
+  using namespace isp;
+  flash::FtlConfig config;
+  config.geometry.channels = 2;
+  config.geometry.dies_per_channel = 2;
+  config.geometry.blocks_per_die = 64;
+  config.geometry.pages_per_block = 64;
+  config.geometry.page_bytes = Bytes{4096};
+  config.journal.enabled = true;
+
+  flash::Ftl ftl(config);
+  const auto logical = ftl.logical_pages();
+
+  constexpr std::uint64_t kWrites = 400'000;
+  auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < kWrites; ++i) {
+    ftl.write((i * 2654435761ULL) % logical);  // scattered overwrites
+  }
+  const double write_secs = elapsed_seconds(t0);
+
+  constexpr int kCycles = 64;
+  t0 = Clock::now();
+  for (int i = 0; i < kCycles; ++i) {
+    (void)ftl.power_loss();
+    (void)ftl.recover();
+    // A little traffic between crashes so every remount has a tail to scan.
+    for (std::uint64_t w = 0; w < 512; ++w) {
+      ftl.write((i * 131 + w * 2654435761ULL) % logical);
+    }
+  }
+  const double remount_secs = elapsed_seconds(t0);
+
+  return FtlRates{static_cast<double>(kWrites) / write_secs,
+                  static_cast<double>(kCycles) / remount_secs};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace isp;
+  const unsigned jobs = exec::jobs_from_args(argc, argv);
+  constexpr std::size_t kTasks = 24;
+
+  bench::print_header(
+      "Self-performance: simulations/sec, serial vs parallel, plus kernel "
+      "micro timings");
+  std::printf("batch: %zu independent faulted tpch-q6 runs; parallel --jobs "
+              "%u (hw threads: %u)\n\n",
+              kTasks, jobs, exec::default_jobs());
+
+  const auto serial = run_batch_timed(kTasks, 1);
+  const auto parallel = run_batch_timed(kTasks, jobs);
+
+  const bool identical = serial.digests == parallel.digests;
+  const double serial_rate = static_cast<double>(kTasks) / serial.seconds;
+  const double parallel_rate = static_cast<double>(kTasks) / parallel.seconds;
+  const double speedup = serial.seconds / parallel.seconds;
+
+  std::printf("%-28s %10.2f s  (%6.2f sims/s)\n", "serial (--jobs 1)",
+              serial.seconds, serial_rate);
+  std::printf("%-28s %10.2f s  (%6.2f sims/s)\n",
+              ("parallel (--jobs " + std::to_string(jobs) + ")").c_str(),
+              parallel.seconds, parallel_rate);
+  std::printf("%-28s %10.2fx\n", "speedup", speedup);
+  std::printf("%-28s %10s\n", "parallel == serial (exact)",
+              identical ? "PASS" : "FAIL");
+
+  bench::print_header("Hot-kernel micro timings");
+  const double avail_qps = availability_queries_per_sec();
+  const auto ftl = ftl_kernel_rates();
+  std::printf("%-28s %12.0f queries/s\n", "availability lookup",
+              avail_qps);
+  std::printf("%-28s %12.0f writes/s\n", "FTL journalled write",
+              ftl.writes_per_sec);
+  std::printf("%-28s %12.1f remounts/s\n", "FTL power-cycle remount",
+              ftl.remounts_per_sec);
+
+  std::filesystem::create_directories("results");
+  const std::string path = "results/BENCH_selfperf.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"batch_tasks\": %zu,\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"serial_seconds\": %.6f,\n"
+                 "  \"parallel_seconds\": %.6f,\n"
+                 "  \"serial_sims_per_sec\": %.4f,\n"
+                 "  \"parallel_sims_per_sec\": %.4f,\n"
+                 "  \"speedup\": %.4f,\n"
+                 "  \"parallel_equals_serial\": %s,\n"
+                 "  \"micro\": {\n"
+                 "    \"availability_queries_per_sec\": %.0f,\n"
+                 "    \"ftl_writes_per_sec\": %.0f,\n"
+                 "    \"ftl_remounts_per_sec\": %.2f\n"
+                 "  }\n"
+                 "}\n",
+                 kTasks, jobs, exec::default_jobs(), serial.seconds,
+                 parallel.seconds, serial_rate, parallel_rate, speedup,
+                 identical ? "true" : "false", avail_qps, ftl.writes_per_sec,
+                 ftl.remounts_per_sec);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::printf("\ncould not write %s\n", path.c_str());
+  }
+
+  std::printf(
+      "\nthe speedup target (>= 4x at --jobs 8) needs >= 8 hardware "
+      "threads;\nthe exact-equality check is the gate on any machine.  %s\n",
+      identical ? "PASS" : "FAIL");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+#include "exec/cli.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exec/pool.hpp"
+
+namespace isp::exec {
+
+namespace {
+
+[[noreturn]] void die(const std::string& why) {
+  std::fprintf(stderr, "error: %s\n", why.c_str());
+  std::exit(2);
+}
+
+unsigned parse_jobs_value(const char* text) {
+  if (text == nullptr || *text == '\0') die("--jobs needs a value");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') {
+    die(std::string("--jobs: not a number: '") + text + "'");
+  }
+  if (v == 0) die("--jobs must be at least 1");
+  if (v > 1024) die("--jobs: implausible worker count");
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+unsigned jobs_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0) {
+      if (i + 1 >= argc) die("--jobs needs a value");
+      return parse_jobs_value(argv[i + 1]);
+    }
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      return parse_jobs_value(arg + 7);
+    }
+  }
+  return default_jobs();
+}
+
+}  // namespace isp::exec

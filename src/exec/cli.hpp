@@ -1,0 +1,17 @@
+// The --jobs flag shared by the sweep harnesses.
+//
+// Every batch harness takes `--jobs N`: the worker count handed to
+// exec::run_batch.  Absent, it defaults to hardware concurrency; `--jobs 1`
+// is exactly the serial behaviour.  Parsing follows the repository's strict
+// CLI convention: a malformed or out-of-range value prints a diagnostic and
+// exits with status 2 rather than being silently clamped.
+#pragma once
+
+namespace isp::exec {
+
+/// Parse `--jobs N` (or `--jobs=N`) out of argv.  Returns default_jobs()
+/// when the flag is absent.  Exits with status 2 on a malformed value, a
+/// value of zero, or a missing argument.
+[[nodiscard]] unsigned jobs_from_args(int argc, char** argv);
+
+}  // namespace isp::exec

@@ -1,0 +1,133 @@
+// Deterministic parallel sweep execution.
+//
+// Every heavy harness in this repository — the crash-point sweep, the
+// Equation-1 consistency table, the fault-rate sweep, the dataset-scaling
+// ablation, the fuzz matrices — is an embarrassingly parallel batch of
+// fully independent, seed-deterministic simulations.  `Pool` is a
+// work-stealing thread pool and `run_batch` the one entry point the
+// harnesses use: fan N independent tasks across hardware threads while
+// guaranteeing byte-identical output to the serial order.
+//
+// The determinism contract:
+//   * every task owns its state — its SystemModel (device, FTL, queues),
+//     RNG, fault plan and trace buffer are constructed inside the task;
+//     nothing mutable is shared between tasks;
+//   * results land in a pre-sized vector slot indexed by submission order,
+//     so collection order is independent of scheduling order;
+//   * `jobs == 1` bypasses the pool entirely and runs the tasks inline on
+//     the calling thread — bit-for-bit today's serial behaviour;
+//   * exceptions are captured per task; after the batch settles, the
+//     lowest-index exception is rethrown (again independent of thread
+//     timing).  Workers always join: a throwing task never leaks a thread.
+//
+// Scheduling is work-stealing over per-worker deques: indices are dealt
+// round-robin at submission, each worker drains its own deque from the
+// front and steals from the back of a sibling when it runs dry.  Tasks
+// here are whole simulations (milliseconds and up), so a mutex per deque
+// costs nothing measurable.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace isp::exec {
+
+/// Worker count used when the caller does not choose: hardware concurrency,
+/// with a floor of 1 when the runtime cannot tell.
+[[nodiscard]] unsigned default_jobs();
+
+/// Work-stealing thread pool.  One instance serves one caller at a time
+/// (parallel_for is not reentrant); workers persist across batches and are
+/// joined by the destructor.
+class Pool {
+ public:
+  explicit Pool(unsigned workers = default_jobs());
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Run task(i) for every i in [0, n), blocking until the batch settles.
+  /// Exceptions thrown by tasks are captured; once every task has either
+  /// finished or thrown, the lowest-index exception is rethrown.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& task);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::size_t> items;
+  };
+
+  void worker_loop(std::size_t self);
+  bool pop_own(std::size_t self, std::size_t& index);
+  bool steal(std::size_t self, std::size_t& index);
+  void run_one(std::size_t index);
+
+  // Batch handshake.  All epoch/remaining transitions happen under mu_, so
+  // the dealing of indices (also under mu_) happens-before any worker's
+  // first pop of the new batch.
+  std::mutex mu_;
+  std::condition_variable batch_cv_;  // workers: a new batch is ready
+  std::condition_variable done_cv_;   // caller: the batch has settled
+  std::uint64_t epoch_ = 0;
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::vector<std::exception_ptr>* errors_ = nullptr;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+};
+
+/// Fan `fn` over [0, n) and collect the results in submission order.
+/// `fn` must be safe to call concurrently from several threads, which in
+/// this codebase means: construct every mutable thing (SystemModel,
+/// EngineOptions, stores, RNGs) inside the call.  The result type must be
+/// default-constructible and must not be `bool` (std::vector<bool> packs
+/// bits, so concurrent per-element writes would race — return a struct).
+template <typename Fn>
+auto run_batch(std::size_t n, Fn&& fn, unsigned jobs = default_jobs())
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+  using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+  static_assert(std::is_default_constructible_v<R>,
+                "run_batch results are collected into a pre-sized vector");
+  static_assert(!std::is_same_v<R, bool>,
+                "std::vector<bool> packs bits; return a struct instead");
+  std::vector<R> results(n);
+  if (n == 0) return results;
+  if (jobs <= 1 || n == 1) {
+    // Serial path: today's behaviour, on the calling thread, in order.
+    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+  Pool pool(static_cast<unsigned>(
+      std::min<std::size_t>(jobs, n)));
+  pool.parallel_for(n, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+/// Convenience overload: one task per config, results in config order.
+template <typename Config, typename Fn>
+auto run_batch(const std::vector<Config>& configs, Fn&& fn,
+               unsigned jobs = default_jobs()) {
+  return run_batch(
+      configs.size(),
+      [&](std::size_t i) { return fn(configs[i]); }, jobs);
+}
+
+}  // namespace isp::exec

@@ -47,6 +47,13 @@ Ftl::Ftl(FtlConfig config) : config_(config) {
   if (config_.journal.enabled) {
     media_.assign(physical_pages, std::nullopt);
     checkpoint_.assign(logical_pages_, std::nullopt);
+    // The buffers cycle at fixed sizes: one page of entries in the open
+    // journal page, at most checkpoint_interval_pages of durable entries
+    // before a fold clears them.  Reserve once instead of regrowing on the
+    // hot write path.
+    journal_buf_.reserve(journal_entries_per_page());
+    journal_.reserve(static_cast<std::size_t>(journal_entries_per_page()) *
+                     config_.journal.checkpoint_interval_pages);
   }
 
   active_block_ = allocate_free_block();
@@ -68,12 +75,17 @@ std::uint32_t Ftl::journal_entries_per_page() const {
 
 std::uint64_t Ftl::allocate_free_block() {
   ISP_CHECK(free_count_ > 0, "FTL out of free blocks (GC starved)");
-  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+  // Invariant: no block below free_scan_hint_ is free (every site that frees
+  // a block lowers the hint), so starting the scan there still yields the
+  // lowest-index free block — same choice, without re-walking the occupied
+  // prefix on every allocation.
+  for (std::uint64_t b = free_scan_hint_; b < blocks_.size(); ++b) {
     if (blocks_[b].is_free) {
       blocks_[b].is_free = false;
       blocks_[b].next_free_page = 0;
       blocks_[b].valid = 0;
       --free_count_;
+      free_scan_hint_ = b + 1;
       return b;
     }
   }
@@ -280,6 +292,7 @@ void Ftl::garbage_collect() {
     }
     blocks_[victim] = Block{};
     ++free_count_;
+    if (victim < free_scan_hint_) free_scan_hint_ = victim;
     ++stats_.erases;
   }
 }
@@ -301,6 +314,7 @@ FtlCrash Ftl::power_loss() {
   for (auto& b : blocks_) b = Block{};
   mapped_count_ = 0;
   free_count_ = 0;
+  free_scan_hint_ = 0;
   mounted_ = false;
   return crash;
 }
@@ -313,7 +327,10 @@ FtlRecovery Ftl::recover() {
 
   // 1. Candidate map from the checkpoint, each entry stamped with the fold
   //    sequence (everything in the checkpoint is at least that old).
-  std::vector<std::optional<std::pair<Ppn, std::uint64_t>>> m(logical_pages_);
+  //    recover_scratch_ keeps its capacity across remounts, so power-cycle
+  //    sweeps pay the logical_pages-sized allocation only once.
+  recover_scratch_.assign(logical_pages_, std::nullopt);
+  auto& m = recover_scratch_;
   for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
     if (checkpoint_[lpn]) m[lpn] = {*checkpoint_[lpn], checkpoint_seq_};
   }
@@ -393,6 +410,7 @@ FtlRecovery Ftl::recover() {
     nb.is_free = (programmed == 0);
     blocks_[b] = nb;
   }
+  free_scan_hint_ = 0;  // the free pool was just rebuilt from scratch
   mapped_count_ = 0;
   for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
     if (!m[lpn]) continue;
@@ -444,6 +462,7 @@ FtlRecovery Ftl::recover() {
     }
     blocks_[b] = Block{};
     ++free_count_;
+    if (b < free_scan_hint_) free_scan_hint_ = b;
     ++stats_.erases;
   }
 

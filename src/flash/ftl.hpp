@@ -208,6 +208,10 @@ class Ftl {
   std::uint64_t gc_active_block_;  // current GC relocation block
   std::uint32_t free_count_;
   std::uint64_t mapped_count_ = 0;
+  // Allocation scan hint: no block below this index is free.  Pure cache —
+  // allocate_free_block() still returns the lowest-index free block, it
+  // just stops rescanning the permanently-occupied prefix on every call.
+  std::uint64_t free_scan_hint_ = 0;
   std::vector<JournalEntry> journal_buf_;  // entries in the open journal page
 
   // ---- durable state (survives power_loss) ----------------------------
@@ -222,6 +226,11 @@ class Ftl {
   std::uint64_t meta_pages_live_ = 0;  // journal+checkpoint pages not yet recycled
   std::vector<char> retired_;          // durable bad-block table
   std::uint32_t retired_count_ = 0;
+
+  // Remount scratch: the candidate map recover() builds before committing.
+  // A member so repeated power-cycle sweeps reuse the allocation instead of
+  // paying a logical_pages-sized calloc per remount.
+  std::vector<std::optional<std::pair<Ppn, std::uint64_t>>> recover_scratch_;
 
   FtlStats stats_;
 };

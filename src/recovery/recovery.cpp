@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "common/error.hpp"
+#include "exec/pool.hpp"
 #include "system/model.hpp"
 
 namespace isp::recovery {
@@ -76,10 +77,10 @@ CrashSweepResult crash_sweep(const ir::Program& program, const ir::Plan& plan,
     result.reference_total = report.total;
   }
 
-  for (std::uint64_t k = 0;; ++k) {
-    if (options.max_points > 0 && k >= options.max_points) break;
-
-    // Exactly one crash, at the (k·stride + 1)-th PowerLoss opportunity.
+  // One crash point: a fresh system, exactly one crash at the
+  // (k·stride + 1)-th PowerLoss opportunity.  Everything mutable lives
+  // inside the call, so points can run on any thread in any order.
+  const auto run_point = [&](std::uint64_t k) {
     system::SystemModel system;
     auto store = program.make_store();
     runtime::EngineOptions opts = options.engine;
@@ -94,10 +95,11 @@ CrashSweepResult crash_sweep(const ir::Program& program, const ir::Plan& plan,
     const auto report = runtime::run_program(system, program, plan,
                                              options.mode, opts, &store);
 
-    if (report.power_losses == 0) break;  // the run ended before the boundary
-
     CrashPointOutcome point;
     point.boundary = k * options.stride;
+    // The run ended before the armed boundary: the sweep is exhausted.
+    if (report.power_losses == 0) return point;
+
     point.crashed = true;
     point.digest = digest_outputs(program, store);
     point.output_matches = point.digest == result.reference_digest;
@@ -112,7 +114,39 @@ CrashSweepResult crash_sweep(const ir::Program& program, const ir::Plan& plan,
     } catch (const Error&) {
       point.ftl_invariants_ok = false;
     }
-    result.points.push_back(point);
+    return point;
+  };
+
+  // The sweep's length is data-dependent (run until a point no longer
+  // crashes), so fan out in submission-order waves: each wave's points are
+  // appended in index order and the sweep stops at the first non-crashed
+  // point, discarding the rest of that wave.  Points past the end are
+  // wasted work, never wrong answers — each is independent — so the result
+  // is byte-identical to the serial sweep at any job count, and jobs == 1
+  // (wave size 1) *is* the serial sweep.
+  const unsigned jobs =
+      options.jobs == 0 ? exec::default_jobs() : options.jobs;
+  const std::uint64_t wave =
+      jobs <= 1 ? 1 : static_cast<std::uint64_t>(jobs) * 2;
+  std::uint64_t k = 0;
+  bool exhausted = false;
+  while (!exhausted) {
+    std::uint64_t count = wave;
+    if (options.max_points > 0) {
+      if (k >= options.max_points) break;
+      count = std::min(count, options.max_points - k);
+    }
+    auto outcomes = exec::run_batch(
+        static_cast<std::size_t>(count),
+        [&](std::size_t i) { return run_point(k + i); }, jobs);
+    for (auto& point : outcomes) {
+      if (!point.crashed) {
+        exhausted = true;
+        break;
+      }
+      result.points.push_back(point);
+    }
+    k += count;
   }
   return result;
 }

@@ -52,6 +52,11 @@ struct CrashSweepOptions {
   std::uint64_t max_points = 0;
   std::uint64_t fault_seed = 1;
   codegen::ExecMode mode = codegen::ExecMode::CompiledNoCopy;
+  /// Worker threads for the sweep (0 = one per hardware thread).  Crash
+  /// points are independent simulations, so they fan out through
+  /// exec::run_batch in submission-order waves; the result is byte-identical
+  /// to the serial sweep at any job count.
+  unsigned jobs = 1;
   /// Base engine options; the fault plan is overwritten per point.
   runtime::EngineOptions engine;
 };

@@ -70,8 +70,12 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
   report.program = program.name();
   report.lines.reserve(program.line_count());
 
-  // Local CSE availability: the engine owns the timeline of this run.
+  // Local availability schedules: the engine owns the timeline of this run,
+  // and the copies keep the schedules' query cursors private to it (the
+  // cursor cache makes a schedule non-thread-safe to share; see
+  // sim/availability.hpp and the run_batch contract in exec/pool.hpp).
   sim::AvailabilitySchedule cse_schedule = options.cse_availability;
+  const sim::AvailabilitySchedule host_schedule = options.host_availability;
   bool contention_fired = false;
 
   // Progress for the contention trigger: chunks over all planned CSD lines.
@@ -340,7 +344,7 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
     double line_frac_left = 0.0;    // fraction of the line the host resumes
     if (placement == ir::Placement::Host) {
       const Seconds wall = host.compute_seconds(work_single, line.host_threads);
-      const SimTime done = options.host_availability.finish_time(t, wall);
+      const SimTime done = host_schedule.finish_time(t, wall);
       ISP_CHECK(done < SimTime::infinity(),
                 "host availability starves line '" << line.name << "'");
       rec.compute += done - t;
@@ -353,12 +357,16 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
       }
       // In-order CSE cores stall once the working set outgrows the device
       // caches; stalls stretch time without retiring instructions.
+      auto& cse = csd.cse();
       const Seconds wall_full =
-          csd.cse().compute_seconds(work_single, line.csd_threads) *
+          cse.compute_seconds(work_single, line.csd_threads) *
           line.cost.csd_stall_factor(n_elems);
       const Seconds chunk_wall = wall_full / static_cast<double>(line.chunks);
       const double chunk_instr =
           instructions / static_cast<double>(line.chunks);
+      const double chunk_cycles =
+          chunk_wall.value() * cse.config().clock.value();
+      const bool post_status = low.status_updates && options.monitoring;
       const SimTime compute_start = t;
       std::uint32_t crashes_this_line = 0;
       std::uint32_t c = 0;
@@ -383,8 +391,7 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
             report.recovery_overhead += t - crash_start;
             break;
           }
-          const bool resumable = low.status_updates && options.monitoring;
-          if (!resumable) c = 0;  // no durable progress record: from the top
+          if (!post_status) c = 0;  // no durable progress record: from the top
           // Re-stage what the restarted function needs: the code image and
           // the unprocessed tail of this line's inputs (datasets re-read
           // from flash, intermediates re-transferred from the host shadow),
@@ -451,15 +458,13 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
                   "CSE availability starves line '" << line.name << "'");
         t = done;
         csd_instructions_cum += chunk_instr;
-        csd.cse().retire(chunk_instr,
-                         chunk_wall.value() *
-                             csd.cse().config().clock.value());
+        cse.retire(chunk_instr, chunk_cycles);
         ++csd_chunks_done;
 
         // Patched status-update code (§III-C(b)) — ActivePy instrumentation,
         // absent from conventional static frameworks (monitoring off).
         bool update_lost = false;
-        if (low.status_updates && options.monitoring) {
+        if (post_status) {
           update_lost = injector != nullptr &&
                         injector->lost(fault::Site::StatusLoss, t);
           if (update_lost) {
@@ -630,7 +635,7 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
         const Seconds wall =
             host.compute_seconds(work_single * line_frac_left,
                                  line.host_threads);
-        const SimTime done = options.host_availability.finish_time(t, wall);
+        const SimTime done = host_schedule.finish_time(t, wall);
         rec.compute += done - t;
         t = done;
       }

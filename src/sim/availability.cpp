@@ -1,5 +1,6 @@
 #include "sim/availability.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
@@ -32,16 +33,36 @@ AvailabilitySchedule AvailabilitySchedule::steps(
   return s;
 }
 
-double AvailabilitySchedule::fraction_at(SimTime t) const {
-  double f = steps_.front().second;
-  for (const auto& [at, fraction] : steps_) {
-    if (at <= t) {
-      f = fraction;
-    } else {
-      break;
+std::size_t AvailabilitySchedule::segment_at(SimTime t) const {
+  // Fast path: the cached segment or one of its two successors.  The
+  // engine's queries move monotonically forward in virtual time, so almost
+  // every lookup lands here.
+  std::size_t c = cursor_;
+  if (c >= steps_.size()) c = 0;
+  if (steps_[c].first <= t) {
+    if (c + 1 == steps_.size() || t < steps_[c + 1].first) {
+      cursor_ = c;
+      return c;
+    }
+    if (c + 2 >= steps_.size() || t < steps_[c + 2].first) {
+      cursor_ = c + 1;
+      return c + 1;
     }
   }
-  return f;
+  // Slow path: binary search for the last step with start <= t.  The first
+  // step is at t=0 and SimTime is never negative, so the bound is >= 1.
+  const auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](SimTime v, const std::pair<SimTime, double>& s) {
+        return v < s.first;
+      });
+  c = static_cast<std::size_t>(it - steps_.begin()) - 1;
+  cursor_ = c;
+  return c;
+}
+
+double AvailabilitySchedule::fraction_at(SimTime t) const {
+  return steps_[segment_at(t)].second;
 }
 
 SimTime AvailabilitySchedule::finish_time(SimTime t0, Seconds work) const {
@@ -49,7 +70,7 @@ SimTime AvailabilitySchedule::finish_time(SimTime t0, Seconds work) const {
   double remaining = work.value();
   if (remaining == 0.0) return t0;
   SimTime t = t0;
-  for (std::size_t i = 0; i < steps_.size(); ++i) {
+  for (std::size_t i = segment_at(t0); i < steps_.size(); ++i) {
     const double fraction = steps_[i].second;
     const SimTime seg_end =
         (i + 1 < steps_.size()) ? steps_[i + 1].first : SimTime::infinity();
@@ -70,8 +91,9 @@ SimTime AvailabilitySchedule::finish_time(SimTime t0, Seconds work) const {
 Seconds AvailabilitySchedule::work_done(SimTime t0, SimTime t1) const {
   if (t1 <= t0) return Seconds::zero();
   double total = 0.0;
-  for (std::size_t i = 0; i < steps_.size(); ++i) {
+  for (std::size_t i = segment_at(t0); i < steps_.size(); ++i) {
     const SimTime seg_start = steps_[i].first;
+    if (seg_start >= t1) break;
     const SimTime seg_end =
         (i + 1 < steps_.size()) ? steps_[i + 1].first : SimTime::infinity();
     const SimTime lo = seg_start > t0 ? seg_start : t0;

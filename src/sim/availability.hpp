@@ -44,8 +44,9 @@ class AvailabilitySchedule {
   [[nodiscard]] Seconds work_done(SimTime t0, SimTime t1) const;
 
   /// Append a step at `at` changing the fraction (used by contention
-  /// injectors that trigger on observed progress).  `at` must be later than
-  /// every existing step.
+  /// injectors that trigger on observed progress).  `at` must be strictly
+  /// later than every existing step and the fraction in [0, 1]; violations
+  /// throw isp::Error (checked, not a comment — callers are not trusted).
   void add_step(SimTime at, double fraction);
 
   [[nodiscard]] const std::vector<std::pair<SimTime, double>>& raw_steps()
@@ -54,8 +55,20 @@ class AvailabilitySchedule {
   }
 
  private:
+  /// Index of the segment containing t: the last step with start <= t.
+  /// O(1) via the cached cursor when queries move monotonically (the
+  /// engine's case — virtual time only advances), O(log n) binary search
+  /// otherwise.
+  [[nodiscard]] std::size_t segment_at(SimTime t) const;
+
   // Invariant: non-empty, sorted by time, first at t=0, fractions in [0,1].
   std::vector<std::pair<SimTime, double>> steps_{{SimTime::zero(), 1.0}};
+  // Query cursor: index of the segment the last lookup landed in.  Pure
+  // cache — never affects results, only where the search starts.  Makes
+  // the instance non-thread-safe for concurrent queries, which matches the
+  // parallel executor's contract: schedules are per-task state (the engine
+  // copies its schedules per run; see src/exec/pool.hpp).
+  mutable std::size_t cursor_ = 0;
 };
 
 }  // namespace isp::sim

@@ -1,10 +1,12 @@
-// Unit tests: strong units, deterministic RNG, error handling, logging.
+// Unit tests: strong units, deterministic RNG, error handling, logging,
+// and the shared benchmark statistics helpers.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -172,6 +174,27 @@ TEST(Error, CheckThrowsWithContext) {
 
 TEST(Error, CheckPassesSilently) {
   EXPECT_NO_THROW(ISP_CHECK(1 + 1 == 2, "fine"));
+}
+
+TEST(BenchUtil, GeomeanOfPositives) {
+  EXPECT_DOUBLE_EQ(bench::geomean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(bench::geomean({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(bench::geomean({}), 0.0);
+}
+
+TEST(BenchUtil, GeomeanSkipsNonPositiveEntries) {
+  // Zero/negative speedups (failed or skipped runs) must not poison the
+  // mean with -inf/NaN; they are excluded from the product.
+  const double g = bench::geomean({4.0, 0.0, 1.0, -2.5});
+  EXPECT_TRUE(std::isfinite(g));
+  EXPECT_DOUBLE_EQ(g, 2.0);
+  // All entries non-positive: defined, finite, zero.
+  EXPECT_DOUBLE_EQ(bench::geomean({0.0, -1.0}), 0.0);
+}
+
+TEST(BenchUtil, MeanBasics) {
+  EXPECT_DOUBLE_EQ(bench::mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(bench::mean({}), 0.0);
 }
 
 TEST(Log, LevelGate) {

@@ -3,11 +3,15 @@
 // faults, and sampler structure.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <cstring>
-#include <tuple>
+#include <string>
+#include <vector>
 
 #include "apps/registry.hpp"
 #include "baseline/baselines.hpp"
+#include "exec/pool.hpp"
 #include "profile/sampler.hpp"
 #include "runtime/active_runtime.hpp"
 
@@ -163,85 +167,127 @@ const runtime::ExecutionReport& fault_free_planned() {
   return report;
 }
 
-class MigrationUnderFault
-    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+class MigrationUnderFault : public ::testing::TestWithParam<int> {};
 
+constexpr std::uint64_t kSkips[] = {0, 1, 3, 7};
+
+// One shard per engine-path fault site; the skip_first sweep of that site
+// fans out through exec::run_batch (fresh SystemModel and store per run,
+// replay included), with all assertions on the test thread afterwards.
+// Same site x cut coverage as the flat matrix.
 TEST_P(MigrationUnderFault, PreservesResultsAndAccountsVirtualTime) {
-  const auto site = static_cast<fault::Site>(std::get<0>(GetParam()));
-  const auto skip = static_cast<std::uint64_t>(std::get<1>(GetParam()));
+  const auto site = static_cast<fault::Site>(GetParam());
   const auto& program = fault_program();
-
-  runtime::EngineOptions options;  // monitoring + migration armed
-  options.fault.seed = 31;
-  options.fault.sites[static_cast<std::size_t>(site)] =
-      fault::SiteConfig{.rate = 1.0, .skip_first = skip};
-
-  system::SystemModel system;
-  auto store = program.make_store();
-  const auto report =
-      runtime::run_program(system, program, planned(),
-                           codegen::ExecMode::NativeC, options, &store);
-
-  // (1) Functional results identical to the host-only fault-free reference:
-  // retries, escalations, and forced migrations never corrupt data.
+  // Warm the shared fixtures before fanning out so the batch tasks only
+  // ever read them.
   const auto& final_name = program.lines().back().outputs.front();
   const auto& h = host_reference().at(final_name).physical;
-  const auto& f = store.at(final_name).physical;
-  ASSERT_EQ(h.size_bytes(), f.size_bytes());
-  EXPECT_EQ(0, std::memcmp(h.as<std::byte>().data(),
-                           f.as<std::byte>().data(), h.size_bytes()));
-
-  // (2) The books match the simulator clock: line records advance
-  // monotonically and the reported total covers the last of them.
-  SimTime prev_start = SimTime::zero();
-  for (const auto& rec : report.lines) {
-    EXPECT_GE(rec.start.seconds(), prev_start.seconds() - 1e-12);
-    EXPECT_GE(rec.end.seconds(), rec.start.seconds() - 1e-12);
-    prev_start = rec.start;
-  }
-  ASSERT_FALSE(report.lines.empty());
-  EXPECT_GE(report.total.value() + 1e-9, report.lines.back().end.seconds());
-
-  // (3) Seed-deterministic replay, bit for bit.
-  system::SystemModel system2;
-  auto store2 = program.make_store();
-  const auto replay =
-      runtime::run_program(system2, program, planned(),
-                           codegen::ExecMode::NativeC, options, &store2);
-  EXPECT_EQ(report.to_json(), replay.to_json());
-
-  // (4) When nothing migrated in either run, the accounted fault penalty
-  // bounds the slowdown exactly: total lands in
-  // [fault-free, fault-free + penalty] (pipelined stages can swallow part
-  // of a penalty, so the lower edge is the fault-free time itself).
+  const auto& plan = planned();
   const auto& base = fault_free_planned();
-  if (report.migrations == 0 && base.migrations == 0) {
-    EXPECT_GE(report.total.value(), base.total.value() - 1e-9);
-    EXPECT_LE(report.total.value(),
-              base.total.value() + report.faults.penalty.value() + 1e-9);
-  }
 
-  // (5) Site-specific recovery outcomes.
-  if (site == fault::Site::StatusLoss) {
-    // Only the skip_first prefix can reach the host; everything after is
-    // lost, and the run must still complete without the monitor's feed.
-    EXPECT_LE(report.status_updates, skip);
-  }
-  if (site == fault::Site::CseCrash &&
-      report.faults.total_exhausted() > 0) {
-    // An exhausted crash must degrade to the host, and the degradation
-    // must be recorded as such.
-    EXPECT_GE(report.migrations, 1u);
-    EXPECT_GE(report.faults.degradations, 1u);
+  struct Outcome {
+    std::vector<std::byte> result;
+    std::vector<std::pair<double, double>> line_spans;  // (start, end)
+    double total = 0.0;
+    double penalty = 0.0;
+    std::uint64_t migrations = 0;
+    std::uint64_t degradations = 0;
+    std::uint64_t exhausted = 0;
+    std::uint64_t status_updates = 0;
+    bool replay_identical = false;
+  };
+  const auto outcomes = exec::run_batch(
+      std::size(kSkips),
+      [&](std::size_t i) {
+        runtime::EngineOptions options;  // monitoring + migration armed
+        options.fault.seed = 31;
+        options.fault.sites[static_cast<std::size_t>(site)] =
+            fault::SiteConfig{.rate = 1.0, .skip_first = kSkips[i]};
+
+        system::SystemModel system;
+        auto store = program.make_store();
+        const auto report =
+            runtime::run_program(system, program, plan,
+                                 codegen::ExecMode::NativeC, options, &store);
+
+        // Seed-deterministic replay, bit for bit.
+        system::SystemModel system2;
+        auto store2 = program.make_store();
+        const auto replay =
+            runtime::run_program(system2, program, plan,
+                                 codegen::ExecMode::NativeC, options, &store2);
+
+        Outcome o;
+        const auto bytes = store.at(final_name).physical.as<std::byte>();
+        o.result.assign(bytes.data(), bytes.data() + bytes.size());
+        for (const auto& rec : report.lines) {
+          o.line_spans.emplace_back(rec.start.seconds(), rec.end.seconds());
+        }
+        o.total = report.total.value();
+        o.penalty = report.faults.penalty.value();
+        o.migrations = report.migrations;
+        o.degradations = report.faults.degradations;
+        o.exhausted = report.faults.total_exhausted();
+        o.status_updates = report.status_updates;
+        o.replay_identical = report.to_json() == replay.to_json();
+        return o;
+      },
+      std::max(2U, exec::default_jobs()));
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const std::uint64_t skip = kSkips[i];
+    SCOPED_TRACE("skip_first " + std::to_string(skip));
+    const auto& o = outcomes[i];
+
+    // (1) Functional results identical to the host-only fault-free
+    // reference: retries, escalations, and forced migrations never corrupt
+    // data.
+    ASSERT_EQ(h.size_bytes(), o.result.size());
+    EXPECT_EQ(0, std::memcmp(h.as<std::byte>().data(), o.result.data(),
+                             o.result.size()));
+
+    // (2) The books match the simulator clock: line records advance
+    // monotonically and the reported total covers the last of them.
+    double prev_start = 0.0;
+    for (const auto& [start, end] : o.line_spans) {
+      EXPECT_GE(start, prev_start - 1e-12);
+      EXPECT_GE(end, start - 1e-12);
+      prev_start = start;
+    }
+    ASSERT_FALSE(o.line_spans.empty());
+    EXPECT_GE(o.total + 1e-9, o.line_spans.back().second);
+
+    // (3) Seed-deterministic replay, bit for bit.
+    EXPECT_TRUE(o.replay_identical);
+
+    // (4) When nothing migrated in either run, the accounted fault penalty
+    // bounds the slowdown exactly: total lands in
+    // [fault-free, fault-free + penalty] (pipelined stages can swallow part
+    // of a penalty, so the lower edge is the fault-free time itself).
+    if (o.migrations == 0 && base.migrations == 0) {
+      EXPECT_GE(o.total, base.total.value() - 1e-9);
+      EXPECT_LE(o.total, base.total.value() + o.penalty + 1e-9);
+    }
+
+    // (5) Site-specific recovery outcomes.
+    if (site == fault::Site::StatusLoss) {
+      // Only the skip_first prefix can reach the host; everything after is
+      // lost, and the run must still complete without the monitor's feed.
+      EXPECT_LE(o.status_updates, skip);
+    }
+    if (site == fault::Site::CseCrash && o.exhausted > 0) {
+      // An exhausted crash must degrade to the host, and the degradation
+      // must be recorded as such.
+      EXPECT_GE(o.migrations, 1u);
+      EXPECT_GE(o.degradations, 1u);
+    }
   }
 }
 
 // Engine-path sites (NvmeCommand is exercised through the controller in
-// nvme_test.cpp) x first-fault positions.
-INSTANTIATE_TEST_SUITE_P(
-    SitesAndCuts, MigrationUnderFault,
-    ::testing::Combine(::testing::Range(1, 6),
-                       ::testing::Values(0, 1, 3, 7)));
+// nvme_test.cpp); each shard sweeps the first-fault positions.
+INSTANTIATE_TEST_SUITE_P(SitesAndCuts, MigrationUnderFault,
+                         ::testing::Range(1, 6));
 
 TEST(Sampler, ProducesFourPointsPerLine) {
   const auto program = apps::make_app("tpch-q6", small());

@@ -115,6 +115,18 @@ TEST(Availability, AddStepAppends) {
   EXPECT_THROW(s.add_step(SimTime{1.0}, 0.5), Error);
 }
 
+TEST(Availability, AddStepRejectsNonMonotonicTimes) {
+  auto s = AvailabilitySchedule::constant(1.0);
+  s.add_step(SimTime{2.0}, 0.1);
+  EXPECT_THROW(s.add_step(SimTime{2.0}, 0.5), Error);  // equal time
+  EXPECT_THROW(s.add_step(SimTime{1.0}, 0.5), Error);  // earlier time
+  EXPECT_THROW(s.add_step(SimTime{3.0}, 1.5), Error);  // bad fraction
+  // A rejected append must leave the schedule intact and usable.
+  s.add_step(SimTime{3.0}, 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_at(SimTime{2.5}), 0.1);
+  EXPECT_DOUBLE_EQ(s.fraction_at(SimTime{3.5}), 0.5);
+}
+
 TEST(Availability, RejectsBadInputs) {
   EXPECT_THROW(AvailabilitySchedule::constant(1.5), Error);
   EXPECT_THROW(AvailabilitySchedule::constant(-0.1), Error);
@@ -158,6 +170,55 @@ TEST_P(AvailabilityRoundTrip, FinishTimeMatchesWorkDone) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AvailabilityRoundTrip,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Property: the cached-cursor segment lookup (fraction_at and the loop
+// starts inside finish_time/work_done) agrees with a naive linear scan for
+// arbitrary, non-monotone query orders — the cursor is a pure cache.
+class AvailabilityCursor : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AvailabilityCursor, MatchesLinearScanInRandomOrder) {
+  Rng rng(GetParam());
+  std::vector<std::pair<SimTime, double>> steps;
+  double t = 0.0;
+  steps.emplace_back(SimTime::zero(), rng.uniform(0.0, 1.0));
+  for (int i = 0; i < 12; ++i) {
+    t += rng.uniform(0.05, 1.5);
+    steps.emplace_back(SimTime{t}, rng.uniform(0.0, 1.0));
+  }
+  const auto schedule = AvailabilitySchedule::steps(steps);
+
+  const auto linear_fraction = [&](SimTime q) {
+    double f = steps.front().second;
+    for (const auto& [at, frac] : steps) {
+      if (at <= q) f = frac;
+    }
+    return f;
+  };
+
+  // Random (forward and backward) queries against the same instance.
+  for (int trial = 0; trial < 200; ++trial) {
+    const SimTime q{rng.uniform(0.0, t + 2.0)};
+    EXPECT_DOUBLE_EQ(schedule.fraction_at(q), linear_fraction(q));
+  }
+  // Exact step boundaries, walked backwards to defeat the forward cursor.
+  for (std::size_t i = steps.size(); i-- > 0;) {
+    EXPECT_DOUBLE_EQ(schedule.fraction_at(steps[i].first), steps[i].second);
+  }
+  // work_done stitched over random interior cuts equals the whole interval
+  // even when the cursor was just parked far ahead.
+  for (int trial = 0; trial < 50; ++trial) {
+    const SimTime a{rng.uniform(0.0, t)};
+    const SimTime b{rng.uniform(a.seconds(), t + 1.0)};
+    const SimTime mid{rng.uniform(a.seconds(), b.seconds())};
+    (void)schedule.fraction_at(SimTime{t + 2.0});  // park the cursor late
+    EXPECT_NEAR(schedule.work_done(a, mid).value() +
+                    schedule.work_done(mid, b).value(),
+                schedule.work_done(a, b).value(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvailabilityCursor,
+                         ::testing::Values(7, 11, 19, 23));
 
 }  // namespace
 }  // namespace isp::sim
