@@ -40,11 +40,19 @@ void Pool::parallel_for(std::size_t n,
     task_ = &task;
     errors_ = &errors;
     remaining_ = n;
-    // Deal indices round-robin.  Workers are idle between batches (they
-    // wait on epoch_), so the deques are exclusively ours right now; the
-    // epoch bump under mu_ publishes them.
-    for (std::size_t i = 0; i < n; ++i) {
-      queues_[i % queues_.size()]->items.push_back(i);
+    // Deal indices round-robin, locking each deque while we fill it.  A
+    // straggler worker from the previous batch can still be scanning the
+    // deques here (it decrements remaining_ before it re-parks), so the
+    // deques are NOT exclusively ours.  Holding q.mu makes the push safe
+    // against a concurrent pop, and its release/acquire pairing also
+    // publishes the task_/errors_ writes above to any worker that pops one
+    // of these indices — including a straggler that never saw the epoch
+    // bump.
+    const std::size_t k = queues_.size();
+    for (std::size_t w = 0; w < k && w < n; ++w) {
+      WorkerQueue& q = *queues_[w];
+      std::lock_guard qlock(q.mu);
+      for (std::size_t i = w; i < n; i += k) q.items.push_back(i);
     }
     ++epoch_;
   }

@@ -78,9 +78,13 @@ class Pool {
   bool steal(std::size_t self, std::size_t& index);
   void run_one(std::size_t index);
 
-  // Batch handshake.  All epoch/remaining transitions happen under mu_, so
-  // the dealing of indices (also under mu_) happens-before any worker's
-  // first pop of the new batch.
+  // Batch handshake.  All epoch/remaining transitions happen under mu_.
+  // Indices are dealt while holding both mu_ and each deque's own mutex:
+  // a straggler worker from the previous batch may still be scanning the
+  // deques (it decrements remaining_ before it re-parks), so per-queue
+  // locking is what makes dealing safe against a concurrent pop — and its
+  // release/acquire pairing publishes the task_/errors_ writes to whichever
+  // worker pops each index, epoch-woken or straggler alike.
   std::mutex mu_;
   std::condition_variable batch_cv_;  // workers: a new batch is ready
   std::condition_variable done_cv_;   // caller: the batch has settled

@@ -185,11 +185,18 @@ TEST(BenchUtil, GeomeanOfPositives) {
 TEST(BenchUtil, GeomeanSkipsNonPositiveEntries) {
   // Zero/negative speedups (failed or skipped runs) must not poison the
   // mean with -inf/NaN; they are excluded from the product.
-  const double g = bench::geomean({4.0, 0.0, 1.0, -2.5});
+  std::size_t excluded = 0;
+  const double g = bench::geomean({4.0, 0.0, 1.0, -2.5}, &excluded);
   EXPECT_TRUE(std::isfinite(g));
   EXPECT_DOUBLE_EQ(g, 2.0);
-  // All entries non-positive: defined, finite, zero.
-  EXPECT_DOUBLE_EQ(bench::geomean({0.0, -1.0}), 0.0);
+  // The exclusion is reported, not silent.
+  EXPECT_EQ(excluded, 2u);
+  // All entries non-positive: defined, finite, zero, and all reported.
+  EXPECT_DOUBLE_EQ(bench::geomean({0.0, -1.0}, &excluded), 0.0);
+  EXPECT_EQ(excluded, 2u);
+  // Clean input reports zero exclusions.
+  EXPECT_DOUBLE_EQ(bench::geomean({2.0, 8.0}, &excluded), 4.0);
+  EXPECT_EQ(excluded, 0u);
 }
 
 TEST(BenchUtil, MeanBasics) {

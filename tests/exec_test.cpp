@@ -9,6 +9,7 @@
 //     exception is the one rethrown (again independent of thread timing).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <fstream>
@@ -174,6 +175,25 @@ TEST(Pool, ReusableAcrossBatchesIncludingAfterException) {
   std::vector<int> out2(16, 0);
   pool.parallel_for(16, [&](std::size_t i) { out2[i] = 1; });
   EXPECT_EQ(std::accumulate(out2.begin(), out2.end(), 0), 16);
+}
+
+TEST(Pool, RapidReuseWithStragglersIsRaceFree) {
+  // Regression for a cross-batch race: parallel_for returns as soon as
+  // remaining_ hits zero, but a worker that ran the last task can still be
+  // scanning the deques before it re-parks.  Back-to-back tiny batches make
+  // that straggler window likely, so under TSan this test flags any
+  // unlocked dealing against a concurrent pop or a stale task_ read.
+  Pool pool(4);
+  std::uint64_t checksum = 0;
+  for (int batch = 0; batch < 200; ++batch) {
+    std::array<std::uint64_t, 8> out{};
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<std::uint64_t>(batch) * 100 + i;
+    });
+    for (const std::uint64_t v : out) checksum += v;
+  }
+  // sum over batches b of (800*b + 28)
+  EXPECT_EQ(checksum, 800ull * (199ull * 200ull / 2ull) + 28ull * 200ull);
 }
 
 TEST(Pool, DefaultJobsIsAtLeastOne) { EXPECT_GE(default_jobs(), 1u); }
