@@ -12,7 +12,6 @@
 //   3. keep the recovery overhead bounded (downtime + remount + re-staging
 //      stays a small multiple of the power-cycle cost, never a re-run).
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "apps/registry.hpp"
@@ -74,10 +73,8 @@ bool sweep_app(const std::string& app_name, std::uint64_t stride,
 int main(int argc, char** argv) {
   using namespace isp;
   const unsigned jobs = exec::jobs_from_args(argc, argv);
-  bool quick = false;  // --quick: one app, coarse stride (sanitizer CI)
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
+  // --quick: one app, coarse stride (sanitizer CI).
+  const bool quick = exec::flag_present(argc, argv, "--quick");
   bench::print_header(
       "Crash-point sweep: power loss at every event boundary, recover, "
       "verify");

@@ -174,13 +174,18 @@ int main(int argc, char** argv) {
   const double serial_rate = static_cast<double>(kTasks) / serial.seconds;
   const double parallel_rate = static_cast<double>(kTasks) / parallel.seconds;
   const double speedup = serial.seconds / parallel.seconds;
+  const bool single_core = bench::single_core();
 
   std::printf("%-28s %10.2f s  (%6.2f sims/s)\n", "serial (--jobs 1)",
               serial.seconds, serial_rate);
   std::printf("%-28s %10.2f s  (%6.2f sims/s)\n",
               ("parallel (--jobs " + std::to_string(jobs) + ")").c_str(),
               parallel.seconds, parallel_rate);
-  std::printf("%-28s %10.2fx\n", "speedup", speedup);
+  if (single_core) {
+    std::printf("%-28s %10s\n", "speedup", "n/a (single-core)");
+  } else {
+    std::printf("%-28s %10.2fx\n", "speedup", speedup);
+  }
   std::printf("%-28s %10s\n", "parallel == serial (exact)",
               identical ? "PASS" : "FAIL");
 
@@ -205,8 +210,19 @@ int main(int argc, char** argv) {
                  "  \"serial_seconds\": %.6f,\n"
                  "  \"parallel_seconds\": %.6f,\n"
                  "  \"serial_sims_per_sec\": %.4f,\n"
-                 "  \"parallel_sims_per_sec\": %.4f,\n"
-                 "  \"speedup\": %.4f,\n"
+                 "  \"parallel_sims_per_sec\": %.4f,\n",
+                 kTasks, jobs, exec::default_jobs(), serial.seconds,
+                 parallel.seconds, serial_rate, parallel_rate);
+    if (single_core) {
+      // One core: both batches time-share it, so the ratio measures the OS
+      // scheduler, not the executor.  Null plus an explicit reason beats a
+      // misleading 1.0x.
+      std::fprintf(f, "  \"speedup\": null,\n"
+                      "  \"reason\": \"single-core\",\n");
+    } else {
+      std::fprintf(f, "  \"speedup\": %.4f,\n", speedup);
+    }
+    std::fprintf(f,
                  "  \"parallel_equals_serial\": %s,\n"
                  "  \"micro\": {\n"
                  "    \"availability_queries_per_sec\": %.0f,\n"
@@ -214,8 +230,6 @@ int main(int argc, char** argv) {
                  "    \"ftl_remounts_per_sec\": %.2f\n"
                  "  }\n"
                  "}\n",
-                 kTasks, jobs, exec::default_jobs(), serial.seconds,
-                 parallel.seconds, serial_rate, parallel_rate, speedup,
                  identical ? "true" : "false", avail_qps, ftl.writes_per_sec,
                  ftl.remounts_per_sec);
     std::fclose(f);

@@ -20,6 +20,7 @@ enum class StatusCode : std::uint8_t {
   DeviceCrash,     // CSE core crash / firmware failure
   RetryExhausted,  // bounded retry policy ran out of attempts
   Cancelled,       // dropped by the issuer before completion
+  Overloaded,      // admission control: per-tenant queue is full (serve/)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
@@ -36,6 +37,8 @@ enum class StatusCode : std::uint8_t {
       return "retry-exhausted";
     case StatusCode::Cancelled:
       return "cancelled";
+    case StatusCode::Overloaded:
+      return "overloaded";
   }
   return "?";
 }

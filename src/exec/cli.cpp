@@ -1,6 +1,7 @@
 #include "exec/cli.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,33 +18,73 @@ namespace {
   std::exit(2);
 }
 
-unsigned parse_jobs_value(const char* text) {
-  if (text == nullptr || *text == '\0') die("--jobs needs a value");
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0') {
-    die(std::string("--jobs: not a number: '") + text + "'");
+/// Find the value of `--name V` / `--name=V`; nullptr when the flag is
+/// absent.  A flag present without a value is an immediate exit-2.
+const char* flag_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, name) == 0) {
+      if (i + 1 >= argc) die(std::string(name) + " needs a value");
+      return argv[i + 1];
+    }
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+      if (arg[len + 1] == '\0') die(std::string(name) + " needs a value");
+      return arg + len + 1;
+    }
   }
-  if (v == 0) die("--jobs must be at least 1");
-  if (v > 1024) die("--jobs: implausible worker count");
-  return static_cast<unsigned>(v);
+  return nullptr;
 }
 
 }  // namespace
 
-unsigned jobs_from_args(int argc, char** argv) {
+bool flag_present(int argc, char** argv, const char* name) {
   for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--jobs") == 0) {
-      if (i + 1 >= argc) die("--jobs needs a value");
-      return parse_jobs_value(argv[i + 1]);
-    }
-    if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      return parse_jobs_value(arg + 7);
-    }
+    if (std::strcmp(argv[i], name) == 0) return true;
   }
-  return default_jobs();
+  return false;
+}
+
+std::uint64_t u64_flag(int argc, char** argv, const char* name,
+                       std::uint64_t fallback, std::uint64_t lo,
+                       std::uint64_t hi) {
+  const char* text = flag_value(argc, argv, name);
+  if (text == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || text[0] == '-') {
+    die(std::string(name) + ": '" + text + "' is not a non-negative integer");
+  }
+  if (v < lo || v > hi) {
+    die(std::string(name) + ": " + std::to_string(v) + " is outside [" +
+        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+double double_flag(int argc, char** argv, const char* name, double fallback,
+                   double lo, double hi) {
+  const char* text = flag_value(argc, argv, name);
+  if (text == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (errno == ERANGE || end == text || *end != '\0' || !std::isfinite(v)) {
+    die(std::string(name) + ": '" + text + "' is not a number");
+  }
+  if (v < lo || v > hi) {
+    char bound[128];
+    std::snprintf(bound, sizeof(bound), "%s: %g is outside [%g, %g]", name, v,
+                  lo, hi);
+    die(bound);
+  }
+  return v;
+}
+
+unsigned jobs_from_args(int argc, char** argv) {
+  return static_cast<unsigned>(
+      u64_flag(argc, argv, "--jobs", default_jobs(), 1, 1024));
 }
 
 }  // namespace isp::exec

@@ -1,13 +1,33 @@
-// The --jobs flag shared by the sweep harnesses.
+// Strict shared CLI parsing for the bench harnesses.
 //
-// Every batch harness takes `--jobs N`: the worker count handed to
-// exec::run_batch.  Absent, it defaults to hardware concurrency; `--jobs 1`
-// is exactly the serial behaviour.  Parsing follows the repository's strict
-// CLI convention: a malformed or out-of-range value prints a diagnostic and
-// exits with status 2 rather than being silently clamped.
+// Every batch harness takes `--jobs N` (the worker count handed to
+// exec::run_batch; absent, hardware concurrency; `--jobs 1` is exactly the
+// serial behaviour) and a handful of numeric knobs of its own.  Parsing
+// follows the repository's strict convention (PR 2): a malformed,
+// out-of-range or valueless flag prints a diagnostic and exits with status 2
+// rather than being silently clamped or — worse — atoi'd to zero.  The
+// helpers below are that convention in one place, so the harnesses stop
+// re-growing private parse-and-validate snippets.
 #pragma once
 
+#include <cstdint>
+
 namespace isp::exec {
+
+/// True if `--name` appears in argv (boolean flag, no value).
+[[nodiscard]] bool flag_present(int argc, char** argv, const char* name);
+
+/// Parse `--name V` (or `--name=V`) as an unsigned integer in [lo, hi].
+/// Returns `fallback` when the flag is absent.  Exits with status 2 on a
+/// malformed value, a missing value, or a value outside [lo, hi].
+[[nodiscard]] std::uint64_t u64_flag(int argc, char** argv, const char* name,
+                                     std::uint64_t fallback, std::uint64_t lo,
+                                     std::uint64_t hi);
+
+/// Parse `--name V` (or `--name=V`) as a finite double in [lo, hi].  Same
+/// absent/error behaviour as u64_flag.
+[[nodiscard]] double double_flag(int argc, char** argv, const char* name,
+                                 double fallback, double lo, double hi);
 
 /// Parse `--jobs N` (or `--jobs=N`) out of argv.  Returns default_jobs()
 /// when the flag is absent.  Exits with status 2 on a malformed value, a

@@ -16,4 +16,20 @@ bool profitable(const Eq1Terms& terms) {
   return net_profit(terms).value() > 0.0;
 }
 
+Seconds net_profit_under_contention(const Eq1Terms& terms,
+                                    const Eq1Contention& c) {
+  ISP_CHECK(terms.bw_d2h.value() > 0.0, "bandwidth must be positive");
+  ISP_CHECK(c.queue_wait.value() >= 0.0, "queue wait must be non-negative");
+  ISP_CHECK(c.cse_availability > 0.0 && c.cse_availability <= 1.0,
+            "CSE availability out of (0,1]: " << c.cse_availability);
+  ISP_CHECK(c.link_share > 0.0 && c.link_share <= 1.0,
+            "link share out of (0,1]: " << c.link_share);
+  const BytesPerSecond bw = terms.bw_d2h * c.link_share;
+  const Seconds host_side = terms.ds_raw / bw + terms.ct_host;
+  const Seconds device_side = c.queue_wait +
+                              terms.ct_device / c.cse_availability +
+                              terms.ds_processed / bw;
+  return host_side - device_side;
+}
+
 }  // namespace isp::plan

@@ -27,4 +27,30 @@ struct Eq1Terms {
 /// Convenience predicate: S > 0.
 [[nodiscard]] bool profitable(const Eq1Terms& terms);
 
+/// Contention a *fleet* device adds to Equation 1.  The per-run form above
+/// assumes an idle device and a dedicated link; under multi-tenant serving a
+/// candidate device has queued work ahead of the job, a CSE that other
+/// activity (co-tenants, GC) has throttled, and a host link it shares with
+/// its siblings' traffic.  All three stretch the device side only — the host
+/// path still pays the raw trip over the same shared link.
+struct Eq1Contention {
+  /// Work queued on the device that must drain before this job starts.
+  Seconds queue_wait;
+  /// Fraction of CSE capacity left for this job, in (0, 1].
+  double cse_availability = 1.0;
+  /// Fraction of the host link's bandwidth this device's traffic gets,
+  /// in (0, 1].
+  double link_share = 1.0;
+};
+
+/// Equation 1 with the device-side terms inflated by contention:
+///
+///   S' = (DS_raw / BW' + CT_host)
+///        − (W_queue + CT_device / A_cse + DS_processed / BW')
+///
+/// with BW' = BW_D2H × link_share and A_cse the CSE fraction left.  Collapses
+/// to net_profit() when the contention terms are neutral.
+[[nodiscard]] Seconds net_profit_under_contention(const Eq1Terms& terms,
+                                                  const Eq1Contention& c);
+
 }  // namespace isp::plan

@@ -1,0 +1,82 @@
+#include "serve/admission.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace isp::serve {
+
+AdmissionController::AdmissionController(std::vector<TenantConfig> tenants) {
+  ISP_CHECK(!tenants.empty(), "admission needs at least one tenant");
+  tenants_.reserve(tenants.size());
+  for (auto& t : tenants) {
+    ISP_CHECK(t.weight > 0.0, "tenant weight must be positive: " << t.weight);
+    ISP_CHECK(t.queue_depth >= 1, "tenant queue depth must be at least 1");
+    tenants_.push_back(TenantState{.config = t, .queue = {}, .stats = {}});
+  }
+}
+
+Status AdmissionController::offer(const QueuedJob& job) {
+  ISP_CHECK(job.tenant < tenants_.size(), "unknown tenant " << job.tenant);
+  auto& t = tenants_[job.tenant];
+  t.stats.offered += 1;
+  if (t.queue.size() >= t.config.queue_depth) {
+    t.stats.rejected += 1;
+    return Status{StatusCode::Overloaded};
+  }
+  t.stats.admitted += 1;
+  t.queue.push_back(job);
+  return Status::ok();
+}
+
+bool AdmissionController::any_queued() const {
+  for (const auto& t : tenants_) {
+    if (!t.queue.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t AdmissionController::queued(std::uint32_t tenant) const {
+  ISP_CHECK(tenant < tenants_.size(), "unknown tenant " << tenant);
+  return tenants_[tenant].queue.size();
+}
+
+std::optional<QueuedJob> AdmissionController::pick() {
+  // Smallest virtual finish tag (dispatched + 1) / weight among non-empty
+  // queues; the index tie-break keeps the order fully deterministic.
+  std::size_t best = tenants_.size();
+  double best_tag = 0.0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const auto& t = tenants_[i];
+    if (t.queue.empty()) continue;
+    const double tag = static_cast<double>(t.stats.dispatched + 1) /
+                       t.config.weight;
+    if (best == tenants_.size() || tag < best_tag) {
+      best = i;
+      best_tag = tag;
+    }
+  }
+  if (best == tenants_.size()) return std::nullopt;
+  auto& t = tenants_[best];
+  QueuedJob job = t.queue.front();
+  t.queue.pop_front();
+  t.stats.dispatched += 1;
+  return job;
+}
+
+void AdmissionController::note_completed(std::uint32_t tenant) {
+  ISP_CHECK(tenant < tenants_.size(), "unknown tenant " << tenant);
+  tenants_[tenant].stats.completed += 1;
+}
+
+const TenantStats& AdmissionController::stats(std::uint32_t tenant) const {
+  ISP_CHECK(tenant < tenants_.size(), "unknown tenant " << tenant);
+  return tenants_[tenant].stats;
+}
+
+const TenantConfig& AdmissionController::tenant(std::uint32_t tenant) const {
+  ISP_CHECK(tenant < tenants_.size(), "unknown tenant " << tenant);
+  return tenants_[tenant].config;
+}
+
+}  // namespace isp::serve

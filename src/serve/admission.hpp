@@ -1,0 +1,80 @@
+// Admission control and weighted fair-share scheduling across tenants.
+//
+// Every tenant owns a bounded FIFO queue.  An arrival either joins its
+// tenant's queue or — when the queue is at queue_depth — is rejected with a
+// typed Status (StatusCode::Overloaded), never dropped silently: the caller
+// gets the status, the tenant's rejected counter advances, and the two
+// together must account for every offered job exactly once.
+//
+// Dispatch order across tenants is weighted fair queueing over *job counts*:
+// pick() chooses the non-empty tenant with the smallest virtual finish tag
+// (dispatched + 1) / weight, ties broken by tenant index.  Under saturation
+// this converges to dispatch shares proportional to the weights within one
+// job, and a backlogged tenant can never starve: its tag stays put while
+// every dispatch advances someone else's.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace isp::serve {
+
+struct TenantConfig {
+  double weight = 1.0;           // fair-share weight, > 0
+  std::size_t queue_depth = 8;   // bounded queue; arrivals beyond it reject
+};
+
+/// One job waiting in (or rejected from) a tenant queue.  The serving loop
+/// resolves job_class against its profile table; the controller only routes.
+struct QueuedJob {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  std::uint32_t job_class = 0;
+  SimTime arrival;
+};
+
+struct TenantStats {
+  std::uint64_t offered = 0;     // every arrival, admitted or not
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;    // typed Overloaded rejections
+  std::uint64_t dispatched = 0;  // handed to a lane by pick()
+  std::uint64_t completed = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(std::vector<TenantConfig> tenants);
+
+  [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
+
+  /// Admit `job` into its tenant's queue, or reject with Overloaded when the
+  /// queue is full.  Either way the offered counter advances exactly once.
+  Status offer(const QueuedJob& job);
+
+  [[nodiscard]] bool any_queued() const;
+  [[nodiscard]] std::size_t queued(std::uint32_t tenant) const;
+
+  /// Weighted fair pick across the non-empty queues (FIFO within a tenant);
+  /// nullopt when everything is empty.
+  std::optional<QueuedJob> pick();
+
+  void note_completed(std::uint32_t tenant);
+
+  [[nodiscard]] const TenantStats& stats(std::uint32_t tenant) const;
+  [[nodiscard]] const TenantConfig& tenant(std::uint32_t tenant) const;
+
+ private:
+  struct TenantState {
+    TenantConfig config;
+    std::deque<QueuedJob> queue;
+    TenantStats stats;
+  };
+  std::vector<TenantState> tenants_;
+};
+
+}  // namespace isp::serve

@@ -1,0 +1,74 @@
+#include "serve/fleet.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace isp::serve {
+
+FleetConfig FleetConfig::make(std::size_t devices, std::size_t host_lanes) {
+  ISP_CHECK(devices >= 1, "a fleet needs at least one device");
+  FleetConfig config;
+  config.host_lanes = host_lanes;
+  config.devices.reserve(devices);
+  for (std::size_t k = 0; k < devices; ++k) {
+    DeviceConfig d;
+    d.cse_availability =
+        sim::AvailabilitySchedule::constant(1.0 - 0.05 * static_cast<double>(k % 4));
+    config.devices.push_back(std::move(d));
+  }
+  return config;
+}
+
+Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
+  ISP_CHECK(!config_.devices.empty(), "a fleet needs at least one device");
+  ISP_CHECK(config_.link_fan_out >= 1, "link fan-out must be at least 1");
+  for (const auto& d : config_.devices) {
+    ISP_CHECK(d.link_share > 0.0 && d.link_share <= 1.0,
+              "device link share out of (0,1]: " << d.link_share);
+  }
+  busy_until_.assign(lane_count(), SimTime::zero());
+  stats_.assign(lane_count(), LaneStats{});
+}
+
+const DeviceConfig& Fleet::device(std::size_t lane) const {
+  ISP_CHECK(lane < config_.devices.size(), "lane " << lane << " is not a CSD");
+  return config_.devices[lane];
+}
+
+std::size_t Fleet::busy_devices_after(SimTime t) const {
+  std::size_t n = 0;
+  for (std::size_t lane = 0; lane < config_.devices.size(); ++lane) {
+    if (busy_until_[lane] > t) ++n;
+  }
+  return n;
+}
+
+double Fleet::contended_link_share(std::size_t lane,
+                                   std::size_t busy_devices) const {
+  const double provisioned = device(lane).link_share;
+  if (busy_devices <= config_.link_fan_out) return provisioned;
+  const double contended = static_cast<double>(config_.link_fan_out) /
+                           static_cast<double>(busy_devices);
+  return provisioned < contended ? provisioned : contended;
+}
+
+void Fleet::occupy(std::size_t lane, SimTime start, Seconds service) {
+  ISP_CHECK(lane < lane_count(), "lane out of range: " << lane);
+  ISP_CHECK(start >= busy_until_[lane],
+            "lane " << lane << " dispatched into its own past");
+  ISP_CHECK(service.value() >= 0.0, "negative service time");
+  busy_until_[lane] = start + service;
+  stats_[lane].jobs += 1;
+  stats_[lane].busy += service;
+}
+
+void Fleet::note_outcome(std::size_t lane, std::uint32_t migrations,
+                         std::uint32_t power_losses, std::uint64_t faults) {
+  ISP_CHECK(lane < lane_count(), "lane out of range: " << lane);
+  stats_[lane].migrations += migrations;
+  stats_[lane].power_losses += power_losses;
+  stats_[lane].faults += faults;
+}
+
+}  // namespace isp::serve

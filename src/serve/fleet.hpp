@@ -1,0 +1,105 @@
+// A fleet of simulated CSDs (plus host fallback lanes) for the serving
+// layer.
+//
+// One ActiveCpp run owns one SystemModel; a *server* multiplexes many
+// concurrent jobs over N devices, each with its own CSE availability
+// schedule (co-tenant load, GC) and a share of the host's link capacity.
+// The Fleet tracks, per lane, when the lane next goes idle in fleet virtual
+// time and what it has served so far; it never runs simulations itself —
+// the server dispatches jobs, runs each job's engine simulation through
+// exec::run_batch, and reports the measured service time back via occupy().
+//
+// Lanes [0, devices) are CSDs; lanes [devices, devices + host_lanes) are
+// host fallback slots for jobs Equation 1 prices off the device path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/availability.hpp"
+#include "system/config.hpp"
+
+namespace isp::serve {
+
+/// One CSD in the fleet: its time-varying CSE capacity and the static share
+/// of host-link bandwidth its slot is provisioned with.
+struct DeviceConfig {
+  sim::AvailabilitySchedule cse_availability;  // in fleet virtual time
+  double link_share = 1.0;                     // provisioned share, (0, 1]
+};
+
+struct FleetConfig {
+  std::vector<DeviceConfig> devices;
+  std::size_t host_lanes = 1;
+  /// How many device links the host root complex can serve at full rate
+  /// simultaneously; with more devices busy, each busy device's share
+  /// degrades as fan_out / busy_count (capped at its provisioned share).
+  std::size_t link_fan_out = 2;
+  /// Hardware constants every device (and the host lanes) is built from.
+  system::SystemConfig system = system::SystemConfig::paper_platform();
+
+  /// A mildly heterogeneous fleet: device k runs at constant CSE
+  /// availability 1.0 − 0.05·(k mod 4) — deterministic, no RNG — so
+  /// placement has real differences to price.
+  static FleetConfig make(std::size_t devices, std::size_t host_lanes = 1);
+};
+
+/// Per-lane serving statistics, aggregated over measured engine runs.
+struct LaneStats {
+  std::uint64_t jobs = 0;
+  Seconds busy;                     // sum of measured service times
+  std::uint32_t migrations = 0;     // jobs' runtime migrations (CSD lanes)
+  std::uint32_t power_losses = 0;   // power cycles survived on this lane
+  std::uint64_t faults = 0;         // injected faults across this lane's jobs
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig config);
+
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t device_count() const {
+    return config_.devices.size();
+  }
+  [[nodiscard]] std::size_t lane_count() const {
+    return config_.devices.size() + config_.host_lanes;
+  }
+  [[nodiscard]] bool is_host_lane(std::size_t lane) const {
+    return lane >= config_.devices.size();
+  }
+  [[nodiscard]] const DeviceConfig& device(std::size_t lane) const;
+
+  /// When the lane last becomes idle (fleet virtual time).
+  [[nodiscard]] SimTime busy_until(std::size_t lane) const {
+    return busy_until_[lane];
+  }
+
+  /// Devices (not host lanes) still busy strictly after `t`.
+  [[nodiscard]] std::size_t busy_devices_after(SimTime t) const;
+
+  /// Link share a device gets when `busy_devices` devices (including
+  /// itself) are drawing on the host link: provisioned share capped by
+  /// fan_out / busy_devices.
+  [[nodiscard]] double contended_link_share(std::size_t lane,
+                                            std::size_t busy_devices) const;
+
+  /// Record a dispatched job: the lane is busy over [start, start+service).
+  /// `start` must be at or after the lane's current busy_until.
+  void occupy(std::size_t lane, SimTime start, Seconds service);
+
+  /// Fold a finished job's fault/migration counters into the lane's stats.
+  void note_outcome(std::size_t lane, std::uint32_t migrations,
+                    std::uint32_t power_losses, std::uint64_t faults);
+
+  [[nodiscard]] const LaneStats& stats(std::size_t lane) const {
+    return stats_[lane];
+  }
+
+ private:
+  FleetConfig config_;
+  std::vector<SimTime> busy_until_;
+  std::vector<LaneStats> stats_;
+};
+
+}  // namespace isp::serve

@@ -1,0 +1,496 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "apps/registry.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exec/pool.hpp"
+#include "plan/equation1.hpp"
+#include "runtime/active_runtime.hpp"
+
+namespace isp::serve {
+
+namespace {
+
+/// Cached per-class pipeline products: everything placement and dispatch
+/// need without re-running the sampling phase per job.
+struct Profile {
+  explicit Profile(ir::Program p) : program(std::move(p)) {}
+
+  ir::Program program;
+  ir::Plan plan;           // Algorithm-1 plan, estimates attached
+  ir::Plan host_plan;      // all-host fallback plan
+  Seconds host_work;       // planner's T_host
+  Seconds csd_work;        // planner's T_csd
+  Bytes ds_raw;            // stored input the host path pulls over the link
+  Bytes ds_processed;      // intermediates the device ships back
+};
+
+std::vector<std::shared_ptr<const Profile>> build_profiles(
+    const ServeConfig& config) {
+  return exec::run_batch(
+      config.job_classes.size(),
+      [&](std::size_t c) -> std::shared_ptr<const Profile> {
+        const auto& jc = config.job_classes[c];
+        apps::AppConfig ac;
+        ac.size_factor = jc.size_factor;
+        auto profile = std::make_shared<Profile>(apps::make_app(jc.app, ac));
+
+        system::SystemModel system(config.fleet.system);
+        runtime::ActiveRuntime active(system);
+        runtime::RunConfig rc;
+        rc.mode = config.mode;
+        const auto result = active.run(profile->program, rc);
+
+        profile->plan = result.plan;
+        profile->host_plan =
+            ir::Plan::host_only(profile->program.line_count());
+        profile->host_work = result.projected_host;
+        profile->csd_work = result.projected_csd;
+        for (std::size_t i = 0; i < result.plan.estimate.size(); ++i) {
+          const auto& est = result.plan.estimate[i];
+          profile->ds_raw += est.storage_in;
+          if (result.plan.placement[i] == ir::Placement::Csd) {
+            const bool boundary =
+                i + 1 == result.plan.placement.size() ||
+                result.plan.placement[i + 1] == ir::Placement::Host;
+            if (boundary) profile->ds_processed += est.d_out;
+          }
+        }
+        return profile;
+      },
+      config.jobs);
+}
+
+struct Arrival {
+  QueuedJob job;
+};
+
+std::vector<Arrival> generate_arrivals(const ServeConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(config.total_jobs);
+  SimTime t = SimTime::zero();
+  for (std::uint64_t j = 0; j < config.total_jobs; ++j) {
+    const double u = rng.next_double();
+    t += Seconds{-std::log(1.0 - u) / config.offered_load};
+    Arrival a;
+    a.job.id = j;
+    a.job.tenant = static_cast<std::uint32_t>(
+        rng.uniform_u64(0, config.tenants.size() - 1));
+    a.job.job_class = static_cast<std::uint32_t>(
+        rng.uniform_u64(0, config.job_classes.size() - 1));
+    a.job.arrival = t;
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+/// One already-scheduled dispatch: everything the simulation needs is fixed
+/// before any worker thread runs.
+struct Dispatch {
+  QueuedJob job;
+  std::size_t lane = 0;
+  bool on_host = false;
+  SimTime start;
+  double link_share = 1.0;
+  Seconds eq1_profit;
+  /// The device's availability as seen from `start` — precomputed in the
+  /// serial decision phase because rebased()/fraction_at() move the
+  /// schedule's query cursor (not safe on the shared fleet copy once worker
+  /// threads run).
+  sim::AvailabilitySchedule device_schedule;
+};
+
+/// What one engine simulation reports back to the serving loop.
+struct SimResult {
+  Seconds service;
+  std::uint32_t migrations = 0;
+  std::uint32_t power_losses = 0;
+  std::uint64_t faults = 0;
+};
+
+SimResult simulate_dispatch(const ServeConfig& config, const Profile& profile,
+                            const Dispatch& d) {
+  system::SystemConfig sc = config.fleet.system;
+  if (!d.on_host) {
+    sc.link.bandwidth = sc.link.bandwidth * d.link_share;
+  }
+  system::SystemModel system(sc);
+
+  runtime::RunConfig rc;
+  rc.mode = config.mode;
+  rc.engine.fault = config.fault;
+  rc.engine.fault.seed = splitmix64(config.seed ^ (0xf1ee7000ULL + d.job.id));
+  if (config.power_loss_job >= 0 &&
+      d.job.id == static_cast<std::uint64_t>(config.power_loss_job)) {
+    auto& site = rc.engine.fault
+                     .sites[static_cast<std::size_t>(fault::Site::PowerLoss)];
+    site.rate = 1.0;
+    site.skip_first = config.power_loss_after;
+    site.max_faults = 1;
+  }
+  if (d.on_host) {
+    rc.reuse_plan = &profile.host_plan;
+    rc.engine.monitoring = false;
+    rc.engine.migration = false;
+  } else {
+    rc.reuse_plan = &profile.plan;
+    rc.engine.cse_availability = d.device_schedule;
+  }
+
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(profile.program, rc);
+
+  SimResult r;
+  r.service = result.report.total;
+  r.migrations = result.report.migrations;
+  r.power_losses = result.report.power_losses;
+  r.faults = result.report.faults.total_injected();
+  return r;
+}
+
+/// Rank the unclaimed lanes for `job` and decide device vs host fallback by
+/// Equation 1 under contention.  Among devices (and among host lanes) the
+/// projected completion decides; between the best device and the host path,
+/// the sign of S' decides.  Returns false only when every lane is claimed.
+bool choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
+                 const Profile& profile, const QueuedJob& job,
+                 Dispatch& out) {
+  const BytesPerSecond bw = fleet.config().system.link.bandwidth;
+  const std::size_t device_count = fleet.device_count();
+
+  bool have_device = false, have_host = false;
+  std::size_t best_device = 0, best_host = 0;
+  SimTime best_device_done = SimTime::infinity();
+  SimTime best_host_done = SimTime::infinity();
+  Seconds best_device_profit;
+  double best_device_share = 1.0;
+
+  // Host lanes first: the fallback's own queue wait belongs on Equation 1's
+  // host side, so the devices are priced against the host path the job
+  // would actually take.
+  for (std::size_t lane = fleet.device_count(); lane < fleet.lane_count();
+       ++lane) {
+    if (claimed[lane]) continue;
+    const SimTime start = std::max(fleet.busy_until(lane), job.arrival);
+    const SimTime done = start + profile.host_work;
+    if (!have_host || done < best_host_done) {
+      have_host = true;
+      best_host = lane;
+      best_host_done = done;
+    }
+  }
+  const Seconds host_wait =
+      have_host ? std::max(Seconds::zero(),
+                           fleet.busy_until(best_host) - job.arrival)
+                : Seconds::zero();
+
+  for (std::size_t lane = 0; lane < fleet.device_count(); ++lane) {
+    if (claimed[lane]) continue;
+    const SimTime start =
+        std::max(fleet.busy_until(lane), job.arrival);
+    const auto& sched = fleet.device(lane).cse_availability;
+    const SimTime compute_done = sched.finish_time(start, profile.csd_work);
+    if (compute_done == SimTime::infinity()) continue;  // starved device
+    const std::size_t busy =
+        std::min(fleet.busy_devices_after(start) + 1, device_count);
+    const double share = fleet.contended_link_share(lane, busy);
+    const SimTime done =
+        compute_done + profile.ds_processed / (bw * share);
+    // Effective CSE fraction over exactly the window the job would occupy.
+    const double avail_eff =
+        profile.csd_work.value() > 0.0
+            ? profile.csd_work.value() / (compute_done - start).value()
+            : 1.0;
+    const plan::Eq1Terms terms{.ds_raw = profile.ds_raw,
+                               .ct_host = profile.host_work + host_wait,
+                               .ct_device = profile.csd_work,
+                               .ds_processed = profile.ds_processed,
+                               .bw_d2h = bw};
+    // The wait this job would actually experience on the device: the time
+    // from its arrival until the lane's queued work drains.
+    const plan::Eq1Contention contention{
+        .queue_wait =
+            std::max(Seconds::zero(), fleet.busy_until(lane) - job.arrival),
+        .cse_availability = std::clamp(avail_eff, 1e-6, 1.0),
+        .link_share = share};
+    const Seconds profit =
+        plan::net_profit_under_contention(terms, contention);
+    if (!have_device || done < best_device_done) {
+      have_device = true;
+      best_device = lane;
+      best_device_done = done;
+      best_device_profit = profit;
+      best_device_share = share;
+    }
+  }
+
+  if (!have_device && !have_host) return false;
+  // A plan with no CSD lines has nothing to offload; don't burn a device.
+  const bool host_wins =
+      profile.plan.csd_line_count() == 0 ||
+      (have_host && (!have_device || best_device_profit.value() <= 0.0));
+  out.job = job;
+  if (host_wins && have_host) {
+    out.lane = best_host;
+    out.on_host = true;
+    out.start = std::max(fleet.busy_until(best_host), job.arrival);
+    out.link_share = 1.0;
+  } else {
+    out.lane = best_device;
+    out.on_host = false;
+    out.start = std::max(fleet.busy_until(best_device), job.arrival);
+    out.link_share = best_device_share;
+  }
+  out.eq1_profit = have_device ? best_device_profit : Seconds::zero();
+  return true;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+Seconds percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return Seconds::zero();
+  const auto n = sorted.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  return Seconds{sorted[std::min(n - 1, rank == 0 ? 0 : rank - 1)]};
+}
+
+}  // namespace
+
+ServeReport serve(const ServeConfig& config) {
+  ISP_CHECK(!config.tenants.empty(), "serve needs at least one tenant");
+  ISP_CHECK(!config.job_classes.empty(), "serve needs at least one job class");
+  ISP_CHECK(config.total_jobs >= 1, "serve needs at least one job");
+  ISP_CHECK(config.offered_load > 0.0, "offered load must be positive");
+
+  const auto profiles = build_profiles(config);
+  const auto arrivals = generate_arrivals(config);
+
+  Fleet fleet(config.fleet);
+  AdmissionController admission(config.tenants);
+  ServeReport report;
+  report.outcomes.resize(config.total_jobs);
+
+  std::size_t next_arrival = 0;
+  const auto admit_up_to = [&](SimTime t) {
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].job.arrival <= t) {
+      const auto& job = arrivals[next_arrival].job;
+      auto& outcome = report.outcomes[job.id];
+      outcome.id = job.id;
+      outcome.tenant = job.tenant;
+      outcome.job_class = job.job_class;
+      outcome.arrival = job.arrival;
+      outcome.rejected = !admission.offer(job).is_ok();
+      ++next_arrival;
+    }
+  };
+
+  while (true) {
+    // Decision phase (serial): claim at most one job per lane.  Every
+    // unclaimed lane's busy_until is a *measured* quantity from previous
+    // waves, so each decision sees exact state.
+    std::vector<Dispatch> wave;
+    std::vector<bool> claimed(fleet.lane_count(), false);
+    while (wave.size() < fleet.lane_count()) {
+      SimTime t = SimTime::infinity();
+      for (std::size_t lane = 0; lane < fleet.lane_count(); ++lane) {
+        if (!claimed[lane]) t = std::min(t, fleet.busy_until(lane));
+      }
+      admit_up_to(t);
+      if (!admission.any_queued()) {
+        if (wave.empty() && next_arrival < arrivals.size()) {
+          // Idle fleet: jump to the next arrival and retry.
+          admit_up_to(arrivals[next_arrival].job.arrival);
+          continue;
+        }
+        break;
+      }
+      const auto job = admission.pick();
+      Dispatch d;
+      const bool placed =
+          choose_lane(fleet, claimed, *profiles[job->job_class], *job, d);
+      ISP_CHECK(placed, "wave loop claimed every lane but kept picking");
+      if (!d.on_host) {
+        d.device_schedule =
+            fleet.device(d.lane).cse_availability.rebased(d.start);
+      }
+      claimed[d.lane] = true;
+      wave.push_back(std::move(d));
+    }
+    if (wave.empty()) break;  // queues drained, no arrivals left
+
+    // Execution phase: worker threads run the already-scheduled engine
+    // simulations; results come back in submission order.
+    const auto results = exec::run_batch(
+        wave.size(),
+        [&](std::size_t i) {
+          return simulate_dispatch(config, *profiles[wave[i].job.job_class],
+                                   wave[i]);
+        },
+        config.jobs);
+
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      const auto& d = wave[i];
+      const auto& r = results[i];
+      fleet.occupy(d.lane, d.start, r.service);
+      fleet.note_outcome(d.lane, r.migrations, r.power_losses, r.faults);
+      admission.note_completed(d.job.tenant);
+      auto& outcome = report.outcomes[d.job.id];
+      outcome.lane = static_cast<std::int32_t>(d.lane);
+      outcome.on_host = d.on_host;
+      outcome.start = d.start;
+      outcome.service = r.service;
+      // Queue wait + service, not (start+service)-arrival: the latter loses
+      // a ulp when start == arrival and would report latency < service.
+      outcome.latency = (d.start - d.job.arrival) + r.service;
+      outcome.eq1_profit = d.eq1_profit;
+      outcome.migrations = r.migrations;
+      outcome.power_losses = r.power_losses;
+      outcome.faults = r.faults;
+      report.makespan = std::max(report.makespan, d.start + r.service);
+    }
+  }
+
+  // Aggregate.  Every offered job must be accounted exactly once.
+  report.fleet_size = fleet.device_count();
+  report.host_lanes = config.fleet.host_lanes;
+  report.tenant_count = config.tenants.size();
+  report.total_jobs = config.total_jobs;
+  report.offered_load = config.offered_load;
+  report.seed = config.seed;
+  std::vector<double> latencies;
+  for (const auto& o : report.outcomes) {
+    if (o.rejected) {
+      report.rejected += 1;
+      continue;
+    }
+    report.admitted += 1;
+    report.completed += 1;
+    latencies.push_back(o.latency.value());
+    if (o.on_host) {
+      report.host_jobs += 1;
+    } else {
+      report.csd_jobs += 1;
+    }
+  }
+  ISP_CHECK(report.admitted + report.rejected == config.total_jobs,
+            "job accounting leak: " << report.admitted << " + "
+                                    << report.rejected << " != "
+                                    << config.total_jobs);
+  for (std::uint32_t t = 0; t < admission.tenant_count(); ++t) {
+    report.tenants.push_back(admission.stats(t));
+  }
+  for (std::size_t lane = 0; lane < fleet.lane_count(); ++lane) {
+    report.lanes.push_back(fleet.stats(lane));
+  }
+  if (report.makespan.seconds() > 0.0) {
+    report.throughput = static_cast<double>(report.completed) /
+                        report.makespan.seconds();
+  }
+  report.rejection_rate = static_cast<double>(report.rejected) /
+                          static_cast<double>(config.total_jobs);
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_latency = percentile(latencies, 0.50);
+  report.p99_latency = percentile(latencies, 0.99);
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& o : report.outcomes) {
+    h = fnv_mix(h, o.id);
+    h = fnv_mix(h, o.tenant);
+    h = fnv_mix(h, o.rejected ? 1 : 0);
+    h = fnv_mix(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(o.lane)));
+    h = fnv_mix(h, bits(o.start.seconds()));
+    h = fnv_mix(h, bits(o.service.value()));
+    h = fnv_mix(h, o.migrations);
+    h = fnv_mix(h, o.power_losses);
+    h = fnv_mix(h, o.faults);
+  }
+  for (const auto& lane : report.lanes) {
+    h = fnv_mix(h, lane.jobs);
+    h = fnv_mix(h, bits(lane.busy.value()));
+  }
+  report.digest = h;
+  return report;
+}
+
+std::string ServeReport::to_json() const {
+  std::string out;
+  out.reserve(2048);
+  char buf[256];
+  const auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+  add("{\n");
+  add("  \"fleet\": %zu,\n", fleet_size);
+  add("  \"host_lanes\": %zu,\n", host_lanes);
+  add("  \"tenants\": %zu,\n", tenant_count);
+  add("  \"total_jobs\": %llu,\n",
+      static_cast<unsigned long long>(total_jobs));
+  add("  \"offered_load\": %.6f,\n", offered_load);
+  add("  \"seed\": %llu,\n", static_cast<unsigned long long>(seed));
+  add("  \"admitted\": %llu,\n", static_cast<unsigned long long>(admitted));
+  add("  \"rejected\": %llu,\n", static_cast<unsigned long long>(rejected));
+  add("  \"completed\": %llu,\n", static_cast<unsigned long long>(completed));
+  add("  \"csd_jobs\": %llu,\n", static_cast<unsigned long long>(csd_jobs));
+  add("  \"host_jobs\": %llu,\n", static_cast<unsigned long long>(host_jobs));
+  add("  \"makespan_s\": %.6f,\n", makespan.seconds());
+  add("  \"throughput_jobs_per_s\": %.6f,\n", throughput);
+  add("  \"rejection_rate\": %.6f,\n", rejection_rate);
+  add("  \"p50_latency_s\": %.6f,\n", p50_latency.value());
+  add("  \"p99_latency_s\": %.6f,\n", p99_latency.value());
+  out += "  \"per_tenant\": [\n";
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const auto& s = tenants[t];
+    add("    {\"offered\": %llu, \"admitted\": %llu, \"rejected\": %llu, "
+        "\"dispatched\": %llu, \"completed\": %llu}%s\n",
+        static_cast<unsigned long long>(s.offered),
+        static_cast<unsigned long long>(s.admitted),
+        static_cast<unsigned long long>(s.rejected),
+        static_cast<unsigned long long>(s.dispatched),
+        static_cast<unsigned long long>(s.completed),
+        t + 1 < tenants.size() ? "," : "");
+  }
+  out += "  ],\n";
+  out += "  \"per_lane\": [\n";
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    const auto& s = lanes[lane];
+    add("    {\"kind\": \"%s\", \"jobs\": %llu, \"busy_s\": %.6f, "
+        "\"utilization\": %.6f, \"migrations\": %u, \"power_losses\": %u, "
+        "\"faults\": %llu}%s\n",
+        lane < fleet_size ? "csd" : "host",
+        static_cast<unsigned long long>(s.jobs), s.busy.value(),
+        utilization(lane), s.migrations, s.power_losses,
+        static_cast<unsigned long long>(s.faults),
+        lane + 1 < lanes.size() ? "," : "");
+  }
+  out += "  ],\n";
+  add("  \"digest\": \"0x%016llx\"\n",
+      static_cast<unsigned long long>(digest));
+  out += "}\n";
+  return out;
+}
+
+}  // namespace isp::serve

@@ -1,0 +1,130 @@
+// The multi-tenant serving loop: a stream of ActiveCpp jobs over a fleet.
+//
+// serve() multiplexes `total_jobs` arrivals from `tenants` weighted-fair
+// tenants over a Fleet of CSDs plus host fallback lanes, in *fleet virtual
+// time*:
+//
+//   1. Per job class (app × size), one up-front ActiveCpp pipeline run fixes
+//      the class profile: the Algorithm-1 plan with its estimates, projected
+//      host/CSD latencies, and the Equation-1 data volumes.  Profiles are
+//      computed through exec::run_batch.
+//   2. Arrivals are a seed-deterministic Poisson process at `offered_load`
+//      jobs per virtual second; each arrival is admitted into its tenant's
+//      bounded queue or rejected with StatusCode::Overloaded (backpressure —
+//      rejections are typed and counted, never silent).
+//   3. Dispatch runs in *waves* (the PR 3 pattern): a serial decision phase
+//      claims at most one job per lane — weighted-fair pick, then placement
+//      by Equation 1 under contention (queue wait + CSE availability + the
+//      device's contended link share) across the unclaimed lanes — and only
+//      then do worker threads execute the wave's already-scheduled engine
+//      simulations through exec::run_batch.  Measured service times advance
+//      the lane clocks before the next wave's decisions, so scheduling
+//      decisions never depend on thread timing: the report is byte-identical
+//      across `jobs` values.
+//
+// Every dispatched job is a full engine simulation on its own SystemModel
+// (device CSE availability rebased to the dispatch instant, link bandwidth
+// scaled to the contended share, per-job deterministic fault seed), so
+// monitoring, migration, fault handling and power-loss recovery all behave
+// exactly as they do in a single-job run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/exec_mode.hpp"
+#include "fault/fault.hpp"
+#include "serve/admission.hpp"
+#include "serve/fleet.hpp"
+
+namespace isp::serve {
+
+/// A job class: one (application, size) pair sharing a cached profile.
+struct JobClass {
+  std::string app = "tpch-q6";
+  double size_factor = 0.05;
+};
+
+struct ServeConfig {
+  FleetConfig fleet = FleetConfig::make(2);
+  std::vector<TenantConfig> tenants = {TenantConfig{}, TenantConfig{}};
+  std::vector<JobClass> job_classes = {JobClass{}};
+  std::uint64_t total_jobs = 32;
+  /// Mean arrivals per virtual second (Poisson, seed-deterministic).
+  double offered_load = 1.0;
+  std::uint64_t seed = 42;
+  /// Worker threads for the simulation batches (never affects the report).
+  unsigned jobs = 1;
+  codegen::ExecMode mode = codegen::ExecMode::CompiledNoCopy;
+  /// Fault rates applied to every dispatched job, each with its own derived
+  /// deterministic seed.
+  fault::FaultConfig fault;
+  /// Arm a single whole-device PowerLoss inside this job id's run (the
+  /// "mid-sweep crash" regression knob); < 0 disables.
+  std::int64_t power_loss_job = -1;
+  /// Event boundaries the armed job survives before the power cut.
+  std::uint64_t power_loss_after = 8;
+};
+
+/// What happened to one offered job.
+struct JobOutcome {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  std::uint32_t job_class = 0;
+  SimTime arrival;
+  bool rejected = false;  // Overloaded at admission; nothing below is set
+  std::int32_t lane = -1;
+  bool on_host = false;      // host fallback lane
+  SimTime start;             // dispatch instant on the lane
+  Seconds service;           // measured engine end-to-end time
+  Seconds latency;           // completion − arrival (queue wait + service)
+  Seconds eq1_profit;        // Equation-1 profit of the chosen device lane
+  std::uint32_t migrations = 0;
+  std::uint32_t power_losses = 0;
+  std::uint64_t faults = 0;
+};
+
+struct ServeReport {
+  // Config echo (what the numbers below were measured under).
+  std::size_t fleet_size = 0;
+  std::size_t host_lanes = 0;
+  std::size_t tenant_count = 0;
+  std::uint64_t total_jobs = 0;
+  double offered_load = 0.0;
+  std::uint64_t seed = 0;
+
+  std::vector<JobOutcome> outcomes;   // indexed by job id
+  std::vector<TenantStats> tenants;   // per-tenant accounting
+  std::vector<LaneStats> lanes;       // per-lane serving stats
+
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t csd_jobs = 0;
+  std::uint64_t host_jobs = 0;
+
+  SimTime makespan;            // last completion (fleet virtual time)
+  double throughput = 0.0;     // completed jobs per virtual second
+  double rejection_rate = 0.0; // rejected / offered
+  Seconds p50_latency;
+  Seconds p99_latency;
+
+  /// FNV-1a digest over every outcome and lane counter: the one word two
+  /// runs must agree on byte-for-byte (the determinism gate).
+  std::uint64_t digest = 0;
+
+  [[nodiscard]] double utilization(std::size_t lane) const {
+    if (makespan.seconds() <= 0.0) return 0.0;
+    return lanes[lane].busy.value() / makespan.seconds();
+  }
+
+  /// Machine-readable export; byte-identical across `jobs` values.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Run the serving loop to completion (every arrival admitted-and-served or
+/// rejected) and aggregate the report.
+[[nodiscard]] ServeReport serve(const ServeConfig& config);
+
+}  // namespace isp::serve

@@ -103,6 +103,18 @@ Seconds AvailabilitySchedule::work_done(SimTime t0, SimTime t1) const {
   return Seconds{total};
 }
 
+AvailabilitySchedule AvailabilitySchedule::rebased(SimTime origin) const {
+  ISP_CHECK(origin.seconds() >= 0.0, "rebase origin must be non-negative");
+  AvailabilitySchedule s;
+  s.steps_.clear();
+  s.steps_.emplace_back(SimTime::zero(), fraction_at(origin));
+  for (const auto& [at, fraction] : steps_) {
+    if (at <= origin) continue;
+    s.steps_.emplace_back(SimTime{(at - origin).value()}, fraction);
+  }
+  return s;
+}
+
 void AvailabilitySchedule::add_step(SimTime at, double fraction) {
   ISP_CHECK(fraction >= 0.0 && fraction <= 1.0,
             "availability fraction out of [0,1]");

@@ -49,6 +49,13 @@ class AvailabilitySchedule {
   /// throw isp::Error (checked, not a comment — callers are not trusted).
   void add_step(SimTime at, double fraction);
 
+  /// The schedule as seen from `origin`: a new schedule whose t=0 fraction
+  /// is fraction_at(origin) and whose later steps are shifted left by
+  /// `origin`.  The serving layer uses this to hand a per-device schedule to
+  /// a job's engine run, whose own virtual clock starts at the dispatch
+  /// instant rather than at fleet time zero.
+  [[nodiscard]] AvailabilitySchedule rebased(SimTime origin) const;
+
   [[nodiscard]] const std::vector<std::pair<SimTime, double>>& raw_steps()
       const {
     return steps_;

@@ -53,6 +53,66 @@ TEST(Equation1, RejectsZeroBandwidth) {
   EXPECT_THROW(static_cast<void>(net_profit(terms)), Error);
 }
 
+TEST(Equation1, ContentionCollapsesToNetProfitWhenNeutral) {
+  const Eq1Terms terms{.ds_raw = gigabytes(6.9),
+                       .ct_host = Seconds{2.0},
+                       .ct_device = Seconds{2.8},
+                       .ds_processed = gigabytes(0.05),
+                       .bw_d2h = gb_per_s(5.0)};
+  const Eq1Contention neutral{.queue_wait = Seconds::zero(),
+                              .cse_availability = 1.0,
+                              .link_share = 1.0};
+  EXPECT_DOUBLE_EQ(net_profit_under_contention(terms, neutral).value(),
+                   net_profit(terms).value());
+}
+
+TEST(Equation1, ContentionStretchesTheDeviceSideOnly) {
+  const Eq1Terms terms{.ds_raw = gigabytes(6.9),
+                       .ct_host = Seconds{2.0},
+                       .ct_device = Seconds{2.8},
+                       .ds_processed = gigabytes(0.05),
+                       .bw_d2h = gb_per_s(5.0)};
+  const auto base = net_profit(terms);
+
+  // Queue wait subtracts one-for-one from the profit.
+  const auto queued = net_profit_under_contention(
+      terms, {.queue_wait = Seconds{0.5}});
+  EXPECT_NEAR(queued.value(), base.value() - 0.5, 1e-9);
+
+  // A throttled CSE inflates CT_device by 1/A.
+  const auto throttled = net_profit_under_contention(
+      terms, {.queue_wait = Seconds::zero(), .cse_availability = 0.5});
+  EXPECT_NEAR(throttled.value(), base.value() - 2.8, 1e-9);
+
+  // A halved link slows *both* transfers; with DS_raw >> DS_processed the
+  // host side suffers more, so the device's relative profit grows.
+  const auto shared_link = net_profit_under_contention(
+      terms, {.queue_wait = Seconds::zero(),
+              .cse_availability = 1.0,
+              .link_share = 0.5});
+  EXPECT_GT(shared_link, base);
+}
+
+TEST(Equation1, ContentionRejectsBadFractions) {
+  const Eq1Terms terms{.ds_raw = gigabytes(1.0),
+                       .ct_host = Seconds{1.0},
+                       .ct_device = Seconds{1.0},
+                       .ds_processed = Bytes{0},
+                       .bw_d2h = gb_per_s(5.0)};
+  EXPECT_THROW(static_cast<void>(net_profit_under_contention(
+                   terms, {.queue_wait = Seconds::zero(),
+                           .cse_availability = 0.0})),
+               Error);
+  EXPECT_THROW(static_cast<void>(net_profit_under_contention(
+                   terms, {.queue_wait = Seconds::zero(),
+                           .cse_availability = 1.0,
+                           .link_share = 1.5})),
+               Error);
+  EXPECT_THROW(static_cast<void>(net_profit_under_contention(
+                   terms, {.queue_wait = Seconds{-1.0}})),
+               Error);
+}
+
 TEST(DeviceFactor, CountersMatchArchitecture) {
   system::SystemModel system;
   const auto factor = device_factor_from_counters(system);

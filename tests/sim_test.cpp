@@ -127,6 +127,51 @@ TEST(Availability, AddStepRejectsNonMonotonicTimes) {
   EXPECT_DOUBLE_EQ(s.fraction_at(SimTime{3.5}), 0.5);
 }
 
+TEST(Availability, RebasedShiftsTheOriginToZero) {
+  const auto schedule = AvailabilitySchedule::steps({{SimTime::zero(), 1.0},
+                                                     {SimTime{2.0}, 0.25},
+                                                     {SimTime{5.0}, 0.75}});
+  // Rebase into the middle of the 0.25 segment: the new schedule starts in
+  // that segment and every later step shifts left by the origin.
+  const auto rebased = schedule.rebased(SimTime{3.0});
+  EXPECT_DOUBLE_EQ(rebased.fraction_at(SimTime::zero()), 0.25);
+  EXPECT_DOUBLE_EQ(rebased.fraction_at(SimTime{1.9}), 0.25);
+  EXPECT_DOUBLE_EQ(rebased.fraction_at(SimTime{2.0}), 0.75);
+  // Agreement with the original at arbitrary offsets.
+  for (double dt = 0.0; dt < 6.0; dt += 0.37) {
+    EXPECT_DOUBLE_EQ(rebased.fraction_at(SimTime{dt}),
+                     schedule.fraction_at(SimTime{3.0 + dt}))
+        << "offset " << dt;
+  }
+}
+
+TEST(Availability, RebasedAtStepBoundaryAndZero) {
+  const auto schedule = AvailabilitySchedule::steps(
+      {{SimTime::zero(), 0.5}, {SimTime{1.0}, 1.0}});
+  // Origin exactly on a step: that step becomes t=0; no duplicate steps.
+  const auto at_step = schedule.rebased(SimTime{1.0});
+  EXPECT_DOUBLE_EQ(at_step.fraction_at(SimTime::zero()), 1.0);
+  EXPECT_EQ(at_step.raw_steps().size(), 1u);
+  // Origin zero is the identity.
+  const auto at_zero = schedule.rebased(SimTime::zero());
+  EXPECT_EQ(at_zero.raw_steps(), schedule.raw_steps());
+  EXPECT_THROW(schedule.rebased(SimTime{-1.0}), Error);
+}
+
+TEST(Availability, RebasedPreservesFinishTimes) {
+  const auto schedule = AvailabilitySchedule::steps({{SimTime::zero(), 1.0},
+                                                     {SimTime{1.0}, 0.2},
+                                                     {SimTime{4.0}, 1.0}});
+  const SimTime origin{2.5};
+  const auto rebased = schedule.rebased(origin);
+  for (double work = 0.1; work < 3.0; work += 0.3) {
+    const auto direct = schedule.finish_time(origin, Seconds{work});
+    const auto shifted = rebased.finish_time(SimTime::zero(), Seconds{work});
+    EXPECT_NEAR((direct - origin).value(), shifted.seconds(), 1e-12)
+        << "work " << work;
+  }
+}
+
 TEST(Availability, RejectsBadInputs) {
   EXPECT_THROW(AvailabilitySchedule::constant(1.5), Error);
   EXPECT_THROW(AvailabilitySchedule::constant(-0.1), Error);
