@@ -1,0 +1,154 @@
+// Observability overhead gate: serving loop with instrumentation on vs off.
+//
+// Runs the same serving configuration twice per trial — ObsOptions::enabled
+// true and false — and compares best-of-N wall-clock times.  Two contracts
+// are checked:
+//
+//   1. Zero behavioural cost: the outcome digest (the repo-wide determinism
+//      gate) must be bit-identical with and without instrumentation, because
+//      metrics charge no virtual time.  A mismatch is a hard failure.
+//   2. Bounded wall cost: best-of-N slowdown from enabling obs must stay
+//      under the ISSUE's 5% budget.  Wall clocks are noisy on shared CI
+//      machines, so the gate is evaluated on best-of-N (the least-noise
+//      estimator) and a breach prints WARN + exits 0 unless --strict is
+//      given (CI runs the gate informationally; the acceptance run uses
+//      --strict on quiet hardware).
+//
+// Flags (strict parsing, exit 2 on malformed values):
+//   --trials N   best-of-N wall measurements per variant          [5]
+//   --jobs N     worker threads for the simulation batches
+//   --quick      smaller job count (sanitizer CI)
+//   --strict     a >5% slowdown fails the run (exit 1)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+#include "bench/bench_util.hpp"
+#include "exec/cli.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+isp::serve::ServeConfig make_config(bool obs_enabled, std::uint64_t total_jobs,
+                                    unsigned jobs) {
+  using namespace isp;
+  serve::ServeConfig config;
+  config.fleet = serve::FleetConfig::make(2);
+  config.tenants.clear();
+  for (std::size_t t = 0; t < 3; ++t) {
+    serve::TenantConfig tc;
+    tc.weight = static_cast<double>(1ULL << t);
+    tc.queue_depth = 8;
+    config.tenants.push_back(tc);
+  }
+  config.job_classes = {serve::JobClass{.app = "tpch-q6", .size_factor = 0.1},
+                        serve::JobClass{.app = "kmeans", .size_factor = 0.05}};
+  config.total_jobs = total_jobs;
+  config.offered_load = 1.5;
+  config.jobs = jobs;
+  config.obs.enabled = obs_enabled;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace isp;
+  const unsigned jobs = exec::jobs_from_args(argc, argv);
+  const bool quick = exec::flag_present(argc, argv, "--quick");
+  const bool strict = exec::flag_present(argc, argv, "--strict");
+  const auto trials = static_cast<std::size_t>(
+      exec::u64_flag(argc, argv, "--trials", 5, 1, 64));
+  const std::uint64_t total_jobs = quick ? 16 : 32;
+  constexpr double kBudget = 0.05;  // ISSUE acceptance: < 5% regression
+
+  bench::print_header("Observability overhead: obs on vs off, best-of-N");
+  std::printf("%llu jobs per run, %zu trials per variant, --jobs %u\n\n",
+              static_cast<unsigned long long>(total_jobs), trials, jobs);
+
+  // One throwaway run per variant warms the profile caches and the thread
+  // pool so the timed trials measure the serving loop, not first-run setup.
+  const auto measure = [&](bool enabled, std::uint64_t& digest) {
+    const auto config = make_config(enabled, total_jobs, jobs);
+    digest = serve::serve(config).digest;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto t0 = Clock::now();
+      const auto report = serve::serve(config);
+      const double wall =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      best = std::min(best, wall);
+      if (report.digest != digest) {
+        std::printf("FAIL: digest drifted across repeat runs (%s)\n",
+                    enabled ? "obs on" : "obs off");
+        std::exit(1);
+      }
+    }
+    return best;
+  };
+
+  std::uint64_t digest_on = 0;
+  std::uint64_t digest_off = 0;
+  const double wall_on = measure(true, digest_on);
+  const double wall_off = measure(false, digest_off);
+  const double slowdown = wall_off > 0.0 ? wall_on / wall_off - 1.0 : 0.0;
+
+  std::printf("%-18s %10s\n", "variant", "best s");
+  bench::print_rule(30);
+  std::printf("%-18s %10.4f\n", "obs off", wall_off);
+  std::printf("%-18s %10.4f\n", "obs on", wall_on);
+  std::printf("\nslowdown %.2f%% (budget %.0f%%)\n", 100.0 * slowdown,
+              100.0 * kBudget);
+
+  bool ok = true;
+  if (digest_on != digest_off) {
+    // Instrumentation changed a scheduling decision or a service time —
+    // the zero-virtual-cost contract is broken, never acceptable.
+    std::printf("FAIL: outcome digest differs with obs on vs off "
+                "(%016llx vs %016llx)\n",
+                static_cast<unsigned long long>(digest_on),
+                static_cast<unsigned long long>(digest_off));
+    ok = false;
+  }
+  const bool over_budget = slowdown > kBudget;
+  if (over_budget) {
+    std::printf("%s: slowdown %.2f%% exceeds %.0f%% budget\n",
+                strict ? "FAIL" : "WARN (wall-clock noise?)",
+                100.0 * slowdown, 100.0 * kBudget);
+    if (strict) ok = false;
+  }
+
+  std::filesystem::create_directories("results");
+  const char* path = "results/BENCH_obs.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"total_jobs\": %llu,\n"
+                 "  \"trials\": %zu,\n"
+                 "  \"exec_jobs\": %u,\n"
+                 "  \"wall_off_s\": %.6f,\n"
+                 "  \"wall_on_s\": %.6f,\n"
+                 "  \"slowdown\": %.6f,\n"
+                 "  \"budget\": %.6f,\n"
+                 "  \"digest_match\": %s,\n"
+                 "  \"within_budget\": %s\n"
+                 "}\n",
+                 static_cast<unsigned long long>(total_jobs), trials, jobs,
+                 wall_off, wall_on, slowdown, kBudget,
+                 digest_on == digest_off ? "true" : "false",
+                 over_budget ? "false" : "true");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::printf("could not write %s\n", path);
+    ok = false;
+  }
+
+  std::printf("\n%s\n", ok ? "ALL PASS" : "FAILURES ABOVE");
+  return ok ? 0 : 1;
+}

@@ -15,15 +15,19 @@
 //   --queue-depth Q   per-tenant admission queue bound             [8]
 //   --jobs N          worker threads for the simulation batches
 //   --quick           one grid point per fleet size (sanitizer CI)
+//   --trace-out P     write the last grid point's fleet Perfetto timeline
+//   --metrics-out P   write the last grid point's metrics + snapshots JSON
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "exec/cli.hpp"
+#include "serve/observe.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -68,6 +72,9 @@ int main(int argc, char** argv) {
       exec::double_flag(argc, argv, "--offered-load", 1.0, 1e-6, 1e6);
   const auto queue_depth = static_cast<std::size_t>(
       exec::u64_flag(argc, argv, "--queue-depth", 8, 1, 4096));
+  const char* trace_out = exec::string_flag(argc, argv, "--trace-out", nullptr);
+  const char* metrics_out =
+      exec::string_flag(argc, argv, "--metrics-out", nullptr);
   const std::uint64_t total_jobs = quick ? 16 : 48;
 
   std::vector<std::size_t> fleets;
@@ -121,6 +128,26 @@ int main(int argc, char** argv) {
                   100.0 * csd_share, 100.0 * util_avg);
       ok = ok && report.admitted + report.rejected == report.total_jobs;
       entries.push_back(report.to_json());
+
+      // Observability exports for the last grid point (the biggest fleet at
+      // the highest load — the most interesting timeline).  Virtual-time
+      // only, so both files are byte-identical across --jobs values.
+      const bool last =
+          fleet == fleets.back() && load == loads.back();
+      if (last && trace_out != nullptr) {
+        serve::to_fleet_timeline(report).write(trace_out);
+        std::fprintf(stderr, "[serve_capacity] wrote %s\n", trace_out);
+      }
+      if (last && metrics_out != nullptr) {
+        std::ofstream f(metrics_out);
+        if (f.good()) {
+          f << serve::metrics_json(report);
+          std::fprintf(stderr, "[serve_capacity] wrote %s\n", metrics_out);
+        } else {
+          std::printf("could not write %s\n", metrics_out);
+          ok = false;
+        }
+      }
     }
   }
   const double wall =

@@ -82,6 +82,12 @@ double double_flag(int argc, char** argv, const char* name, double fallback,
   return v;
 }
 
+const char* string_flag(int argc, char** argv, const char* name,
+                        const char* fallback) {
+  const char* text = flag_value(argc, argv, name);
+  return text == nullptr ? fallback : text;
+}
+
 unsigned jobs_from_args(int argc, char** argv) {
   return static_cast<unsigned>(
       u64_flag(argc, argv, "--jobs", default_jobs(), 1, 1024));

@@ -29,6 +29,12 @@ namespace isp::exec {
 [[nodiscard]] double double_flag(int argc, char** argv, const char* name,
                                  double fallback, double lo, double hi);
 
+/// Parse `--name V` (or `--name=V`) as a non-empty string.  Returns
+/// `fallback` (which may be nullptr) when the flag is absent.  Exits with
+/// status 2 on a missing or empty value.
+[[nodiscard]] const char* string_flag(int argc, char** argv, const char* name,
+                                      const char* fallback);
+
 /// Parse `--jobs N` (or `--jobs=N`) out of argv.  Returns default_jobs()
 /// when the flag is absent.  Exits with status 2 on a malformed value, a
 /// value of zero, or a missing argument.

@@ -4,8 +4,28 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace isp::flash {
+
+void FtlStats::record_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("ftl.host_writes").add(host_writes);
+  registry.counter("ftl.gc_writes").add(gc_writes);
+  registry.counter("ftl.meta_writes").add(meta_writes);
+  registry.counter("ftl.erases").add(erases);
+  registry.counter("ftl.gc_invocations").add(gc_invocations);
+  registry.counter("ftl.checkpoint_folds").add(checkpoint_folds);
+  registry.counter("ftl.blocks_retired").add(blocks_retired);
+  registry.counter("ftl.recoveries").add(recoveries);
+  if (host_writes > 0) {
+    registry
+        .histogram("ftl.write_amplification",
+                   obs::HistogramOptions{.min_value = 1.0,
+                                         .growth = 1.05,
+                                         .buckets = 96})
+        .record(write_amplification());
+  }
+}
 
 Ftl::Ftl(FtlConfig config) : config_(config) {
   const auto& g = config_.geometry;

@@ -35,6 +35,10 @@
 #include "common/units.hpp"
 #include "flash/nand.hpp"
 
+namespace isp::obs {
+class MetricsRegistry;
+}
+
 namespace isp::flash {
 
 using Lpn = std::uint64_t;  // logical page number
@@ -80,6 +84,11 @@ struct FtlStats {
     return static_cast<double>(host_writes + gc_writes + meta_writes) /
            static_cast<double>(host_writes);
   }
+
+  /// Fold these stats into a metrics registry under "ftl.*" (GC and journal
+  /// traffic as counters, write amplification as a per-run histogram
+  /// sample).  Pure bookkeeping: charges no virtual time.
+  void record_metrics(obs::MetricsRegistry& registry) const;
 };
 
 /// What a power cut destroys: the buffered journal tail that was never

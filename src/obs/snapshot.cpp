@@ -1,0 +1,67 @@
+#include "obs/snapshot.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace isp::obs {
+
+void SnapshotSeries::push(SimTime t, std::vector<std::uint64_t> values) {
+  ISP_CHECK(values.size() == columns_.size(),
+            "snapshot row has " << values.size() << " values for "
+                                << columns_.size() << " columns");
+  ISP_CHECK(times_.empty() || times_.back() <= t,
+            "snapshot times must be non-decreasing");
+  times_.push_back(t);
+  rows_.push_back(std::move(values));
+}
+
+std::uint64_t SnapshotSeries::value(std::size_t row,
+                                    const std::string& column) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c] == column) return rows_[row][c];
+  }
+  ISP_CHECK(false, "unknown snapshot column '" << column << "'");
+  return 0;  // unreachable
+}
+
+std::uint64_t SnapshotSeries::digest() const {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& c : columns_) h = fnv1a(h, c);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    h = fnv1a(h, double_bits(times_[r].seconds()));
+    for (const auto v : rows_[r]) h = fnv1a(h, v);
+  }
+  return h;
+}
+
+std::string SnapshotSeries::to_json() const {
+  std::string out;
+  out.reserve(256 + 64 * rows());
+  char buf[128];
+  const auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+  out += "{\n  \"columns\": [";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    add("%s\"%s\"", c == 0 ? "" : ", ", columns_[c].c_str());
+  }
+  out += "],\n  \"snapshots\": [";
+  for (std::size_t r = 0; r < rows(); ++r) {
+    add("%s\n    {\"t_s\": %.6f, \"values\": [", r == 0 ? "" : ",",
+        times_[r].seconds());
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      add("%s%llu", c == 0 ? "" : ", ",
+          static_cast<unsigned long long>(rows_[r][c]));
+    }
+    out += "]}";
+  }
+  out += rows() == 0 ? "],\n" : "\n  ],\n";
+  add("  \"digest\": \"0x%016llx\"\n}\n",
+      static_cast<unsigned long long>(digest()));
+  return out;
+}
+
+}  // namespace isp::obs

@@ -1,0 +1,56 @@
+// Periodic virtual-time snapshots: a deterministic counter time series.
+//
+// A SnapshotSeries is a small columnar table — fixed column names, one row
+// of unsigned counters per virtual-time instant — built by walking a
+// finished run's outcome records at t = k·interval (plus a final row at the
+// makespan).  Everything is derived from virtual-time quantities, so the
+// series is byte-identical across runs and `--jobs` values, and invariants
+// ("admitted == completed + in_flight + queued at every instant") hold at
+// *every* row, not just at the end of the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace isp::obs {
+
+class SnapshotSeries {
+ public:
+  SnapshotSeries() = default;
+  explicit SnapshotSeries(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t rows() const { return times_.size(); }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+
+  /// Append one snapshot; `values` must match columns() in length.
+  void push(SimTime t, std::vector<std::uint64_t> values);
+
+  [[nodiscard]] SimTime time(std::size_t row) const { return times_[row]; }
+  [[nodiscard]] const std::vector<std::uint64_t>& row(std::size_t r) const {
+    return rows_[r];
+  }
+  /// Value by (row, column name); throws isp::Error on an unknown column.
+  [[nodiscard]] std::uint64_t value(std::size_t row,
+                                    const std::string& column) const;
+
+  /// FNV-1a over columns, times and every value.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// {"columns": [...], "snapshots": [{"t_s": ..., "values": [...]}, ...],
+  /// "digest": "0x..."} — deterministic formatting.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<SimTime> times_;
+  std::vector<std::vector<std::uint64_t>> rows_;
+};
+
+}  // namespace isp::obs

@@ -6,10 +6,56 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace isp::runtime {
 
 namespace {
+
+/// Fold a finished run into the observability registry.  Pure bookkeeping
+/// after report assembly: nothing here touches virtual time, so an
+/// instrumented run's report is bit-for-bit identical to an uninstrumented
+/// one (asserted by serve_test and bench/obs_overhead).
+void record_run_metrics(obs::MetricsRegistry& m, const ExecutionReport& report,
+                        std::uint64_t monitor_lost_updates,
+                        const flash::FtlStats& ftl) {
+  m.counter("engine.runs").add();
+  for (const auto& line : report.lines) {
+    m.counter(line.placement == ir::Placement::Csd ? "engine.lines.csd"
+                                                   : "engine.lines.host")
+        .add();
+    m.histogram("engine.line_compute_s").record(line.compute);
+  }
+  m.counter("engine.migrations").add(report.migrations);
+  m.counter("engine.csd_calls").add(report.csd_calls);
+  m.counter("engine.status_updates").add(report.status_updates);
+  m.counter("engine.power_losses").add(report.power_losses);
+  m.counter("monitor.lost_updates").add(monitor_lost_updates);
+  m.histogram("engine.total_s").record(report.total);
+  if (report.migrations > 0) {
+    m.histogram("engine.migration_overhead_s")
+        .record(report.migration_overhead);
+  }
+  if (report.power_losses > 0) {
+    m.histogram("engine.recovery_overhead_s").record(report.recovery_overhead);
+  }
+  for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+    if (report.faults.injected[s] == 0 && report.faults.recovered[s] == 0 &&
+        report.faults.exhausted[s] == 0) {
+      continue;
+    }
+    const auto site = std::string(
+        fault::to_string(static_cast<fault::Site>(s)));
+    m.counter("fault.injected." + site).add(report.faults.injected[s]);
+    m.counter("fault.recovered." + site).add(report.faults.recovered[s]);
+    m.counter("fault.exhausted." + site).add(report.faults.exhausted[s]);
+  }
+  m.counter("fault.degradations").add(report.faults.degradations);
+  if (report.faults.penalty.value() > 0.0) {
+    m.histogram("fault.penalty_s").record(report.faults.penalty);
+  }
+  ftl.record_metrics(m);
+}
 
 using interconnect::TransferKind;
 
@@ -764,6 +810,11 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
   if (injector != nullptr) {
     report.faults = injector->summary();
     report.fault_records = injector->records();
+  }
+  if (options.metrics != nullptr) {
+    record_run_metrics(*options.metrics, report,
+                       monitor ? monitor->lost_updates() : 0,
+                       csd.ftl().stats());
   }
   return report;
 }

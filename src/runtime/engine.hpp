@@ -33,6 +33,10 @@
 #include "sim/availability.hpp"
 #include "system/model.hpp"
 
+namespace isp::obs {
+class MetricsRegistry;
+}
+
 namespace isp::runtime {
 
 /// Stress the CSE after the ISP task reaches a progress fraction — the
@@ -68,6 +72,13 @@ struct EngineOptions {
   /// takes exactly the fault-free code paths — timing is bit-for-bit
   /// identical to a build without the fault layer.
   fault::FaultConfig fault;
+  /// Observability sink (optional).  When set, the engine folds per-line
+  /// placements, migrations, monitor/status-update traffic, fault-site
+  /// counters, and the device FTL's GC/journal/write-amplification stats
+  /// into the registry at the end of the run under "engine.*", "monitor.*",
+  /// "fault.*" and "ftl.*".  Recording charges no virtual time: the
+  /// ExecutionReport is bit-for-bit identical with or without a sink.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Engine {

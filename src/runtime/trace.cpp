@@ -1,75 +1,72 @@
 #include "runtime/trace.hpp"
 
-#include <fstream>
-#include <iomanip>
-#include <sstream>
+#include <cstdio>
+#include <string>
 
 #include "common/error.hpp"
+#include "obs/timeline.hpp"
 
 namespace isp::runtime {
 
 namespace {
 
-/// One complete ("X") event. Times in microseconds per the trace format.
-void emit(std::ostringstream& os, bool& first, const std::string& name,
-          const char* track, double start_s, double duration_s) {
-  if (duration_s <= 0.0) return;
-  if (!first) os << ",";
-  first = false;
-  os << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":\""
-     << track << "\",\"ts\":" << start_s * 1e6
-     << ",\"dur\":" << duration_s * 1e6 << "}";
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) {
+  return std::to_string(v);
 }
 
 }  // namespace
 
-std::string to_chrome_trace(const ExecutionReport& report) {
-  std::ostringstream os;
-  os << std::setprecision(12) << "[";
-  bool first = true;
+obs::Timeline to_trace_timeline(const ExecutionReport& report) {
+  obs::Timeline timeline;
 
   if (report.compile_overhead.value() > 0.0) {
-    emit(os, first, "codegen (Cython)", "host", 0.0,
-         report.compile_overhead.value());
+    timeline.complete("host", "codegen (Cython)", 0.0,
+                      report.compile_overhead.value());
   }
 
   for (const auto& line : report.lines) {
     const char* track =
         line.placement == ir::Placement::Csd ? "cse" : "host";
     double cursor = line.start.seconds();
-    emit(os, first, line.name + " [access]", track, cursor,
-         line.access.value());
+    timeline.complete(track, line.name + " [access]", cursor,
+                      line.access.value());
     cursor += line.access.value();
-    emit(os, first, line.name + " [xfer]", "link", cursor,
-         line.transfer_in.value());
+    timeline.complete("link", line.name + " [xfer]", cursor,
+                      line.transfer_in.value());
     cursor += line.transfer_in.value();
-    emit(os, first, line.name + " [marshal]", track, cursor,
-         line.marshal.value());
+    timeline.complete(track, line.name + " [marshal]", cursor,
+                      line.marshal.value());
     cursor += line.marshal.value();
-    emit(os, first, line.name, track, cursor, line.compute.value());
+    timeline.complete(track, line.name, cursor, line.compute.value());
   }
 
   // Fault-handling episodes as instant events on their own track, so a
   // faulted run shows *where* the retries and escalations landed.
   for (const auto& f : report.fault_records) {
-    if (!first) os << ",";
-    first = false;
-    os << "{\"name\":\"fault:" << fault::to_string(f.site)
-       << (f.exhausted ? " (exhausted)" : "")
-       << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":\"faults\",\"ts\":"
-       << f.time.seconds() * 1e6 << ",\"args\":{\"faults\":" << f.faults
-       << ",\"penalty_us\":" << f.penalty.value() * 1e6 << "}}";
+    timeline.instant(
+        "faults",
+        "fault:" + std::string(fault::to_string(f.site)) +
+            (f.exhausted ? " (exhausted)" : ""),
+        f.time.seconds(),
+        {{"faults", num(static_cast<std::uint64_t>(f.faults))},
+         {"penalty_us", num(f.penalty.value() * 1e6)}});
   }
-  os << "]";
-  return os.str();
+  return timeline;
+}
+
+std::string to_chrome_trace(const ExecutionReport& report) {
+  return to_trace_timeline(report).to_json();
 }
 
 void write_chrome_trace(const ExecutionReport& report,
                         const std::string& path) {
-  std::ofstream out(path);
-  ISP_CHECK(out.good(), "cannot open trace file '" << path << "'");
-  out << to_chrome_trace(report);
-  ISP_CHECK(out.good(), "failed writing trace file '" << path << "'");
+  to_trace_timeline(report).write(path);
 }
 
 }  // namespace isp::runtime

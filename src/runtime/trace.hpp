@@ -10,9 +10,15 @@
 
 #include <string>
 
+#include "obs/timeline.hpp"
 #include "runtime/report.hpp"
 
 namespace isp::runtime {
+
+/// Build the run's span timeline (rows: host, cse, link, faults).  The
+/// fleet exporter in src/serve composes whole-fleet timelines through the
+/// same obs::Timeline emitter.
+[[nodiscard]] obs::Timeline to_trace_timeline(const ExecutionReport& report);
 
 /// Serialise a report as a Chrome trace (JSON array of events).
 [[nodiscard]] std::string to_chrome_trace(const ExecutionReport& report);

@@ -1,0 +1,156 @@
+#include "serve/observe.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace isp::serve {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string lane_name(std::int32_t lane, std::size_t fleet_size) {
+  const auto l = static_cast<std::size_t>(lane);
+  if (l < fleet_size) return "csd" + std::to_string(l);
+  return "host" + std::to_string(l - fleet_size);
+}
+
+/// Strip one trailing newline so components embed cleanly.
+std::string chomp(std::string s) {
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+obs::Timeline to_fleet_timeline(const ServeReport& report) {
+  obs::Timeline timeline;
+
+  for (const auto& o : report.outcomes) {
+    const std::string job = "job" + std::to_string(o.id);
+    if (o.rejected) {
+      timeline.instant("admission", job + " rejected", o.arrival.seconds(),
+                       {{"tenant", std::to_string(o.tenant)}});
+      continue;
+    }
+    const std::string queue_track =
+        "tenant" + std::to_string(o.tenant) + " queue";
+    timeline.complete(queue_track, job + " [queue-wait]",
+                      o.arrival.seconds(), o.queue_wait.value());
+
+    const std::string lane = lane_name(o.lane, report.fleet_size);
+    timeline.instant(lane, job + " [placement]", o.start.seconds(),
+                     {{"eq1_profit_s", num(o.eq1_profit.value())},
+                      {"on_host", o.on_host ? "true" : "false"},
+                      {"class", std::to_string(o.job_class)}});
+
+    // Outer job span with exec / migration / recovery sub-slices nested
+    // inside it (sub-slice durations partition the measured service time;
+    // obs_test asserts the sum).
+    timeline.complete(
+        lane, job, o.start.seconds(), o.service.value(),
+        {{"tenant", std::to_string(o.tenant)},
+         {"class", std::to_string(o.job_class)},
+         {"migrations", std::to_string(o.migrations)},
+         {"power_losses", std::to_string(o.power_losses)},
+         {"faults", std::to_string(o.faults)}});
+    const double overheads =
+        o.migration_overhead.value() + o.recovery_overhead.value();
+    const double exec = std::max(0.0, o.service.value() - overheads);
+    double cursor = o.start.seconds();
+    timeline.complete(lane, job + " [exec]", cursor, exec);
+    cursor += exec;
+    timeline.complete(lane, job + " [migration]", cursor,
+                      o.migration_overhead.value());
+    cursor += o.migration_overhead.value();
+    timeline.complete(lane, job + " [recovery]", cursor,
+                      o.recovery_overhead.value());
+
+    for (const auto& f : o.fault_events) {
+      timeline.instant("faults",
+                       "fault:" + std::string(fault::to_string(f.site)) +
+                           (f.exhausted ? " (exhausted)" : ""),
+                       f.time.seconds(),
+                       {{"job", std::to_string(o.id)},
+                        {"penalty_us", num(f.penalty.value() * 1e6)}});
+    }
+  }
+  return timeline;
+}
+
+std::string to_fleet_trace(const ServeReport& report) {
+  return to_fleet_timeline(report).to_json();
+}
+
+obs::SnapshotSeries build_snapshots(const ServeReport& report,
+                                    const ObsOptions& options) {
+  ISP_CHECK(options.snapshot_interval.value() > 0.0,
+            "snapshot interval must be positive");
+  ISP_CHECK(options.max_snapshots >= 1, "need at least one snapshot");
+  obs::SnapshotSeries series(std::vector<std::string>{
+      "offered", "admitted", "rejected", "completed", "in_flight", "queued"});
+  if (report.outcomes.empty()) return series;
+
+  // The series must reach past the last arrival even when nothing completes
+  // after it (all-rejected tails), so every offered job shows up in the
+  // final row.
+  SimTime end = report.makespan;
+  for (const auto& o : report.outcomes) end = std::max(end, o.arrival);
+
+  Seconds interval = options.snapshot_interval;
+  const double spans = end.seconds() / interval.value();
+  if (spans > static_cast<double>(options.max_snapshots)) {
+    interval = Seconds{end.seconds() /
+                       static_cast<double>(options.max_snapshots)};
+  }
+
+  const auto snap_at = [&](SimTime t) {
+    std::uint64_t offered = 0, admitted = 0, rejected = 0;
+    std::uint64_t completed = 0, in_flight = 0, queued = 0;
+    for (const auto& o : report.outcomes) {
+      if (o.arrival > t) continue;
+      ++offered;
+      if (o.rejected) {
+        ++rejected;
+        continue;
+      }
+      ++admitted;
+      if (o.lane >= 0 && o.start <= t) {
+        if (o.start + o.service <= t) {
+          ++completed;
+        } else {
+          ++in_flight;
+        }
+      } else {
+        ++queued;
+      }
+    }
+    series.push(t, {offered, admitted, rejected, completed, in_flight,
+                    queued});
+  };
+
+  for (SimTime t = SimTime::zero() + interval; t < end; t += interval) {
+    snap_at(t);
+  }
+  snap_at(end);
+  return series;
+}
+
+std::string metrics_json(const ServeReport& report) {
+  std::string out;
+  out += "{\n\"metrics\": ";
+  out += chomp(report.metrics.to_json());
+  out += ",\n\"snapshots\": ";
+  out += chomp(report.snapshots.to_json());
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace isp::serve

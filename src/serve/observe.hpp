@@ -1,0 +1,41 @@
+// Fleet-wide observability exports: the serving-trace timeline and the
+// metrics/snapshot JSON bundle.
+//
+// to_fleet_trace() extends the single-run Chrome-trace exporter
+// (runtime::to_chrome_trace) to a whole serving run: one Perfetto row per
+// Fleet lane with one span per served job — sub-sliced into exec /
+// migration / recovery — one row per tenant queue showing each job's
+// queue wait, placement marks at every dispatch, and the jobs' fault
+// episodes as instant events.  Everything is derived from the finished
+// ServeReport's virtual-time records, so the trace is byte-identical
+// across runs and `--jobs` values (asserted in obs_test/serve_test).
+#pragma once
+
+#include <string>
+
+#include "obs/snapshot.hpp"
+#include "obs/timeline.hpp"
+#include "serve/server.hpp"
+
+namespace isp::serve {
+
+/// Build the whole-fleet span timeline.  Rows: "csd<k>" / "host<k>" lanes,
+/// "tenant<t> queue" wait rows, and a "faults" row of instant events.
+[[nodiscard]] obs::Timeline to_fleet_timeline(const ServeReport& report);
+
+/// to_fleet_timeline() serialised as Chrome-trace JSON.
+[[nodiscard]] std::string to_fleet_trace(const ServeReport& report);
+
+/// Derive the periodic virtual-time snapshot series from the outcome
+/// records: rows at t = k·interval plus a final row at the makespan, each
+/// counting offered / admitted / rejected / completed / in_flight / queued
+/// as of t.  At every row `admitted == completed + in_flight + queued` and
+/// `offered == admitted + rejected` (property-tested in serve_test).
+[[nodiscard]] obs::SnapshotSeries build_snapshots(const ServeReport& report,
+                                                  const ObsOptions& options);
+
+/// The metrics registry and snapshot series as one JSON document (the
+/// `--metrics-out` payload): {"metrics": ..., "snapshots": ...}.
+[[nodiscard]] std::string metrics_json(const ServeReport& report);
+
+}  // namespace isp::serve

@@ -13,6 +13,7 @@
 #include "exec/pool.hpp"
 #include "plan/equation1.hpp"
 #include "runtime/active_runtime.hpp"
+#include "serve/observe.hpp"
 
 namespace isp::serve {
 
@@ -114,6 +115,17 @@ struct SimResult {
   std::uint32_t migrations = 0;
   std::uint32_t power_losses = 0;
   std::uint64_t faults = 0;
+  // Observability detail (ObsOptions::enabled only).  Fault-event times are
+  // job-local here; the serial fold shifts them to fleet time.
+  Seconds migration_overhead;
+  Seconds recovery_overhead;
+  std::uint32_t lines_csd = 0;
+  std::uint32_t lines_host = 0;
+  std::vector<FaultEvent> fault_events;
+  /// Per-job engine/monitor/fault/FTL metrics, merged into the report's
+  /// registry in submission order (merge is associative, so the fold equals
+  /// a serial run regardless of worker count).
+  obs::MetricsRegistry metrics;
 };
 
 SimResult simulate_dispatch(const ServeConfig& config, const Profile& profile,
@@ -145,14 +157,35 @@ SimResult simulate_dispatch(const ServeConfig& config, const Profile& profile,
     rc.engine.cse_availability = d.device_schedule;
   }
 
+  SimResult r;
+  if (config.obs.enabled) rc.engine.metrics = &r.metrics;
+
   runtime::ActiveRuntime active(system);
   const auto result = active.run(profile.program, rc);
 
-  SimResult r;
   r.service = result.report.total;
   r.migrations = result.report.migrations;
   r.power_losses = result.report.power_losses;
   r.faults = result.report.faults.total_injected();
+  if (config.obs.enabled) {
+    r.migration_overhead = result.report.migration_overhead;
+    r.recovery_overhead = result.report.recovery_overhead;
+    for (const auto& line : result.report.lines) {
+      if (line.placement == ir::Placement::Csd) {
+        ++r.lines_csd;
+      } else {
+        ++r.lines_host;
+      }
+    }
+    const std::size_t cap = config.obs.max_trace_faults_per_job;
+    for (const auto& f : result.report.fault_records) {
+      if (r.fault_events.size() >= cap) break;
+      r.fault_events.push_back(FaultEvent{.site = f.site,
+                                          .time = f.time,
+                                          .penalty = f.penalty,
+                                          .exhausted = f.exhausted});
+    }
+  }
   return r;
 }
 
@@ -267,14 +300,6 @@ std::uint64_t bits(double v) {
   return u;
 }
 
-Seconds percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return Seconds::zero();
-  const auto n = sorted.size();
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(n)));
-  return Seconds{sorted[std::min(n - 1, rank == 0 ? 0 : rank - 1)]};
-}
-
 }  // namespace
 
 ServeReport serve(const ServeConfig& config) {
@@ -291,6 +316,10 @@ ServeReport serve(const ServeConfig& config) {
   ServeReport report;
   report.outcomes.resize(config.total_jobs);
 
+  // Deepest each tenant's queue ever got (serial bookkeeping, so the gauge
+  // is deterministic by construction).
+  std::vector<std::size_t> max_queue(config.tenants.size(), 0);
+
   std::size_t next_arrival = 0;
   const auto admit_up_to = [&](SimTime t) {
     while (next_arrival < arrivals.size() &&
@@ -302,6 +331,8 @@ ServeReport serve(const ServeConfig& config) {
       outcome.job_class = job.job_class;
       outcome.arrival = job.arrival;
       outcome.rejected = !admission.offer(job).is_ok();
+      max_queue[job.tenant] =
+          std::max(max_queue[job.tenant], admission.queued(job.tenant));
       ++next_arrival;
     }
   };
@@ -368,6 +399,21 @@ ServeReport serve(const ServeConfig& config) {
       outcome.migrations = r.migrations;
       outcome.power_losses = r.power_losses;
       outcome.faults = r.faults;
+      if (config.obs.enabled) {
+        outcome.queue_wait = d.start - d.job.arrival;
+        outcome.migration_overhead = r.migration_overhead;
+        outcome.recovery_overhead = r.recovery_overhead;
+        outcome.lines_csd = r.lines_csd;
+        outcome.lines_host = r.lines_host;
+        outcome.fault_events = std::move(results[i].fault_events);
+        for (auto& f : outcome.fault_events) {
+          f.time = d.start + (f.time - SimTime::zero());  // job → fleet time
+        }
+        // Submission-order fold of the per-job engine registries: merge is
+        // associative, so this equals one registry fed serially no matter
+        // how many worker threads ran the wave.
+        report.metrics.merge(r.metrics);
+      }
       report.makespan = std::max(report.makespan, d.start + r.service);
     }
   }
@@ -410,9 +456,13 @@ ServeReport serve(const ServeConfig& config) {
   }
   report.rejection_rate = static_cast<double>(report.rejected) /
                           static_cast<double>(config.total_jobs);
+  // Exact nearest-rank percentiles over the sorted sample (const ref — the
+  // previous hand-rolled helper took the vector by value, a full copy per
+  // call); the obs histogram's bucketed percentile cross-checks these
+  // within its error bound in serve_test.
   std::sort(latencies.begin(), latencies.end());
-  report.p50_latency = percentile(latencies, 0.50);
-  report.p99_latency = percentile(latencies, 0.99);
+  report.p50_latency = Seconds{obs::percentile_sorted(latencies, 0.50)};
+  report.p99_latency = Seconds{obs::percentile_sorted(latencies, 0.99)};
 
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (const auto& o : report.outcomes) {
@@ -432,6 +482,49 @@ ServeReport serve(const ServeConfig& config) {
     h = fnv_mix(h, bits(lane.busy.value()));
   }
   report.digest = h;
+
+  // Serve-level metrics and snapshots — all derived serially from the
+  // finished aggregates, so they inherit the report's determinism.
+  if (config.obs.enabled) {
+    auto& m = report.metrics;
+    m.counter("serve.offered").add(config.total_jobs);
+    m.counter("serve.admitted").add(report.admitted);
+    m.counter("serve.rejected").add(report.rejected);
+    m.counter("serve.completed").add(report.completed);
+    m.counter("serve.jobs.csd").add(report.csd_jobs);
+    m.counter("serve.jobs.host").add(report.host_jobs);
+    auto& latency_h = m.histogram("serve.latency_s");
+    auto& service_h = m.histogram("serve.service_s");
+    auto& wait_h = m.histogram("serve.queue_wait_s");
+    for (const auto& o : report.outcomes) {
+      if (o.rejected) continue;
+      latency_h.record(o.latency.value());
+      service_h.record(o.service.value());
+      wait_h.record(o.queue_wait.value());
+    }
+    for (std::uint32_t t = 0; t < report.tenants.size(); ++t) {
+      const auto& ts = report.tenants[t];
+      const std::string p = "serve.tenant." + std::to_string(t) + ".";
+      m.counter(p + "offered").add(ts.offered);
+      m.counter(p + "admitted").add(ts.admitted);
+      m.counter(p + "rejected").add(ts.rejected);
+      m.counter(p + "dispatched").add(ts.dispatched);
+      m.counter(p + "completed").add(ts.completed);
+      m.gauge(p + "wfq_weight").set(config.tenants[t].weight);
+      m.gauge(p + "max_queue_depth")
+          .set(static_cast<double>(max_queue[t]));
+    }
+    for (std::size_t lane = 0; lane < report.lanes.size(); ++lane) {
+      const auto& ls = report.lanes[lane];
+      const std::string p = "serve.lane." + std::to_string(lane) + ".";
+      m.counter(p + "jobs").add(ls.jobs);
+      m.counter(p + "migrations").add(ls.migrations);
+      m.counter(p + "power_losses").add(ls.power_losses);
+      m.counter(p + "faults").add(ls.faults);
+      m.gauge(p + "utilization").set(report.utilization(lane));
+    }
+    report.snapshots = build_snapshots(report, config.obs);
+  }
   return report;
 }
 

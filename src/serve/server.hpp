@@ -35,6 +35,8 @@
 
 #include "codegen/exec_mode.hpp"
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "serve/admission.hpp"
 #include "serve/fleet.hpp"
 
@@ -44,6 +46,22 @@ namespace isp::serve {
 struct JobClass {
   std::string app = "tpch-q6";
   double size_factor = 0.05;
+};
+
+/// Observability knobs.  Everything here is bookkeeping in virtual time:
+/// enabling or disabling instrumentation never changes a single scheduling
+/// decision or service time (the outcome digest is identical either way —
+/// asserted by serve_test and gated by bench/obs_overhead).
+struct ObsOptions {
+  /// Collect the metrics registry, snapshot series and per-job trace data.
+  bool enabled = true;
+  /// Virtual-time spacing of the snapshot rows.  Widened deterministically
+  /// when makespan / interval would exceed max_snapshots.
+  Seconds snapshot_interval{0.25};
+  std::size_t max_snapshots = 256;
+  /// Fault episodes kept per job for the fleet timeline (counters keep
+  /// counting past the cap).
+  std::size_t max_trace_faults_per_job = 8;
 };
 
 struct ServeConfig {
@@ -65,6 +83,16 @@ struct ServeConfig {
   std::int64_t power_loss_job = -1;
   /// Event boundaries the armed job survives before the power cut.
   std::uint64_t power_loss_after = 8;
+  ObsOptions obs;
+};
+
+/// One fault-handling episode, lifted to fleet virtual time for the
+/// timeline (bounded per job by ObsOptions::max_trace_faults_per_job).
+struct FaultEvent {
+  fault::Site site = fault::Site::NvmeCommand;
+  SimTime time;      // fleet virtual time (job-local time + dispatch start)
+  Seconds penalty;
+  bool exhausted = false;
 };
 
 /// What happened to one offered job.
@@ -83,6 +111,14 @@ struct JobOutcome {
   std::uint32_t migrations = 0;
   std::uint32_t power_losses = 0;
   std::uint64_t faults = 0;
+
+  // Observability detail (filled when ObsOptions::enabled; zero otherwise).
+  Seconds queue_wait;            // start − arrival
+  Seconds migration_overhead;    // regeneration + live-state movement
+  Seconds recovery_overhead;     // power-cycle + FTL remount + re-staging
+  std::uint32_t lines_csd = 0;   // per-line placements the job actually ran
+  std::uint32_t lines_host = 0;
+  std::vector<FaultEvent> fault_events;  // bounded; feeds the fleet timeline
 };
 
 struct ServeReport {
@@ -113,6 +149,14 @@ struct ServeReport {
   /// FNV-1a digest over every outcome and lane counter: the one word two
   /// runs must agree on byte-for-byte (the determinism gate).
   std::uint64_t digest = 0;
+
+  /// Fleet-wide metrics: serve.* (admission, WFQ, lanes, latency
+  /// histograms) plus the per-job engine.*, monitor.*, fault.* and ftl.*
+  /// counters merged in submission order.  Empty when obs is disabled.
+  obs::MetricsRegistry metrics;
+  /// Periodic virtual-time snapshots (offered / admitted / rejected /
+  /// completed / in_flight / queued per row).  Empty when obs is disabled.
+  obs::SnapshotSeries snapshots;
 
   [[nodiscard]] double utilization(std::size_t lane) const {
     if (makespan.seconds() <= 0.0) return 0.0;

@@ -1,0 +1,630 @@
+// Observability subsystem: deterministic metrics registry (counters, gauges,
+// log-bucketed histograms), the shared Chrome-trace emitter, virtual-time
+// snapshot series, and the trace exports built on them (runtime single-run
+// trace, whole-fleet serving timeline).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/timeline.hpp"
+#include "runtime/active_runtime.hpp"
+#include "runtime/trace.hpp"
+#include "serve/observe.hpp"
+#include "serve/server.hpp"
+#include "system/model.hpp"
+
+namespace isp {
+namespace {
+
+// --- Minimal JSON validator ----------------------------------------------
+// Recursive-descent acceptance check: is `text` one well-formed JSON value?
+// No DOM, no numbers parsed — just structure — which is exactly what the
+// "every export is loadable JSON" contracts need.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;  // skip the escaped char
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool valid_json(const std::string& text) { return JsonChecker(text).valid(); }
+
+// --- Histogram: bucket layout --------------------------------------------
+
+TEST(Histogram, BucketZeroHoldsZeroThroughMinValue) {
+  obs::Histogram h;
+  const double min_v = h.options().min_value;
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(min_v), 0u);          // inclusive upper edge
+  EXPECT_EQ(h.bucket_index(min_v * 1.01), 1u);   // just past it
+  EXPECT_EQ(h.bucket_index(-1.0), 0u);           // negatives clamp in
+  EXPECT_DOUBLE_EQ(h.bucket_upper_edge(0), min_v);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  obs::Histogram h;
+  for (const std::size_t i : {1u, 2u, 7u, 31u, 100u}) {
+    const double edge = h.bucket_upper_edge(i);
+    EXPECT_EQ(h.bucket_index(edge), i) << "edge of bucket " << i;
+    EXPECT_EQ(h.bucket_index(edge * 1.0000001), i + 1)
+        << "just past the edge of bucket " << i;
+  }
+}
+
+TEST(Histogram, OverflowBucketCatchesBeyondRange) {
+  obs::HistogramOptions opt;
+  opt.min_value = 1.0;
+  opt.growth = 2.0;
+  opt.buckets = 4;  // regular buckets 0..3 cover up to 2^3 = 8
+  obs::Histogram h(opt);
+  EXPECT_EQ(h.bucket_index(8.0), 3u);       // last regular bucket
+  EXPECT_EQ(h.bucket_index(9.0), 4u);       // the overflow bucket
+  EXPECT_EQ(h.bucket_index(1e12), 4u);
+  h.record(1000.0);
+  h.record(2.0);
+  EXPECT_EQ(h.buckets().back(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  // Overflow percentile clamps to the observed max, exactly.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+}
+
+TEST(Histogram, CountSumMinMaxMeanAndEmpty) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.record(0.5);
+  h.record(0.25);
+  h.record(0.25);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 0.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.0 / 3.0);
+}
+
+// --- Histogram: percentile accuracy --------------------------------------
+
+TEST(Histogram, PercentileWithinRelativeErrorBoundOfExactSort) {
+  // Deterministic pseudo-random sample spanning several decades.
+  obs::Histogram h;
+  std::vector<double> sample;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 500; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const double v = 1e-6 * std::pow(10.0, static_cast<double>(x % 6000) /
+                                               1000.0);  // 1e-6 .. 1
+    sample.push_back(v);
+    h.record(v);
+  }
+  std::sort(sample.begin(), sample.end());
+  const double bound = h.options().growth - 1.0;
+  for (const double q : {0.01, 0.10, 0.50, 0.90, 0.99, 1.0}) {
+    const double exact = obs::percentile_sorted(sample, q);
+    const double approx = h.percentile(q);
+    EXPECT_LE(std::abs(approx - exact) / exact, bound)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(Histogram, PercentileClampsToObservedRange) {
+  obs::Histogram h;
+  h.record(0.125);
+  h.record(0.25);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_GE(h.percentile(q), 0.125);
+    EXPECT_LE(h.percentile(q), 0.25);
+  }
+}
+
+// --- Histogram: merge algebra --------------------------------------------
+
+obs::Histogram dyadic_histogram(std::initializer_list<double> values) {
+  obs::Histogram h;  // dyadic values: FP sums are exact, digests comparable
+  for (const double v : values) h.record(v);
+  return h;
+}
+
+TEST(Histogram, MergeIsAssociative) {
+  const auto a = dyadic_histogram({0.25, 0.5});
+  const auto b = dyadic_histogram({1.0, 2.0, 4.0});
+  const auto c = dyadic_histogram({0.125});
+  auto left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  auto bc = b;     // a + (b + c)
+  bc.merge(c);
+  auto right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.digest(), right.digest());
+}
+
+TEST(Histogram, MergeIsCommutative) {
+  const auto a = dyadic_histogram({0.25, 0.5, 8.0});
+  const auto b = dyadic_histogram({1.0, 2.0});
+  auto ab = a;
+  ab.merge(b);
+  auto ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.digest(), ba.digest());
+}
+
+TEST(Histogram, MergeEqualsSerialFeed) {
+  auto merged = dyadic_histogram({0.25, 0.5});
+  merged.merge(dyadic_histogram({1.0, 2.0}));
+  const auto serial = dyadic_histogram({0.25, 0.5, 1.0, 2.0});
+  EXPECT_EQ(merged.digest(), serial.digest());
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_DOUBLE_EQ(merged.sum(), serial.sum());
+}
+
+TEST(Histogram, MergeRejectsMismatchedLayouts) {
+  obs::HistogramOptions narrow;
+  narrow.buckets = 8;
+  obs::Histogram a;
+  obs::Histogram b(narrow);
+  EXPECT_THROW(a.merge(b), Error);
+}
+
+// --- Exact nearest-rank percentile ---------------------------------------
+
+TEST(PercentileSorted, NearestRankDefinition) {
+  const std::vector<double> s = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(obs::percentile_sorted(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::percentile_sorted(s, 0.2), 1.0);   // rank ceil(1)=1
+  EXPECT_DOUBLE_EQ(obs::percentile_sorted(s, 0.21), 2.0);  // rank ceil(1.05)
+  EXPECT_DOUBLE_EQ(obs::percentile_sorted(s, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(obs::percentile_sorted(s, 0.99), 5.0);
+  EXPECT_DOUBLE_EQ(obs::percentile_sorted(s, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(obs::percentile_sorted({}, 0.5), 0.0);
+}
+
+// --- Scalar metrics -------------------------------------------------------
+
+TEST(Metrics, CounterAddsAndGaugeKeepsMaximum) {
+  obs::Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value, 42u);
+
+  obs::Gauge g;
+  g.set(3.0);
+  g.set(1.0);  // a later, lower level does not erase the high-water mark
+  EXPECT_DOUBLE_EQ(g.value, 3.0);
+  g.set(7.5);
+  EXPECT_DOUBLE_EQ(g.value, 7.5);
+}
+
+// --- Registry -------------------------------------------------------------
+
+obs::MetricsRegistry sample_registry(bool reversed) {
+  obs::MetricsRegistry r;
+  const auto fill = [&](int step) {
+    switch (step) {
+      case 0: r.counter("serve.admitted").add(7); break;
+      case 1: r.gauge("queue.depth").set(3.0); break;
+      default: r.histogram("latency_s").record(0.5); break;
+    }
+  };
+  if (reversed) {
+    fill(2); fill(1); fill(0);
+  } else {
+    fill(0); fill(1); fill(2);
+  }
+  return r;
+}
+
+TEST(Registry, InsertionOrderDoesNotAffectDigestOrJson) {
+  const auto a = sample_registry(false);
+  const auto b = sample_registry(true);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(Registry, MergeCombinesEveryMetricKind) {
+  obs::MetricsRegistry a;
+  a.counter("jobs").add(2);
+  a.gauge("depth").set(1.0);
+  a.histogram("lat").record(0.25);
+
+  obs::MetricsRegistry b;
+  b.counter("jobs").add(3);
+  b.counter("only_in_b").add(1);
+  b.gauge("depth").set(4.0);
+  b.histogram("lat").record(0.5);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("jobs"), 5u);      // counters add
+  EXPECT_EQ(a.counter_value("only_in_b"), 1u); // missing keys materialise
+  EXPECT_DOUBLE_EQ(a.find_gauge("depth")->value, 4.0);  // gauges max
+  EXPECT_EQ(a.find_histogram("lat")->count(), 2u);      // histograms merge
+  EXPECT_EQ(a.find_counter("absent"), nullptr);
+  EXPECT_EQ(a.counter_value("absent"), 0u);
+}
+
+TEST(Registry, MergeIsAssociative) {
+  const auto make = [](std::uint64_t jobs, double lat) {
+    obs::MetricsRegistry r;
+    r.counter("jobs").add(jobs);
+    r.histogram("lat").record(lat);
+    return r;
+  };
+  const auto a = make(1, 0.25);
+  const auto b = make(2, 0.5);
+  const auto c = make(3, 1.0);
+  auto left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  auto bc = b;     // a + (b + c)
+  bc.merge(c);
+  auto right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.digest(), right.digest());
+  EXPECT_EQ(left.to_json(), right.to_json());
+}
+
+TEST(Registry, DigestIsSensitiveToValues) {
+  auto a = sample_registry(false);
+  auto b = sample_registry(false);
+  EXPECT_EQ(a.digest(), b.digest());
+  b.counter("serve.admitted").add();
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Registry, JsonIsWellFormed) {
+  const auto r = sample_registry(false);
+  EXPECT_TRUE(valid_json(r.to_json())) << r.to_json();
+  EXPECT_TRUE(valid_json(obs::MetricsRegistry{}.to_json()));
+}
+
+// --- Snapshot series ------------------------------------------------------
+
+TEST(Snapshot, PushValidatesShapeAndMonotonicTime) {
+  obs::SnapshotSeries s(std::vector<std::string>{"a", "b"});
+  s.push(SimTime{1.0}, {1, 2});
+  EXPECT_THROW(s.push(SimTime{2.0}, {1}), Error);        // wrong arity
+  EXPECT_THROW(s.push(SimTime{0.5}, {1, 2}), Error);     // time went backward
+  s.push(SimTime{2.0}, {3, 4});
+  EXPECT_EQ(s.rows(), 2u);
+}
+
+TEST(Snapshot, ValueByColumnName) {
+  obs::SnapshotSeries s(std::vector<std::string>{"offered", "admitted"});
+  s.push(SimTime{1.0}, {10, 8});
+  EXPECT_EQ(s.value(0, "offered"), 10u);
+  EXPECT_EQ(s.value(0, "admitted"), 8u);
+  EXPECT_THROW(static_cast<void>(s.value(0, "nope")), Error);
+}
+
+TEST(Snapshot, JsonAndDigestDeterministic) {
+  const auto build = [] {
+    obs::SnapshotSeries s(std::vector<std::string>{"x"});
+    s.push(SimTime{0.25}, {1});
+    s.push(SimTime{0.5}, {2});
+    return s;
+  };
+  const auto a = build();
+  const auto b = build();
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_TRUE(valid_json(a.to_json())) << a.to_json();
+}
+
+// --- Timeline emitter -----------------------------------------------------
+
+TEST(Timeline, JsonWellFormedWithEscapes) {
+  obs::Timeline t;
+  t.complete("lane \"0\"", "job\nwith newline", 0.0, 1.0,
+             {{"tenant", "3"}, {"class", "\"big\""}});
+  t.instant("faults", "fault:dma\ttabbed", 0.5);
+  const auto json = t.to_json();
+  EXPECT_TRUE(valid_json(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(Timeline, DropsZeroAndNegativeDurationSpans) {
+  obs::Timeline t;
+  t.complete("a", "empty", 1.0, 0.0);
+  t.complete("a", "negative", 1.0, -2.0);
+  EXPECT_TRUE(t.empty());
+  t.complete("a", "real", 1.0, 0.5);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Timeline, DigestIsFnvOverSerialisedJson) {
+  obs::Timeline t;
+  t.complete("a", "x", 0.0, 1.0);
+  EXPECT_EQ(t.digest(), obs::fnv1a(obs::kFnvOffset, t.to_json()));
+}
+
+// --- Single-run Chrome-trace backfill ------------------------------------
+
+runtime::ExecutionReport two_line_report() {
+  runtime::ExecutionReport report;
+  report.program = "trace-backfill";
+  report.compile_overhead = Seconds{0.05};
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    runtime::LineRecord line;
+    line.index = i;
+    line.name = i == 0 ? "scan" : "agg";
+    line.placement = i == 0 ? ir::Placement::Csd : ir::Placement::Host;
+    line.start = SimTime{0.05 + static_cast<double>(i)};
+    line.access = Seconds{0.2};
+    line.transfer_in = Seconds{0.1};
+    line.marshal = Seconds{0.05};
+    line.compute = Seconds{0.4};
+    line.end = line.start + Seconds{0.75};
+    report.lines.push_back(line);
+  }
+  fault::FaultRecord f;
+  f.site = fault::Site::DmaTransfer;
+  f.time = SimTime{0.3};
+  f.faults = 2;
+  f.penalty = Seconds{0.01};
+  report.fault_records.push_back(f);
+  return report;
+}
+
+TEST(ChromeTrace, ProducesWellFormedJson) {
+  EXPECT_TRUE(valid_json(runtime::to_chrome_trace(two_line_report())));
+
+  // And from a real pipeline run, not just a hand-built report.
+  apps::AppConfig config;
+  config.size_factor = 0.05;
+  system::SystemModel system;
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(apps::make_app("tpch-q6", config));
+  const auto trace = runtime::to_chrome_trace(result.report);
+  EXPECT_TRUE(valid_json(trace));
+  EXPECT_GT(runtime::to_trace_timeline(result.report).size(), 0u);
+}
+
+TEST(ChromeTrace, SubSlicesSumToLineDurations) {
+  const auto report = two_line_report();
+  const auto timeline = runtime::to_trace_timeline(report);
+  for (const auto& line : report.lines) {
+    double sliced = 0.0;
+    for (const auto& e : timeline.events()) {
+      if (e.kind != obs::TraceEvent::Kind::Complete) continue;
+      if (e.name == line.name || e.name == line.name + " [access]" ||
+          e.name == line.name + " [xfer]" ||
+          e.name == line.name + " [marshal]") {
+        sliced += e.dur_us;
+      }
+    }
+    const double expected_us =
+        (line.access.value() + line.transfer_in.value() +
+         line.marshal.value() + line.compute.value()) * 1e6;
+    EXPECT_NEAR(sliced, expected_us, 1e-6) << line.name;
+  }
+}
+
+TEST(ChromeTrace, TimestampsMonotonicPerTrackOnRealRun) {
+  apps::AppConfig config;
+  config.size_factor = 0.05;
+  system::SystemModel system;
+  runtime::ActiveRuntime active(system);
+  const auto result = active.run(apps::make_app("kmeans", config));
+  const auto timeline = runtime::to_trace_timeline(result.report);
+  ASSERT_GT(timeline.size(), 0u);
+  std::map<std::string, double> last_ts;
+  for (const auto& e : timeline.events()) {
+    if (e.kind != obs::TraceEvent::Kind::Complete) continue;
+    const auto it = last_ts.find(e.track);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.ts_us, it->second)
+          << "track " << e.track << " event " << e.name;
+    }
+    last_ts[e.track] = e.ts_us;
+  }
+}
+
+TEST(ChromeTrace, FaultEpisodesBecomeInstantEvents) {
+  const auto timeline = runtime::to_trace_timeline(two_line_report());
+  std::size_t fault_instants = 0;
+  for (const auto& e : timeline.events()) {
+    if (e.kind != obs::TraceEvent::Kind::Instant) continue;
+    EXPECT_EQ(e.track, "faults");
+    EXPECT_EQ(e.name.rfind("fault:", 0), 0u) << e.name;
+    ++fault_instants;
+  }
+  EXPECT_EQ(fault_instants, 1u);
+}
+
+// --- Whole-fleet serving timeline ----------------------------------------
+
+serve::ServeConfig tiny_serve_config(unsigned jobs) {
+  serve::ServeConfig config;
+  config.fleet = serve::FleetConfig::make(1);
+  config.tenants = {serve::TenantConfig{.weight = 1.0, .queue_depth = 4},
+                    serve::TenantConfig{.weight = 2.0, .queue_depth = 4}};
+  config.job_classes = {
+      serve::JobClass{.app = "tpch-q6", .size_factor = 0.05}};
+  config.total_jobs = 6;
+  config.offered_load = 2.0;
+  config.jobs = jobs;
+  return config;
+}
+
+/// The timeline reduced to its structural schema: one `track|name|ph` line
+/// per event, timestamps and durations stripped — robust to timing-model
+/// changes, strict about event structure.
+std::string schema_of(const obs::Timeline& timeline) {
+  std::string schema;
+  for (const auto& e : timeline.events()) {
+    schema += e.track;
+    schema += '|';
+    schema += e.name;
+    schema += '|';
+    schema += e.kind == obs::TraceEvent::Kind::Complete ? 'X' : 'i';
+    schema += '\n';
+  }
+  return schema;
+}
+
+TEST(FleetTrace, GoldenSchemaForTinyServe) {
+  const auto report = serve::serve(tiny_serve_config(1));
+  const auto schema = schema_of(serve::to_fleet_timeline(report));
+  // Golden: the exact event structure of the 6-job single-device serve.
+  // Every job shows its queue wait, a placement mark, the outer span and
+  // the exec sub-slice (migration/recovery slices are zero-length here and
+  // dropped by the emitter).
+  std::string expected;
+  for (const auto& o : report.outcomes) {
+    const std::string job = "job" + std::to_string(o.id);
+    ASSERT_FALSE(o.rejected) << "tiny config must admit everything";
+    const std::string lane = o.on_host ? "host0" : "csd0";
+    if (o.queue_wait.value() > 0.0) {
+      expected += "tenant" + std::to_string(o.tenant) + " queue|" + job +
+                  " [queue-wait]|X\n";
+    }
+    expected += lane + "|" + job + " [placement]|i\n";
+    expected += lane + "|" + job + "|X\n";
+    expected += lane + "|" + job + " [exec]|X\n";
+  }
+  EXPECT_EQ(schema, expected);
+  EXPECT_NE(schema.find("csd0|job0|X"), std::string::npos);
+}
+
+TEST(FleetTrace, ArtifactsByteIdenticalAcrossRunsAndJobs) {
+  const auto a = serve::serve(tiny_serve_config(1));
+  const auto b = serve::serve(tiny_serve_config(1));
+  const auto c = serve::serve(tiny_serve_config(3));
+  EXPECT_EQ(serve::to_fleet_trace(a), serve::to_fleet_trace(b));
+  EXPECT_EQ(serve::to_fleet_trace(a), serve::to_fleet_trace(c));
+  EXPECT_EQ(serve::metrics_json(a), serve::metrics_json(b));
+  EXPECT_EQ(serve::metrics_json(a), serve::metrics_json(c));
+  EXPECT_EQ(a.metrics.digest(), c.metrics.digest());
+  EXPECT_EQ(a.snapshots.digest(), c.snapshots.digest());
+  EXPECT_TRUE(valid_json(serve::to_fleet_trace(a)));
+  EXPECT_TRUE(valid_json(serve::metrics_json(a)));
+}
+
+TEST(FleetTrace, SubSlicesPartitionEachJobsServiceTime) {
+  auto config = tiny_serve_config(2);
+  config.fault.set_rate_all(0.02);  // exercise recovery/migration slices
+  const auto report = serve::serve(config);
+  const auto timeline = serve::to_fleet_timeline(report);
+  for (const auto& o : report.outcomes) {
+    if (o.rejected) continue;
+    const std::string job = "job" + std::to_string(o.id);
+    double outer = 0.0;
+    double sliced = 0.0;
+    for (const auto& e : timeline.events()) {
+      if (e.kind != obs::TraceEvent::Kind::Complete) continue;
+      if (e.name == job) outer = e.dur_us;
+      if (e.name == job + " [exec]" || e.name == job + " [migration]" ||
+          e.name == job + " [recovery]") {
+        sliced += e.dur_us;
+      }
+    }
+    EXPECT_GT(outer, 0.0) << job;
+    EXPECT_NEAR(sliced, outer, 1e-6) << job;
+  }
+}
+
+}  // namespace
+}  // namespace isp

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "serve/admission.hpp"
 #include "serve/fleet.hpp"
+#include "serve/observe.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -311,6 +313,124 @@ TEST(Serve, FaultInteropPowerLossMidSweepStaysDeterministic) {
   EXPECT_EQ(a.digest, b.digest);
   EXPECT_EQ(a.digest, c.digest);
   EXPECT_EQ(a.to_json(), c.to_json());
+}
+
+// --- Observability: snapshots, metrics, zero-virtual-cost ----------------
+
+/// Snapshot invariants that must hold at *every* row, not just at the end:
+/// offered == admitted + rejected and admitted == completed + in_flight +
+/// queued, with every column monotone where the serving semantics demand it.
+void expect_snapshot_invariants(const serve::ServeReport& report) {
+  const auto& s = report.snapshots;
+  ASSERT_GT(s.rows(), 0u);
+  std::uint64_t prev_offered = 0, prev_completed = 0;
+  for (std::size_t row = 0; row < s.rows(); ++row) {
+    const auto offered = s.value(row, "offered");
+    const auto admitted = s.value(row, "admitted");
+    const auto rejected = s.value(row, "rejected");
+    const auto completed = s.value(row, "completed");
+    const auto in_flight = s.value(row, "in_flight");
+    const auto queued = s.value(row, "queued");
+    EXPECT_EQ(offered, admitted + rejected) << "row " << row;
+    EXPECT_EQ(admitted, completed + in_flight + queued) << "row " << row;
+    EXPECT_GE(offered, prev_offered) << "row " << row;
+    EXPECT_GE(completed, prev_completed) << "row " << row;
+    prev_offered = offered;
+    prev_completed = completed;
+  }
+  // The final row accounts for every job the run offered.
+  const std::size_t last = s.rows() - 1;
+  EXPECT_EQ(s.value(last, "offered"), report.total_jobs);
+  EXPECT_EQ(s.value(last, "completed"), report.completed);
+  EXPECT_EQ(s.value(last, "rejected"), report.rejected);
+  EXPECT_EQ(s.value(last, "in_flight"), 0u);
+  EXPECT_EQ(s.value(last, "queued"), 0u);
+}
+
+TEST(ServeObs, SnapshotAccountingInvariantsHold) {
+  expect_snapshot_invariants(serve::serve(small_config(2, 4.0, 16, 2)));
+}
+
+TEST(ServeObs, SnapshotInvariantsHoldUnderSaturation) {
+  auto config = small_config(1, 50.0, 24, 2);
+  for (auto& t : config.tenants) t.queue_depth = 1;
+  const auto report = serve::serve(config);
+  EXPECT_GT(report.rejected, 0u);  // saturation actually happened
+  expect_snapshot_invariants(report);
+}
+
+TEST(ServeObs, SnapshotInvariantsHoldThroughMidSweepPowerLoss) {
+  auto config = small_config(2, 4.0, 12, 2);
+  config.fault.set_rate_all(0.02);
+  const auto dry = serve::serve(config);
+  for (const auto& o : dry.outcomes) {
+    if (!o.rejected && !o.on_host) {
+      config.power_loss_job = static_cast<std::int64_t>(o.id);
+      break;
+    }
+  }
+  ASSERT_GE(config.power_loss_job, 0);
+  config.power_loss_after = 4;
+  const auto report = serve::serve(config);
+  EXPECT_GT(report.outcomes[static_cast<std::size_t>(config.power_loss_job)]
+                .power_losses,
+            0u);
+  expect_snapshot_invariants(report);
+}
+
+TEST(ServeObs, MetricsAgreeWithReportAggregates) {
+  const auto report = serve::serve(small_config(2, 4.0, 16, 2));
+  const auto& m = report.metrics;
+  EXPECT_EQ(m.counter_value("serve.offered"), report.total_jobs);
+  EXPECT_EQ(m.counter_value("serve.admitted"), report.admitted);
+  EXPECT_EQ(m.counter_value("serve.rejected"), report.rejected);
+  EXPECT_EQ(m.counter_value("serve.completed"), report.completed);
+  EXPECT_EQ(m.counter_value("serve.jobs.csd"), report.csd_jobs);
+  EXPECT_EQ(m.counter_value("serve.jobs.host"), report.host_jobs);
+  // Engine-side merged counters: every completed job records one run.
+  EXPECT_EQ(m.counter_value("engine.runs"), report.completed);
+  const auto* latency = m.find_histogram("serve.latency_s");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), report.completed);
+  // Per-tenant counters mirror the TenantStats rows.
+  for (std::size_t t = 0; t < report.tenants.size(); ++t) {
+    const std::string p = "serve.tenant." + std::to_string(t) + ".";
+    EXPECT_EQ(m.counter_value(p + "offered"), report.tenants[t].offered);
+    EXPECT_EQ(m.counter_value(p + "completed"), report.tenants[t].completed);
+  }
+  // Per-lane counters mirror the LaneStats rows.
+  for (std::size_t lane = 0; lane < report.lanes.size(); ++lane) {
+    const std::string p = "serve.lane." + std::to_string(lane) + ".";
+    EXPECT_EQ(m.counter_value(p + "jobs"), report.lanes[lane].jobs);
+  }
+}
+
+TEST(ServeObs, ReportPercentilesMatchHistogramWithinErrorBound) {
+  const auto report = serve::serve(small_config(2, 4.0, 16, 2));
+  const auto* h = report.metrics.find_histogram("serve.latency_s");
+  ASSERT_NE(h, nullptr);
+  ASSERT_GT(h->count(), 0u);
+  const double bound = h->options().growth - 1.0;  // relative error bound
+  const double p50 = report.p50_latency.value();
+  const double p99 = report.p99_latency.value();
+  EXPECT_LE(std::abs(h->percentile(0.50) - p50) / p50, bound);
+  EXPECT_LE(std::abs(h->percentile(0.99) - p99) / p99, bound);
+}
+
+TEST(ServeObs, DisablingObsChangesNothingButOmitsArtifacts) {
+  auto config = small_config(2, 4.0, 12, 2);
+  config.obs.enabled = true;
+  const auto on = serve::serve(config);
+  config.obs.enabled = false;
+  const auto off = serve::serve(config);
+  // Instrumentation charges no virtual time: the outcome digest and the
+  // whole JSON report are bit-identical with obs on and off.
+  EXPECT_EQ(on.digest, off.digest);
+  EXPECT_EQ(on.to_json(), off.to_json());
+  EXPECT_FALSE(on.metrics.empty());
+  EXPECT_GT(on.snapshots.rows(), 0u);
+  EXPECT_TRUE(off.metrics.empty());
+  EXPECT_EQ(off.snapshots.rows(), 0u);
 }
 
 }  // namespace
