@@ -13,6 +13,11 @@
 //   --fleet F         largest fleet size in the sweep              [4]
 //   --offered-load L  middle offered load, jobs per virtual second [1.0]
 //   --queue-depth Q   per-tenant admission queue bound             [8]
+//   --kill-device k@t kill CSD lane k at virtual time t (repeatable)
+//   --deadline S           per-job start-deadline SLO in seconds (0 = off) [0]
+//   --retry-budget R  serve-layer retries per job lost to a death  [2]
+//   --breaker-threshold X  per-lane health breaker trip score      [12]
+//   --fleet-skew S    per-device CSE availability skew             [0.05]
 //   --jobs N          worker threads for the simulation batches
 //   --quick           one grid point per fleet size (sanitizer CI)
 //   --trace-out P     write the last grid point's fleet Perfetto timeline
@@ -34,20 +39,43 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Failure-domain knobs threaded through unchanged from the command line;
+/// the defaults reproduce the pre-failure-domain sweep byte for byte.
+struct DomainKnobs {
+  std::vector<isp::exec::KillSpec> kills;
+  double slo = 0.0;
+  std::uint32_t retry_budget = 2;
+  double breaker_threshold = 12.0;
+  double fleet_skew = 0.05;
+};
+
 isp::serve::ServeConfig make_config(std::size_t fleet, double offered_load,
                                     std::size_t tenants,
                                     std::size_t queue_depth,
-                                    std::uint64_t total_jobs, unsigned jobs) {
+                                    std::uint64_t total_jobs, unsigned jobs,
+                                    const DomainKnobs& domain) {
   using namespace isp;
   serve::ServeConfig config;
-  config.fleet = serve::FleetConfig::make(fleet);
+  config.fleet = serve::FleetConfig::make(fleet, 1, domain.fleet_skew);
   config.tenants.clear();
   for (std::size_t t = 0; t < tenants; ++t) {
     serve::TenantConfig tc;
     tc.weight = static_cast<double>(1ULL << (t % 3));  // 1, 2, 4, 1, ...
     tc.queue_depth = queue_depth;
+    if (domain.slo > 0.0) tc.slo = Seconds{domain.slo};
     config.tenants.push_back(tc);
   }
+  for (const auto& k : domain.kills) {
+    // Kills aimed past the current fleet size are dropped per grid point
+    // (the sweep spans several fleet sizes; serve() rejects out-of-range
+    // devices loudly).
+    if (k.device < fleet) {
+      config.kill_devices.push_back(serve::KillDevice{
+          .device = k.device, .at = SimTime::zero() + Seconds{k.at}});
+    }
+  }
+  config.retry_budget = domain.retry_budget;
+  config.breaker.threshold = domain.breaker_threshold;
   // ~1.7 s and ~2.6 s of virtual service: with the default middle load of
   // 1 job/s the sweep straddles the fleet's saturation point.
   config.job_classes = {serve::JobClass{.app = "tpch-q6", .size_factor = 0.2},
@@ -72,6 +100,15 @@ int main(int argc, char** argv) {
       exec::double_flag(argc, argv, "--offered-load", 1.0, 1e-6, 1e6);
   const auto queue_depth = static_cast<std::size_t>(
       exec::u64_flag(argc, argv, "--queue-depth", 8, 1, 4096));
+  DomainKnobs domain;
+  domain.kills = exec::kill_flags(argc, argv, "--kill-device");
+  domain.slo = exec::double_flag(argc, argv, "--deadline", 0.0, 0.0, 1e6);
+  domain.retry_budget = static_cast<std::uint32_t>(
+      exec::u64_flag(argc, argv, "--retry-budget", 2, 0, 64));
+  domain.breaker_threshold =
+      exec::double_flag(argc, argv, "--breaker-threshold", 12.0, 1e-3, 1e6);
+  domain.fleet_skew =
+      exec::double_flag(argc, argv, "--fleet-skew", 0.05, 0.0, 0.33);
   const char* trace_out = exec::string_flag(argc, argv, "--trace-out", nullptr);
   const char* metrics_out =
       exec::string_flag(argc, argv, "--metrics-out", nullptr);
@@ -104,7 +141,7 @@ int main(int argc, char** argv) {
   for (const std::size_t fleet : fleets) {
     for (const double load : loads) {
       const auto config = make_config(fleet, load, tenants, queue_depth,
-                                      total_jobs, jobs);
+                                      total_jobs, jobs, domain);
       const auto report = serve::serve(config);
 
       double util_sum = 0.0;
@@ -126,7 +163,9 @@ int main(int argc, char** argv) {
                   report.throughput, report.p50_latency.value(),
                   report.p99_latency.value(), 100.0 * report.rejection_rate,
                   100.0 * csd_share, 100.0 * util_avg);
-      ok = ok && report.admitted + report.rejected == report.total_jobs;
+      ok = ok && report.admitted + report.rejected +
+                         report.deadline_rejected ==
+                     report.total_jobs;
       entries.push_back(report.to_json());
 
       // Observability exports for the last grid point (the biggest fleet at

@@ -21,6 +21,7 @@ enum class StatusCode : std::uint8_t {
   RetryExhausted,  // bounded retry policy ran out of attempts
   Cancelled,       // dropped by the issuer before completion
   Overloaded,      // admission control: per-tenant queue is full (serve/)
+  DeadlineExceeded,  // job cannot start before its SLO deadline (serve/)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
@@ -39,6 +40,8 @@ enum class StatusCode : std::uint8_t {
       return "cancelled";
     case StatusCode::Overloaded:
       return "overloaded";
+    case StatusCode::DeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "?";
 }

@@ -93,4 +93,48 @@ unsigned jobs_from_args(int argc, char** argv) {
       u64_flag(argc, argv, "--jobs", default_jobs(), 1, 1024));
 }
 
+std::optional<KillSpec> parse_kill_spec(const char* text) {
+  if (text == nullptr || text[0] == '\0') return std::nullopt;
+  const char* sep = std::strchr(text, '@');
+  if (sep == nullptr || sep == text || sep[1] == '\0') return std::nullopt;
+  if (std::strchr(sep + 1, '@') != nullptr) return std::nullopt;
+
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long device = std::strtoull(text, &end, 10);
+  if (errno != 0 || end != sep || text[0] == '-') return std::nullopt;
+
+  errno = 0;
+  const double at = std::strtod(sep + 1, &end);
+  if (errno == ERANGE || end == sep + 1 || *end != '\0' ||
+      !std::isfinite(at) || at < 0.0) {
+    return std::nullopt;
+  }
+  return KillSpec{.device = device, .at = at};
+}
+
+std::vector<KillSpec> kill_flags(int argc, char** argv, const char* name) {
+  std::vector<KillSpec> specs;
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* text = nullptr;
+    if (std::strcmp(arg, name) == 0) {
+      if (i + 1 >= argc) die(std::string(name) + " needs a value");
+      text = argv[++i];
+    } else if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+      text = arg + len + 1;
+    } else {
+      continue;
+    }
+    const auto spec = parse_kill_spec(text);
+    if (!spec.has_value()) {
+      die(std::string(name) + ": '" + text +
+          "' is not a k@t kill spec (device index '@' seconds)");
+    }
+    specs.push_back(*spec);
+  }
+  return specs;
+}
+
 }  // namespace isp::exec

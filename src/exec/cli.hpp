@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 namespace isp::exec {
 
@@ -39,5 +41,22 @@ namespace isp::exec {
 /// when the flag is absent.  Exits with status 2 on a malformed value, a
 /// value of zero, or a missing argument.
 [[nodiscard]] unsigned jobs_from_args(int argc, char** argv);
+
+/// One `--kill-device k@t` entry: device index `k` dies permanently at
+/// fleet-virtual-time `t` seconds.
+struct KillSpec {
+  std::uint64_t device = 0;
+  double at = 0.0;
+};
+
+/// Parse a "k@t" kill spec: a non-negative integer device index and a
+/// finite non-negative time in seconds, joined by a single '@'.  Returns
+/// nullopt on any malformed input (pure — unit-testable without exiting).
+[[nodiscard]] std::optional<KillSpec> parse_kill_spec(const char* text);
+
+/// Collect every occurrence of `--name k@t` (or `--name=k@t`) in argv, in
+/// order.  Exits with status 2 on a malformed spec or a missing value.
+[[nodiscard]] std::vector<KillSpec> kill_flags(int argc, char** argv,
+                                               const char* name);
 
 }  // namespace isp::exec

@@ -23,6 +23,8 @@ std::string_view to_string(Site site) {
       return "status-loss";
     case Site::PowerLoss:
       return "power-loss";
+    case Site::DeviceFailure:
+      return "device-failure";
     case Site::kCount:
       break;
   }
@@ -42,8 +44,9 @@ void FaultConfig::set_rate(Site site, double r) {
 
 void FaultConfig::set_rate_all(double r) {
   for (std::size_t s = 0; s < kSiteCount; ++s) {
-    if (static_cast<Site>(s) == Site::PowerLoss) continue;
-    set_rate(static_cast<Site>(s), r);
+    const auto site = static_cast<Site>(s);
+    if (site == Site::PowerLoss || site == Site::DeviceFailure) continue;
+    set_rate(site, r);
   }
 }
 

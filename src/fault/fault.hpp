@@ -36,6 +36,7 @@ enum class Site : std::uint8_t {
   CseCrash,         // CSE core crash mid-chunk
   StatusLoss,       // status update lost before the monitor sees it
   PowerLoss,        // whole-device power cut at an event boundary
+  DeviceFailure,    // permanent whole-device death (fleet-level, serve/)
   kCount
 };
 
@@ -88,9 +89,12 @@ struct FaultConfig {
   Seconds power_cycle = Seconds{10e-3};
 
   void set_rate(Site site, double rate);
-  /// Set every *point-fault* site to `rate`.  PowerLoss is deliberately
-  /// excluded: it is a whole-device event with its own recovery machinery,
-  /// enabled explicitly via set_rate(Site::PowerLoss, r).
+  /// Set every *point-fault* site to `rate`.  PowerLoss and DeviceFailure
+  /// are deliberately excluded: PowerLoss is a whole-device event with its
+  /// own recovery machinery, and DeviceFailure is a fleet-level permanent
+  /// death (its rate is a per-virtual-second hazard the serving loop turns
+  /// into a first-arrival instant, not a per-opportunity Bernoulli).  Both
+  /// are enabled explicitly via set_rate(site, r).
   void set_rate_all(double rate);
   [[nodiscard]] double rate(Site site) const;
   /// True if any site can fire (a rate above zero).

@@ -12,11 +12,14 @@ AdmissionController::AdmissionController(std::vector<TenantConfig> tenants) {
   for (auto& t : tenants) {
     ISP_CHECK(t.weight > 0.0, "tenant weight must be positive: " << t.weight);
     ISP_CHECK(t.queue_depth >= 1, "tenant queue depth must be at least 1");
+    ISP_CHECK(t.slo.value() > 0.0, "tenant SLO must be positive: "
+                                       << t.slo.value() << "s");
     tenants_.push_back(TenantState{.config = t, .queue = {}, .stats = {}});
   }
 }
 
-Status AdmissionController::offer(const QueuedJob& job) {
+Status AdmissionController::offer(const QueuedJob& job,
+                                  SimTime earliest_start) {
   ISP_CHECK(job.tenant < tenants_.size(), "unknown tenant " << job.tenant);
   auto& t = tenants_[job.tenant];
   t.stats.offered += 1;
@@ -24,8 +27,19 @@ Status AdmissionController::offer(const QueuedJob& job) {
     t.stats.rejected += 1;
     return Status{StatusCode::Overloaded};
   }
+  QueuedJob admitted = job;
+  admitted.ready = job.arrival;
+  if (t.config.slo < Seconds::infinity()) {
+    admitted.deadline = job.arrival + t.config.slo;
+    // Boundary-equal starts are fine; only a start strictly past the
+    // deadline is infeasible at admission time.
+    if (earliest_start > admitted.deadline) {
+      t.stats.deadline_rejected += 1;
+      return Status{StatusCode::DeadlineExceeded};
+    }
+  }
   t.stats.admitted += 1;
-  t.queue.push_back(job);
+  t.queue.push_back(admitted);
   return Status::ok();
 }
 
@@ -67,6 +81,41 @@ std::optional<QueuedJob> AdmissionController::pick() {
 void AdmissionController::note_completed(std::uint32_t tenant) {
   ISP_CHECK(tenant < tenants_.size(), "unknown tenant " << tenant);
   tenants_[tenant].stats.completed += 1;
+}
+
+void AdmissionController::requeue_front(const QueuedJob& job) {
+  ISP_CHECK(job.tenant < tenants_.size(), "unknown tenant " << job.tenant);
+  ISP_CHECK(job.attempt >= 1, "a requeued job must have advanced its attempt");
+  auto& t = tenants_[job.tenant];
+  t.queue.push_front(job);
+  t.stats.retried += 1;
+}
+
+void AdmissionController::return_front(const QueuedJob& job) {
+  ISP_CHECK(job.tenant < tenants_.size(), "unknown tenant " << job.tenant);
+  auto& t = tenants_[job.tenant];
+  ISP_CHECK(t.stats.dispatched >= 1, "returning a job never dispatched");
+  t.queue.push_front(job);
+  t.stats.dispatched -= 1;
+}
+
+void AdmissionController::note_deadline_missed(std::uint32_t tenant) {
+  ISP_CHECK(tenant < tenants_.size(), "unknown tenant " << tenant);
+  auto& t = tenants_[tenant];
+  ISP_CHECK(t.stats.dispatched >= 1, "missed deadline without a pick");
+  t.stats.dispatched -= 1;
+  t.stats.deadline_missed += 1;
+}
+
+void AdmissionController::note_retry_exhausted(std::uint32_t tenant,
+                                               bool was_placed) {
+  ISP_CHECK(tenant < tenants_.size(), "unknown tenant " << tenant);
+  auto& t = tenants_[tenant];
+  if (!was_placed) {
+    ISP_CHECK(t.stats.dispatched >= 1, "exhausted a job never dispatched");
+    t.stats.dispatched -= 1;
+  }
+  t.stats.retry_exhausted += 1;
 }
 
 const TenantStats& AdmissionController::stats(std::uint32_t tenant) const {

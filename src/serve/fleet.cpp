@@ -6,15 +6,18 @@
 
 namespace isp::serve {
 
-FleetConfig FleetConfig::make(std::size_t devices, std::size_t host_lanes) {
+FleetConfig FleetConfig::make(std::size_t devices, std::size_t host_lanes,
+                              double skew) {
   ISP_CHECK(devices >= 1, "a fleet needs at least one device");
+  ISP_CHECK(skew >= 0.0 && skew * 3.0 < 1.0,
+            "fleet skew must leave the slowest device usable: " << skew);
   FleetConfig config;
   config.host_lanes = host_lanes;
   config.devices.reserve(devices);
   for (std::size_t k = 0; k < devices; ++k) {
     DeviceConfig d;
     d.cse_availability =
-        sim::AvailabilitySchedule::constant(1.0 - 0.05 * static_cast<double>(k % 4));
+        sim::AvailabilitySchedule::constant(1.0 - skew * static_cast<double>(k % 4));
     config.devices.push_back(std::move(d));
   }
   return config;
@@ -55,6 +58,7 @@ double Fleet::contended_link_share(std::size_t lane,
 
 void Fleet::occupy(std::size_t lane, SimTime start, Seconds service) {
   ISP_CHECK(lane < lane_count(), "lane out of range: " << lane);
+  ISP_CHECK(alive(lane), "lane " << lane << " dispatched after its death");
   ISP_CHECK(start >= busy_until_[lane],
             "lane " << lane << " dispatched into its own past");
   ISP_CHECK(service.value() >= 0.0, "negative service time");
@@ -69,6 +73,22 @@ void Fleet::note_outcome(std::size_t lane, std::uint32_t migrations,
   stats_[lane].migrations += migrations;
   stats_[lane].power_losses += power_losses;
   stats_[lane].faults += faults;
+}
+
+void Fleet::mark_dead(std::size_t lane, SimTime at) {
+  ISP_CHECK(lane < config_.devices.size(),
+            "only CSD lanes die; lane " << lane << " is a host lane");
+  if (!alive(lane)) return;  // first kill wins
+  stats_[lane].died_at = at;
+  // The lane serves nothing past its death; clamp so busy_devices_after
+  // never counts a corpse as drawing on the host link.
+  if (busy_until_[lane] > at) busy_until_[lane] = at;
+}
+
+void Fleet::note_lost(std::size_t lane) {
+  ISP_CHECK(lane < config_.devices.size(), "host lanes lose nothing");
+  ISP_CHECK(!alive(lane), "lost a job on a living lane");
+  stats_[lane].lost_jobs += 1;
 }
 
 }  // namespace isp::serve

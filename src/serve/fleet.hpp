@@ -40,9 +40,11 @@ struct FleetConfig {
   system::SystemConfig system = system::SystemConfig::paper_platform();
 
   /// A mildly heterogeneous fleet: device k runs at constant CSE
-  /// availability 1.0 − 0.05·(k mod 4) — deterministic, no RNG — so
-  /// placement has real differences to price.
-  static FleetConfig make(std::size_t devices, std::size_t host_lanes = 1);
+  /// availability 1.0 − skew·(k mod 4) — deterministic, no RNG — so
+  /// placement has real differences to price.  `skew` must leave the
+  /// slowest device with positive availability (skew in [0, 1/3)).
+  static FleetConfig make(std::size_t devices, std::size_t host_lanes = 1,
+                          double skew = 0.05);
 };
 
 /// Per-lane serving statistics, aggregated over measured engine runs.
@@ -52,6 +54,8 @@ struct LaneStats {
   std::uint32_t migrations = 0;     // jobs' runtime migrations (CSD lanes)
   std::uint32_t power_losses = 0;   // power cycles survived on this lane
   std::uint64_t faults = 0;         // injected faults across this lane's jobs
+  std::uint64_t lost_jobs = 0;      // in-flight jobs lost to device death
+  SimTime died_at = SimTime::infinity();  // infinity while the lane lives
 };
 
 class Fleet {
@@ -91,6 +95,20 @@ class Fleet {
   /// Fold a finished job's fault/migration counters into the lane's stats.
   void note_outcome(std::size_t lane, std::uint32_t migrations,
                     std::uint32_t power_losses, std::uint64_t faults);
+
+  /// True while the lane has not suffered a permanent device failure.
+  /// Host lanes never die.
+  [[nodiscard]] bool alive(std::size_t lane) const {
+    return stats_[lane].died_at == SimTime::infinity();
+  }
+
+  /// Kill a CSD lane permanently at fleet virtual time `at`.  Idempotent:
+  /// a second kill of the same device keeps the first death instant.
+  void mark_dead(std::size_t lane, SimTime at);
+
+  /// Count an in-flight job lost to the lane's death (work already folded
+  /// into busy/occupancy up to the truncation point stays counted).
+  void note_lost(std::size_t lane);
 
   [[nodiscard]] const LaneStats& stats(std::size_t lane) const {
     return stats_[lane];

@@ -99,6 +99,8 @@ struct Dispatch {
   QueuedJob job;
   std::size_t lane = 0;
   bool on_host = false;
+  /// This dispatch is the lane breaker's HalfOpen probe.
+  bool is_probe = false;
   SimTime start;
   double link_share = 1.0;
   Seconds eq1_profit;
@@ -115,6 +117,7 @@ struct SimResult {
   std::uint32_t migrations = 0;
   std::uint32_t power_losses = 0;
   std::uint64_t faults = 0;
+  std::uint64_t faults_exhausted = 0;  // breaker severity input
   // Observability detail (ObsOptions::enabled only).  Fault-event times are
   // job-local here; the serial fold shifts them to fleet time.
   Seconds migration_overhead;
@@ -167,6 +170,7 @@ SimResult simulate_dispatch(const ServeConfig& config, const Profile& profile,
   r.migrations = result.report.migrations;
   r.power_losses = result.report.power_losses;
   r.faults = result.report.faults.total_injected();
+  r.faults_exhausted = result.report.faults.total_exhausted();
   if (config.obs.enabled) {
     r.migration_overhead = result.report.migration_overhead;
     r.recovery_overhead = result.report.recovery_overhead;
@@ -189,22 +193,52 @@ SimResult simulate_dispatch(const ServeConfig& config, const Profile& profile,
   return r;
 }
 
-/// Rank the unclaimed lanes for `job` and decide device vs host fallback by
+/// How a placement attempt ended.
+enum class Place {
+  Ok,               // out is a valid dispatch
+  DeadlineExpired,  // some lane is eligible, but none by the deadline
+  NoLane,           // no living, unclaimed, undoomed lane exists
+};
+
+/// One eligible lane's bid for the job.
+struct LaneBid {
+  std::size_t lane = 0;
+  bool on_host = false;
+  SimTime start;
+  SimTime done = SimTime::infinity();
+  double share = 1.0;
+  Seconds profit;
+};
+
+/// Rank the eligible lanes for `job` and decide device vs host fallback by
 /// Equation 1 under contention.  Among devices (and among host lanes) the
 /// projected completion decides; between the best device and the host path,
-/// the sign of S' decides.  Returns false only when every lane is claimed.
-bool choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
-                 const Profile& profile, const QueuedJob& job,
-                 Dispatch& out) {
+/// the sign of S' decides.  Eligibility is health-aware: dead lanes, lanes
+/// whose candidate start would land at or past their scheduled death, and
+/// lanes holding an unresolved breaker probe are out; an Open breaker
+/// delays the candidate start to its cooldown end (making the eventual
+/// dispatch the probe) rather than excluding the lane — exclusion could
+/// deadlock a fleet whose every device is Open.  If the Equation-1 winner
+/// cannot start by the job's deadline, the earliest-starting eligible lane
+/// is tried instead; only when even that misses is DeadlineExpired
+/// returned.
+Place choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
+                  const std::vector<SimTime>& kill_at,
+                  const std::vector<CircuitBreaker>& breakers,
+                  const Profile& profile, const QueuedJob& job,
+                  Dispatch& out) {
   const BytesPerSecond bw = fleet.config().system.link.bandwidth;
   const std::size_t device_count = fleet.device_count();
 
-  bool have_device = false, have_host = false;
-  std::size_t best_device = 0, best_host = 0;
-  SimTime best_device_done = SimTime::infinity();
-  SimTime best_host_done = SimTime::infinity();
-  Seconds best_device_profit;
-  double best_device_share = 1.0;
+  bool have_device = false, have_host = false, have_earliest = false;
+  LaneBid best_device, best_host, earliest;
+  const auto consider_earliest = [&](const LaneBid& bid) {
+    if (!have_earliest || bid.start < earliest.start ||
+        (bid.start == earliest.start && bid.lane < earliest.lane)) {
+      have_earliest = true;
+      earliest = bid;
+    }
+  };
 
   // Host lanes first: the fallback's own queue wait belongs on Equation 1's
   // host side, so the devices are priced against the host path the job
@@ -212,23 +246,33 @@ bool choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
   for (std::size_t lane = fleet.device_count(); lane < fleet.lane_count();
        ++lane) {
     if (claimed[lane]) continue;
-    const SimTime start = std::max(fleet.busy_until(lane), job.arrival);
-    const SimTime done = start + profile.host_work;
-    if (!have_host || done < best_host_done) {
+    const SimTime start = std::max(fleet.busy_until(lane), job.ready);
+    const LaneBid bid{.lane = lane,
+                      .on_host = true,
+                      .start = start,
+                      .done = start + profile.host_work,
+                      .share = 1.0,
+                      .profit = Seconds::zero()};
+    consider_earliest(bid);
+    if (!have_host || bid.done < best_host.done) {
       have_host = true;
-      best_host = lane;
-      best_host_done = done;
+      best_host = bid;
     }
   }
   const Seconds host_wait =
       have_host ? std::max(Seconds::zero(),
-                           fleet.busy_until(best_host) - job.arrival)
+                           fleet.busy_until(best_host.lane) - job.arrival)
                 : Seconds::zero();
 
   for (std::size_t lane = 0; lane < fleet.device_count(); ++lane) {
-    if (claimed[lane]) continue;
+    if (claimed[lane] || !fleet.alive(lane)) continue;
+    const CircuitBreaker& brk = breakers[lane];
+    if (brk.state() == BreakerState::HalfOpen && brk.probe_in_flight()) {
+      continue;  // one probe at a time
+    }
     const SimTime start =
-        std::max(fleet.busy_until(lane), job.arrival);
+        std::max({fleet.busy_until(lane), job.ready, brk.ready_at()});
+    if (start >= kill_at[lane]) continue;  // lane is dead by then
     const auto& sched = fleet.device(lane).cse_availability;
     const SimTime compute_done = sched.finish_time(start, profile.csd_work);
     if (compute_done == SimTime::infinity()) continue;  // starved device
@@ -254,36 +298,39 @@ bool choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
             std::max(Seconds::zero(), fleet.busy_until(lane) - job.arrival),
         .cse_availability = std::clamp(avail_eff, 1e-6, 1.0),
         .link_share = share};
-    const Seconds profit =
-        plan::net_profit_under_contention(terms, contention);
-    if (!have_device || done < best_device_done) {
+    const LaneBid bid{.lane = lane,
+                      .on_host = false,
+                      .start = start,
+                      .done = done,
+                      .share = share,
+                      .profit = plan::net_profit_under_contention(
+                          terms, contention)};
+    consider_earliest(bid);
+    if (!have_device || bid.done < best_device.done) {
       have_device = true;
-      best_device = lane;
-      best_device_done = done;
-      best_device_profit = profit;
-      best_device_share = share;
+      best_device = bid;
     }
   }
 
-  if (!have_device && !have_host) return false;
+  if (!have_device && !have_host) return Place::NoLane;
   // A plan with no CSD lines has nothing to offload; don't burn a device.
   const bool host_wins =
       profile.plan.csd_line_count() == 0 ||
-      (have_host && (!have_device || best_device_profit.value() <= 0.0));
-  out.job = job;
-  if (host_wins && have_host) {
-    out.lane = best_host;
-    out.on_host = true;
-    out.start = std::max(fleet.busy_until(best_host), job.arrival);
-    out.link_share = 1.0;
-  } else {
-    out.lane = best_device;
-    out.on_host = false;
-    out.start = std::max(fleet.busy_until(best_device), job.arrival);
-    out.link_share = best_device_share;
+      (have_host && (!have_device || best_device.profit.value() <= 0.0));
+  LaneBid chosen = (host_wins && have_host) ? best_host : best_device;
+  // Deadline-aware fallback: the Equation-1 pick stands unless it would
+  // start past the job's deadline and another lane would not.
+  if (chosen.start > job.deadline) {
+    if (earliest.start > job.deadline) return Place::DeadlineExpired;
+    chosen = earliest;
   }
-  out.eq1_profit = have_device ? best_device_profit : Seconds::zero();
-  return true;
+  out.job = job;
+  out.lane = chosen.lane;
+  out.on_host = chosen.on_host;
+  out.start = chosen.start;
+  out.link_share = chosen.on_host ? 1.0 : chosen.share;
+  out.eq1_profit = have_device ? best_device.profit : Seconds::zero();
+  return Place::Ok;
 }
 
 std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
@@ -316,6 +363,57 @@ ServeReport serve(const ServeConfig& config) {
   ServeReport report;
   report.outcomes.resize(config.total_jobs);
 
+  // Per-device kill schedule, fully known before the loop: the explicit
+  // schedule min-folded with a seed-deterministic exponential first arrival
+  // per device when a DeviceFailure rate is armed.  Decisions only ever
+  // *react* to a death (a lane is skipped once its candidate start reaches
+  // its kill instant); they never steer around a future one.
+  std::vector<SimTime> kill_at(fleet.device_count(), SimTime::infinity());
+  for (const auto& k : config.kill_devices) {
+    ISP_CHECK(k.device < fleet.device_count(),
+              "kill-device " << k.device << " is not a CSD lane (fleet has "
+                             << fleet.device_count() << " devices)");
+    ISP_CHECK(k.at.seconds() >= 0.0, "kill-device time must be non-negative");
+    kill_at[k.device] = std::min(kill_at[k.device], k.at);
+  }
+  const double fail_rate = config.fault.rate(fault::Site::DeviceFailure);
+  if (fail_rate > 0.0) {
+    for (std::size_t k = 0; k < fleet.device_count(); ++k) {
+      const double u =
+          hash_unit(splitmix64(config.seed ^ (0xDEF1CE00ULL + k)));
+      kill_at[k] = std::min(
+          kill_at[k], SimTime::zero() + Seconds{-std::log1p(-u) / fail_rate});
+    }
+  }
+
+  // One health breaker per CSD lane (host lanes never break).
+  std::vector<CircuitBreaker> breakers;
+  breakers.reserve(fleet.device_count());
+  for (std::size_t k = 0; k < fleet.device_count(); ++k) {
+    breakers.emplace_back(config.breaker);
+  }
+
+  const auto lane_kill = [&](std::size_t lane) {
+    return lane < kill_at.size() ? kill_at[lane] : SimTime::infinity();
+  };
+
+  // The earliest instant any living lane could start a job arriving now —
+  // the admission-time deadline feasibility bound.  Future dispatches only
+  // push busy_until later, so this is a true lower bound.
+  const auto earliest_feasible_start = [&](SimTime arrival) {
+    SimTime best = SimTime::infinity();
+    for (std::size_t lane = 0; lane < fleet.lane_count(); ++lane) {
+      if (!fleet.alive(lane)) continue;
+      SimTime start = std::max(fleet.busy_until(lane), arrival);
+      if (lane < fleet.device_count()) {
+        start = std::max(start, breakers[lane].ready_at());
+      }
+      if (start >= lane_kill(lane)) continue;
+      best = std::min(best, start);
+    }
+    return best;
+  };
+
   // Deepest each tenant's queue ever got (serial bookkeeping, so the gauge
   // is deterministic by construction).
   std::vector<std::size_t> max_queue(config.tenants.size(), 0);
@@ -330,7 +428,16 @@ ServeReport serve(const ServeConfig& config) {
       outcome.tenant = job.tenant;
       outcome.job_class = job.job_class;
       outcome.arrival = job.arrival;
-      outcome.rejected = !admission.offer(job).is_ok();
+      const Status st =
+          admission.offer(job, earliest_feasible_start(job.arrival));
+      if (!st.is_ok()) {
+        if (st.code() == StatusCode::DeadlineExceeded) {
+          outcome.deadline_rejected = true;
+        } else {
+          outcome.rejected = true;
+        }
+        outcome.resolved = job.arrival;
+      }
       max_queue[job.tenant] =
           std::max(max_queue[job.tenant], admission.queued(job.tenant));
       ++next_arrival;
@@ -346,7 +453,11 @@ ServeReport serve(const ServeConfig& config) {
     while (wave.size() < fleet.lane_count()) {
       SimTime t = SimTime::infinity();
       for (std::size_t lane = 0; lane < fleet.lane_count(); ++lane) {
-        if (!claimed[lane]) t = std::min(t, fleet.busy_until(lane));
+        if (claimed[lane] || !fleet.alive(lane)) continue;
+        // A lane already committed past its death can never free up again;
+        // letting it pin `t` would stall admission forever.
+        if (fleet.busy_until(lane) >= lane_kill(lane)) continue;
+        t = std::min(t, fleet.busy_until(lane));
       }
       admit_up_to(t);
       if (!admission.any_queued()) {
@@ -359,12 +470,42 @@ ServeReport serve(const ServeConfig& config) {
       }
       const auto job = admission.pick();
       Dispatch d;
-      const bool placed =
-          choose_lane(fleet, claimed, *profiles[job->job_class], *job, d);
-      ISP_CHECK(placed, "wave loop claimed every lane but kept picking");
+      const Place placed = choose_lane(fleet, claimed, kill_at, breakers,
+                                       *profiles[job->job_class], *job, d);
+      if (placed == Place::DeadlineExpired) {
+        // Skip the expired job loudly: typed per-tenant counter, resolved
+        // at the deadline — or at the death that re-enqueued it, when the
+        // lane died after the deadline had already passed (the job's last
+        // attempt span must not outlive its resolution instant).
+        admission.note_deadline_missed(job->tenant);
+        auto& outcome = report.outcomes[job->id];
+        outcome.deadline_missed = true;
+        outcome.resolved = std::max(job->deadline, job->ready);
+        continue;
+      }
+      if (placed == Place::NoLane) {
+        if (!wave.empty()) {
+          // Every living lane is claimed this wave; try again next wave.
+          admission.return_front(*job);
+          break;
+        }
+        // An empty wave saw every lane, so no living lane can ever serve
+        // this job (lane starts only move later): abandon it loudly
+        // rather than spin.
+        admission.note_retry_exhausted(job->tenant, /*was_placed=*/false);
+        auto& outcome = report.outcomes[job->id];
+        outcome.retry_exhausted = true;
+        outcome.resolved = std::max(job->ready, job->arrival);
+        continue;
+      }
       if (!d.on_host) {
         d.device_schedule =
             fleet.device(d.lane).cse_availability.rebased(d.start);
+        if (breakers[d.lane].state() == BreakerState::Open) {
+          // First dispatch at or after the cooldown end is the probe.
+          breakers[d.lane].begin_probe(d.start);
+          d.is_probe = true;
+        }
       }
       claimed[d.lane] = true;
       wave.push_back(std::move(d));
@@ -384,10 +525,51 @@ ServeReport serve(const ServeConfig& config) {
     for (std::size_t i = 0; i < wave.size(); ++i) {
       const auto& d = wave[i];
       const auto& r = results[i];
+      auto& outcome = report.outcomes[d.job.id];
+      const SimTime end = d.start + r.service;
+      const SimTime death = d.on_host ? SimTime::infinity() : kill_at[d.lane];
+      if (end > death) {
+        // The lane died under the job: occupancy truncates at the death,
+        // the job's work is lost, and the job either re-enters its tenant
+        // queue at the head (ready no earlier than the death it witnessed)
+        // or exhausts its serve-layer retry budget.
+        fleet.occupy(d.lane, d.start, death - d.start);
+        fleet.mark_dead(d.lane, death);
+        fleet.note_lost(d.lane);
+        if (d.is_probe) breakers[d.lane].abort_probe();
+        outcome.lost_attempts.push_back(
+            LostAttempt{.lane = static_cast<std::uint32_t>(d.lane),
+                        .start = d.start,
+                        .end = death});
+        report.makespan = std::max(report.makespan, death);
+        if (d.job.attempt < config.retry_budget) {
+          QueuedJob retry = d.job;
+          retry.attempt += 1;
+          retry.ready = death;  // a retry cannot start before the failure
+          admission.requeue_front(retry);
+          outcome.retries += 1;
+        } else {
+          admission.note_retry_exhausted(d.job.tenant, /*was_placed=*/true);
+          outcome.retry_exhausted = true;
+          outcome.resolved = death;
+        }
+        continue;
+      }
       fleet.occupy(d.lane, d.start, r.service);
       fleet.note_outcome(d.lane, r.migrations, r.power_losses, r.faults);
       admission.note_completed(d.job.tenant);
-      auto& outcome = report.outcomes[d.job.id];
+      if (!d.on_host) {
+        // Health feedback: exhausted fault episodes, migrations and power
+        // cycles weigh the lane's breaker score; a probe resolves its
+        // HalfOpen state instead.
+        const double severity = static_cast<double>(r.faults_exhausted) +
+                                2.0 * r.migrations + 4.0 * r.power_losses;
+        if (d.is_probe) {
+          breakers[d.lane].probe_result(end, severity == 0.0);
+        } else {
+          breakers[d.lane].record_outcome(end, severity);
+        }
+      }
       outcome.lane = static_cast<std::int32_t>(d.lane);
       outcome.on_host = d.on_host;
       outcome.start = d.start;
@@ -395,6 +577,7 @@ ServeReport serve(const ServeConfig& config) {
       // Queue wait + service, not (start+service)-arrival: the latter loses
       // a ulp when start == arrival and would report latency < service.
       outcome.latency = (d.start - d.job.arrival) + r.service;
+      outcome.resolved = end;
       outcome.eq1_profit = d.eq1_profit;
       outcome.migrations = r.migrations;
       outcome.power_losses = r.power_losses;
@@ -411,10 +594,19 @@ ServeReport serve(const ServeConfig& config) {
         }
         // Submission-order fold of the per-job engine registries: merge is
         // associative, so this equals one registry fed serially no matter
-        // how many worker threads ran the wave.
+        // how many worker threads ran the wave.  Lost attempts are not
+        // merged — the registry reflects service that actually completed.
         report.metrics.merge(r.metrics);
       }
-      report.makespan = std::max(report.makespan, d.start + r.service);
+      report.makespan = std::max(report.makespan, end);
+    }
+  }
+
+  // Deaths that happened inside the observed horizon but caught the lane
+  // idle still count as failures.
+  for (std::size_t k = 0; k < fleet.device_count(); ++k) {
+    if (fleet.alive(k) && kill_at[k] <= report.makespan) {
+      fleet.mark_dead(k, kill_at[k]);
     }
   }
 
@@ -431,7 +623,21 @@ ServeReport serve(const ServeConfig& config) {
       report.rejected += 1;
       continue;
     }
+    if (o.deadline_rejected) {
+      report.deadline_rejected += 1;
+      continue;
+    }
     report.admitted += 1;
+    report.retried += o.retries;
+    report.lost_in_flight += o.lost_attempts.size();
+    if (o.deadline_missed) {
+      report.deadline_missed += 1;
+      continue;
+    }
+    if (o.retry_exhausted) {
+      report.retry_exhausted += 1;
+      continue;
+    }
     report.completed += 1;
     latencies.push_back(o.latency.value());
     if (o.on_host) {
@@ -440,15 +646,30 @@ ServeReport serve(const ServeConfig& config) {
       report.csd_jobs += 1;
     }
   }
-  ISP_CHECK(report.admitted + report.rejected == config.total_jobs,
+  ISP_CHECK(report.admitted + report.rejected + report.deadline_rejected ==
+                config.total_jobs,
             "job accounting leak: " << report.admitted << " + "
-                                    << report.rejected << " != "
+                                    << report.rejected << " + "
+                                    << report.deadline_rejected << " != "
                                     << config.total_jobs);
+  // The failure-domain conservation identity (terminal form: nothing is
+  // in flight or queued once the loop drains).
+  ISP_CHECK(report.admitted == report.completed + report.deadline_missed +
+                                   report.retry_exhausted,
+            "admitted jobs leaked: "
+                << report.admitted << " != " << report.completed << " + "
+                << report.deadline_missed << " + " << report.retry_exhausted);
   for (std::uint32_t t = 0; t < admission.tenant_count(); ++t) {
     report.tenants.push_back(admission.stats(t));
   }
   for (std::size_t lane = 0; lane < fleet.lane_count(); ++lane) {
     report.lanes.push_back(fleet.stats(lane));
+    if (lane < fleet.device_count() && !fleet.alive(lane)) {
+      report.devices_failed += 1;
+    }
+  }
+  for (std::size_t k = 0; k < fleet.device_count(); ++k) {
+    report.breaker_transitions.push_back(breakers[k].transitions());
   }
   if (report.makespan.seconds() > 0.0) {
     report.throughput = static_cast<double>(report.completed) /
@@ -469,6 +690,16 @@ ServeReport serve(const ServeConfig& config) {
     h = fnv_mix(h, o.id);
     h = fnv_mix(h, o.tenant);
     h = fnv_mix(h, o.rejected ? 1 : 0);
+    h = fnv_mix(h, (o.deadline_rejected ? 1 : 0) |
+                       (o.deadline_missed ? 2 : 0) |
+                       (o.retry_exhausted ? 4 : 0));
+    h = fnv_mix(h, o.retries);
+    h = fnv_mix(h, bits(o.resolved.seconds()));
+    for (const auto& a : o.lost_attempts) {
+      h = fnv_mix(h, a.lane);
+      h = fnv_mix(h, bits(a.start.seconds()));
+      h = fnv_mix(h, bits(a.end.seconds()));
+    }
     h = fnv_mix(h, static_cast<std::uint64_t>(
                        static_cast<std::int64_t>(o.lane)));
     h = fnv_mix(h, bits(o.start.seconds()));
@@ -480,6 +711,17 @@ ServeReport serve(const ServeConfig& config) {
   for (const auto& lane : report.lanes) {
     h = fnv_mix(h, lane.jobs);
     h = fnv_mix(h, bits(lane.busy.value()));
+    h = fnv_mix(h, lane.lost_jobs);
+    h = fnv_mix(h, bits(lane.died_at.seconds()));
+  }
+  for (const auto& lane_transitions : report.breaker_transitions) {
+    h = fnv_mix(h, lane_transitions.size());
+    for (const auto& tr : lane_transitions) {
+      h = fnv_mix(h, static_cast<std::uint64_t>(tr.from) * 16 +
+                         static_cast<std::uint64_t>(tr.to));
+      h = fnv_mix(h, bits(tr.time.seconds()));
+      h = fnv_mix(h, bits(tr.score));
+    }
   }
   report.digest = h;
 
@@ -493,6 +735,12 @@ ServeReport serve(const ServeConfig& config) {
     m.counter("serve.completed").add(report.completed);
     m.counter("serve.jobs.csd").add(report.csd_jobs);
     m.counter("serve.jobs.host").add(report.host_jobs);
+    m.counter("serve.deadline_rejected").add(report.deadline_rejected);
+    m.counter("serve.deadline_missed").add(report.deadline_missed);
+    m.counter("serve.retry_exhausted").add(report.retry_exhausted);
+    m.counter("serve.retried").add(report.retried);
+    m.counter("serve.lost_in_flight").add(report.lost_in_flight);
+    m.counter("serve.devices_failed").add(report.devices_failed);
     auto& latency_h = m.histogram("serve.latency_s");
     auto& service_h = m.histogram("serve.service_s");
     auto& wait_h = m.histogram("serve.queue_wait_s");
@@ -508,8 +756,12 @@ ServeReport serve(const ServeConfig& config) {
       m.counter(p + "offered").add(ts.offered);
       m.counter(p + "admitted").add(ts.admitted);
       m.counter(p + "rejected").add(ts.rejected);
+      m.counter(p + "deadline_rejected").add(ts.deadline_rejected);
       m.counter(p + "dispatched").add(ts.dispatched);
       m.counter(p + "completed").add(ts.completed);
+      m.counter(p + "deadline_missed").add(ts.deadline_missed);
+      m.counter(p + "retried").add(ts.retried);
+      m.counter(p + "retry_exhausted").add(ts.retry_exhausted);
       m.gauge(p + "wfq_weight").set(config.tenants[t].weight);
       m.gauge(p + "max_queue_depth")
           .set(static_cast<double>(max_queue[t]));
@@ -521,7 +773,26 @@ ServeReport serve(const ServeConfig& config) {
       m.counter(p + "migrations").add(ls.migrations);
       m.counter(p + "power_losses").add(ls.power_losses);
       m.counter(p + "faults").add(ls.faults);
+      m.counter(p + "lost_jobs").add(ls.lost_jobs);
       m.gauge(p + "utilization").set(report.utilization(lane));
+      if (ls.died_at < SimTime::infinity()) {
+        m.gauge(p + "died_at_s").set(ls.died_at.seconds());
+      }
+    }
+    // Breaker histories, only for lanes whose breaker actually moved — no
+    // serve.breaker.* noise in a healthy run.
+    for (std::size_t k = 0; k < report.breaker_transitions.size(); ++k) {
+      const auto& trs = report.breaker_transitions[k];
+      if (trs.empty()) continue;
+      const std::string p = "serve.breaker." + std::to_string(k) + ".";
+      std::uint64_t opened = 0, reclosed = 0;
+      for (const auto& tr : trs) {
+        if (tr.to == BreakerState::Open) ++opened;
+        if (tr.to == BreakerState::Closed) ++reclosed;
+      }
+      m.counter(p + "transitions").add(trs.size());
+      m.counter(p + "opened").add(opened);
+      m.counter(p + "reclosed").add(reclosed);
     }
     report.snapshots = build_snapshots(report, config.obs);
   }
@@ -531,7 +802,7 @@ ServeReport serve(const ServeConfig& config) {
 std::string ServeReport::to_json() const {
   std::string out;
   out.reserve(2048);
-  char buf[256];
+  char buf[512];
   const auto add = [&](const char* fmt, auto... args) {
     std::snprintf(buf, sizeof(buf), fmt, args...);
     out += buf;
@@ -549,6 +820,17 @@ std::string ServeReport::to_json() const {
   add("  \"completed\": %llu,\n", static_cast<unsigned long long>(completed));
   add("  \"csd_jobs\": %llu,\n", static_cast<unsigned long long>(csd_jobs));
   add("  \"host_jobs\": %llu,\n", static_cast<unsigned long long>(host_jobs));
+  add("  \"deadline_rejected\": %llu,\n",
+      static_cast<unsigned long long>(deadline_rejected));
+  add("  \"deadline_missed\": %llu,\n",
+      static_cast<unsigned long long>(deadline_missed));
+  add("  \"retry_exhausted\": %llu,\n",
+      static_cast<unsigned long long>(retry_exhausted));
+  add("  \"retried\": %llu,\n", static_cast<unsigned long long>(retried));
+  add("  \"lost_in_flight\": %llu,\n",
+      static_cast<unsigned long long>(lost_in_flight));
+  add("  \"devices_failed\": %llu,\n",
+      static_cast<unsigned long long>(devices_failed));
   add("  \"makespan_s\": %.6f,\n", makespan.seconds());
   add("  \"throughput_jobs_per_s\": %.6f,\n", throughput);
   add("  \"rejection_rate\": %.6f,\n", rejection_rate);
@@ -558,25 +840,34 @@ std::string ServeReport::to_json() const {
   for (std::size_t t = 0; t < tenants.size(); ++t) {
     const auto& s = tenants[t];
     add("    {\"offered\": %llu, \"admitted\": %llu, \"rejected\": %llu, "
-        "\"dispatched\": %llu, \"completed\": %llu}%s\n",
+        "\"deadline_rejected\": %llu, \"dispatched\": %llu, "
+        "\"completed\": %llu, \"deadline_missed\": %llu, \"retried\": %llu, "
+        "\"retry_exhausted\": %llu}%s\n",
         static_cast<unsigned long long>(s.offered),
         static_cast<unsigned long long>(s.admitted),
         static_cast<unsigned long long>(s.rejected),
+        static_cast<unsigned long long>(s.deadline_rejected),
         static_cast<unsigned long long>(s.dispatched),
         static_cast<unsigned long long>(s.completed),
+        static_cast<unsigned long long>(s.deadline_missed),
+        static_cast<unsigned long long>(s.retried),
+        static_cast<unsigned long long>(s.retry_exhausted),
         t + 1 < tenants.size() ? "," : "");
   }
   out += "  ],\n";
   out += "  \"per_lane\": [\n";
   for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
     const auto& s = lanes[lane];
+    // died_at_s is -1 while the lane is alive (JSON has no infinity).
     add("    {\"kind\": \"%s\", \"jobs\": %llu, \"busy_s\": %.6f, "
         "\"utilization\": %.6f, \"migrations\": %u, \"power_losses\": %u, "
-        "\"faults\": %llu}%s\n",
+        "\"faults\": %llu, \"lost_jobs\": %llu, \"died_at_s\": %.6f}%s\n",
         lane < fleet_size ? "csd" : "host",
         static_cast<unsigned long long>(s.jobs), s.busy.value(),
         utilization(lane), s.migrations, s.power_losses,
         static_cast<unsigned long long>(s.faults),
+        static_cast<unsigned long long>(s.lost_jobs),
+        s.died_at < SimTime::infinity() ? s.died_at.seconds() : -1.0,
         lane + 1 < lanes.size() ? "," : "");
   }
   out += "  ],\n";

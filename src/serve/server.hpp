@@ -27,6 +27,22 @@
 // scaled to the contended share, per-job deterministic fault seed), so
 // monitoring, migration, fault handling and power-loss recovery all behave
 // exactly as they do in a single-job run.
+//
+// Fleet failure domains (PR 6).  A CSD lane can die *permanently* at a
+// seed-deterministic virtual-time instant (fault::Site::DeviceFailure rate,
+// or an explicit kill schedule).  In-flight jobs on the dying lane are lost
+// and re-enqueued at the head of their tenant queue with a bounded
+// serve-layer retry budget; queued work re-prices over the surviving lanes;
+// nothing is dropped silently — the conservation identity
+//   admitted == completed + deadline_missed + retry_exhausted
+//             + in_flight + queued
+// is ISP_CHECKed at every snapshot row.  Placement is health-aware: each
+// CSD lane carries a circuit breaker over an exponentially-decayed fault /
+// migration score (see serve/breaker.hpp), and tenants may carry a per-job
+// start-deadline SLO whose violations are typed (DeadlineExceeded at
+// admission, deadline_missed in the dispatch wave).  All of it is virtual
+// time bookkeeping in the serial decision/fold phases, so reports stay
+// byte-identical across `jobs` values.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +54,7 @@
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
 #include "serve/admission.hpp"
+#include "serve/breaker.hpp"
 #include "serve/fleet.hpp"
 
 namespace isp::serve {
@@ -64,6 +81,13 @@ struct ObsOptions {
   std::size_t max_trace_faults_per_job = 8;
 };
 
+/// One scheduled permanent device failure: CSD lane `device` dies at fleet
+/// virtual time `at` and never comes back.
+struct KillDevice {
+  std::size_t device = 0;
+  SimTime at;
+};
+
 struct ServeConfig {
   FleetConfig fleet = FleetConfig::make(2);
   std::vector<TenantConfig> tenants = {TenantConfig{}, TenantConfig{}};
@@ -76,13 +100,23 @@ struct ServeConfig {
   unsigned jobs = 1;
   codegen::ExecMode mode = codegen::ExecMode::CompiledNoCopy;
   /// Fault rates applied to every dispatched job, each with its own derived
-  /// deterministic seed.
+  /// deterministic seed.  A DeviceFailure rate here additionally arms a
+  /// seed-deterministic first-arrival kill time per device (exponential,
+  /// independent hash stream per device) — the chaos-sweep knob.
   fault::FaultConfig fault;
   /// Arm a single whole-device PowerLoss inside this job id's run (the
   /// "mid-sweep crash" regression knob); < 0 disables.
   std::int64_t power_loss_job = -1;
   /// Event boundaries the armed job survives before the power cut.
   std::uint64_t power_loss_after = 8;
+  /// Explicit kill schedule (`--kill-device k@t`), min-folded per device
+  /// with the DeviceFailure-rate schedule: the earliest kill wins.
+  std::vector<KillDevice> kill_devices;
+  /// Serve-layer re-dispatches a job lost to a device death may consume
+  /// before it is abandoned as retry_exhausted (0 = no retries).
+  std::uint32_t retry_budget = 2;
+  /// Per-CSD-lane health circuit breaker (health-aware placement).
+  BreakerConfig breaker;
   ObsOptions obs;
 };
 
@@ -95,6 +129,14 @@ struct FaultEvent {
   bool exhausted = false;
 };
 
+/// One dispatch attempt lost to a device death: the lane served the job
+/// over [start, end) and then died under it (`end` is the death instant).
+struct LostAttempt {
+  std::uint32_t lane = 0;
+  SimTime start;
+  SimTime end;
+};
+
 /// What happened to one offered job.
 struct JobOutcome {
   std::uint64_t id = 0;
@@ -102,6 +144,21 @@ struct JobOutcome {
   std::uint32_t job_class = 0;
   SimTime arrival;
   bool rejected = false;  // Overloaded at admission; nothing below is set
+  /// Typed DeadlineExceeded at admission: no lane could start the job
+  /// before arrival + SLO.  Distinct from `rejected` (Overloaded).
+  bool deadline_rejected = false;
+  /// Admitted, but the deadline expired while the job waited in queue.
+  bool deadline_missed = false;
+  /// Admitted, then abandoned after the serve-layer retry budget ran out.
+  bool retry_exhausted = false;
+  /// Times the job was re-enqueued after losing its lane to a death.
+  std::uint32_t retries = 0;
+  /// Instant the outcome resolved: completion, deadline expiry, final
+  /// loss, or (for rejections) the arrival itself.
+  SimTime resolved;
+  /// Every dispatch attempt that was killed mid-service, in order.  The
+  /// surviving attempt (if any) lives in lane/start/service below.
+  std::vector<LostAttempt> lost_attempts;
   std::int32_t lane = -1;
   bool on_host = false;      // host fallback lane
   SimTime start;             // dispatch instant on the lane
@@ -119,6 +176,12 @@ struct JobOutcome {
   std::uint32_t lines_csd = 0;   // per-line placements the job actually ran
   std::uint32_t lines_host = 0;
   std::vector<FaultEvent> fault_events;  // bounded; feeds the fleet timeline
+
+  /// The job ran to completion (admitted, never expired or abandoned).
+  [[nodiscard]] bool completed() const {
+    return !rejected && !deadline_rejected && !deadline_missed &&
+           !retry_exhausted;
+  }
 };
 
 struct ServeReport {
@@ -140,14 +203,27 @@ struct ServeReport {
   std::uint64_t csd_jobs = 0;
   std::uint64_t host_jobs = 0;
 
+  // Failure-domain accounting (all zero in a kill-free, SLO-free run).
+  std::uint64_t deadline_rejected = 0;  // DeadlineExceeded at admission
+  std::uint64_t deadline_missed = 0;    // expired while queued
+  std::uint64_t retry_exhausted = 0;    // abandoned after the retry budget
+  std::uint64_t retried = 0;            // total re-enqueues after lane deaths
+  std::uint64_t lost_in_flight = 0;     // dispatch attempts killed mid-service
+  std::uint64_t devices_failed = 0;     // CSD lanes dead by the makespan
+
   SimTime makespan;            // last completion (fleet virtual time)
   double throughput = 0.0;     // completed jobs per virtual second
   double rejection_rate = 0.0; // rejected / offered
   Seconds p50_latency;
   Seconds p99_latency;
 
-  /// FNV-1a digest over every outcome and lane counter: the one word two
-  /// runs must agree on byte-for-byte (the determinism gate).
+  /// Per-CSD-lane breaker transition history (indexed by device lane;
+  /// empty vectors for lanes whose breaker never moved).
+  std::vector<std::vector<BreakerTransition>> breaker_transitions;
+
+  /// FNV-1a digest over every outcome (including retries, lost attempts
+  /// and deadline flags), lane counter and breaker transition: the one
+  /// word two runs must agree on byte-for-byte (the determinism gate).
   std::uint64_t digest = 0;
 
   /// Fleet-wide metrics: serve.* (admission, WFQ, lanes, latency

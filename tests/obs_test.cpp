@@ -603,6 +603,77 @@ TEST(FleetTrace, ArtifactsByteIdenticalAcrossRunsAndJobs) {
   EXPECT_TRUE(valid_json(serve::metrics_json(a)));
 }
 
+TEST(FleetTrace, DeviceFailureShowsLostAttemptsAndFailureInstant) {
+  // Two devices, one killed early: the timeline must carry the permanent
+  // failure as an explicit instant and every killed attempt as a [lost]
+  // span on the dying lane — nothing about the death is implicit.
+  serve::ServeConfig config;
+  config.fleet = serve::FleetConfig::make(2);
+  config.tenants = {serve::TenantConfig{.weight = 1.0, .queue_depth = 8},
+                    serve::TenantConfig{.weight = 2.0, .queue_depth = 8}};
+  config.job_classes = {
+      serve::JobClass{.app = "tpch-q6", .size_factor = 0.05}};
+  config.total_jobs = 12;
+  config.offered_load = 4.0;
+  config.jobs = 2;
+  config.kill_devices = {
+      serve::KillDevice{.device = 0, .at = SimTime{1.0}}};
+  const auto report = serve::serve(config);
+  ASSERT_EQ(report.devices_failed, 1u);
+
+  const auto timeline = serve::to_fleet_timeline(report);
+  std::size_t failure_instants = 0, lost_spans = 0;
+  for (const auto& e : timeline.events()) {
+    if (e.name == "device-failure") {
+      EXPECT_EQ(e.track, "csd0");
+      EXPECT_EQ(e.kind, obs::TraceEvent::Kind::Instant);
+      EXPECT_NEAR(e.ts_us, report.lanes[0].died_at.seconds() * 1e6, 1e-3);
+      ++failure_instants;
+    }
+    if (e.name.find(" [lost]") != std::string::npos) {
+      EXPECT_EQ(e.track, "csd0");
+      ++lost_spans;
+    }
+  }
+  EXPECT_EQ(failure_instants, 1u);
+  EXPECT_EQ(lost_spans, report.lost_in_flight);
+  EXPECT_TRUE(valid_json(serve::to_fleet_trace(report)));
+}
+
+TEST(FleetSnapshots, ChaosColumnsConserveEveryAdmittedJob) {
+  serve::ServeConfig config;
+  config.fleet = serve::FleetConfig::make(2);
+  config.tenants = {serve::TenantConfig{.weight = 1.0, .queue_depth = 8},
+                    serve::TenantConfig{.weight = 2.0, .queue_depth = 8}};
+  config.job_classes = {
+      serve::JobClass{.app = "tpch-q6", .size_factor = 0.05}};
+  config.total_jobs = 12;
+  config.offered_load = 4.0;
+  config.jobs = 2;
+  config.kill_devices = {
+      serve::KillDevice{.device = 0, .at = SimTime{1.0}}};
+  const auto report = serve::serve(config);
+
+  const auto& s = report.snapshots;
+  const std::vector<std::string> expected_columns = {
+      "offered", "admitted", "rejected", "completed", "in_flight",
+      "queued", "retried", "deadline_missed", "retry_exhausted",
+      "breaker_open_lanes"};
+  EXPECT_EQ(s.columns(), expected_columns);
+  ASSERT_GT(s.rows(), 0u);
+  for (std::size_t row = 0; row < s.rows(); ++row) {
+    EXPECT_EQ(s.value(row, "admitted"),
+              s.value(row, "completed") + s.value(row, "deadline_missed") +
+                  s.value(row, "retry_exhausted") +
+                  s.value(row, "in_flight") + s.value(row, "queued"))
+        << "row " << row;
+  }
+  const std::size_t last = s.rows() - 1;
+  EXPECT_EQ(s.value(last, "retried"), report.retried);
+  EXPECT_EQ(s.value(last, "retry_exhausted"), report.retry_exhausted);
+  EXPECT_EQ(s.value(last, "breaker_open_lanes"), 0u);  // deaths, not trips
+}
+
 TEST(FleetTrace, SubSlicesPartitionEachJobsServiceTime) {
   auto config = tiny_serve_config(2);
   config.fault.set_rate_all(0.02);  // exercise recovery/migration slices

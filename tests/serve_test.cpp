@@ -318,7 +318,8 @@ TEST(Serve, FaultInteropPowerLossMidSweepStaysDeterministic) {
 // --- Observability: snapshots, metrics, zero-virtual-cost ----------------
 
 /// Snapshot invariants that must hold at *every* row, not just at the end:
-/// offered == admitted + rejected and admitted == completed + in_flight +
+/// offered == admitted + rejected and the conservation identity
+/// admitted == completed + deadline_missed + retry_exhausted + in_flight +
 /// queued, with every column monotone where the serving semantics demand it.
 void expect_snapshot_invariants(const serve::ServeReport& report) {
   const auto& s = report.snapshots;
@@ -331,18 +332,27 @@ void expect_snapshot_invariants(const serve::ServeReport& report) {
     const auto completed = s.value(row, "completed");
     const auto in_flight = s.value(row, "in_flight");
     const auto queued = s.value(row, "queued");
+    const auto deadline_missed = s.value(row, "deadline_missed");
+    const auto retry_exhausted = s.value(row, "retry_exhausted");
     EXPECT_EQ(offered, admitted + rejected) << "row " << row;
-    EXPECT_EQ(admitted, completed + in_flight + queued) << "row " << row;
+    EXPECT_EQ(admitted, completed + deadline_missed + retry_exhausted +
+                            in_flight + queued)
+        << "row " << row;
     EXPECT_GE(offered, prev_offered) << "row " << row;
     EXPECT_GE(completed, prev_completed) << "row " << row;
     prev_offered = offered;
     prev_completed = completed;
   }
-  // The final row accounts for every job the run offered.
+  // The final row accounts for every job the run offered.  The "rejected"
+  // column counts both Overloaded and DeadlineExceeded rejections.
   const std::size_t last = s.rows() - 1;
   EXPECT_EQ(s.value(last, "offered"), report.total_jobs);
   EXPECT_EQ(s.value(last, "completed"), report.completed);
-  EXPECT_EQ(s.value(last, "rejected"), report.rejected);
+  EXPECT_EQ(s.value(last, "rejected"),
+            report.rejected + report.deadline_rejected);
+  EXPECT_EQ(s.value(last, "deadline_missed"), report.deadline_missed);
+  EXPECT_EQ(s.value(last, "retry_exhausted"), report.retry_exhausted);
+  EXPECT_EQ(s.value(last, "retried"), report.retried);
   EXPECT_EQ(s.value(last, "in_flight"), 0u);
   EXPECT_EQ(s.value(last, "queued"), 0u);
 }
@@ -415,6 +425,337 @@ TEST(ServeObs, ReportPercentilesMatchHistogramWithinErrorBound) {
   const double p99 = report.p99_latency.value();
   EXPECT_LE(std::abs(h->percentile(0.50) - p50) / p50, bound);
   EXPECT_LE(std::abs(h->percentile(0.99) - p99) / p99, bound);
+}
+
+// --- Circuit breaker state machine (pure virtual-time unit tests) --------
+
+serve::BreakerConfig tiny_breaker() {
+  serve::BreakerConfig config;
+  config.threshold = 5.0;
+  config.decay_tau = Seconds{2.0};
+  config.cooldown = Seconds{1.0};
+  config.cooldown_multiplier = 2.0;
+  return config;
+}
+
+TEST(Breaker, TripsAtThresholdAndGatesUntilCooldownEnd) {
+  serve::CircuitBreaker brk(tiny_breaker());
+  EXPECT_EQ(brk.state(), serve::BreakerState::Closed);
+  EXPECT_EQ(brk.ready_at(), SimTime::zero());
+
+  brk.record_outcome(SimTime{1.0}, 3.0);  // below threshold: stays Closed
+  EXPECT_EQ(brk.state(), serve::BreakerState::Closed);
+  brk.record_outcome(SimTime{1.0}, 3.0);  // 6.0 >= 5.0: Open at t=1
+  EXPECT_EQ(brk.state(), serve::BreakerState::Open);
+  EXPECT_EQ(brk.ready_at(), SimTime{2.0});  // cooldown 1 s
+
+  ASSERT_EQ(brk.transitions().size(), 1u);
+  EXPECT_EQ(brk.transitions()[0].from, serve::BreakerState::Closed);
+  EXPECT_EQ(brk.transitions()[0].to, serve::BreakerState::Open);
+  EXPECT_DOUBLE_EQ(brk.transitions()[0].time.seconds(), 1.0);
+}
+
+TEST(Breaker, ScoreDecaysExponentially) {
+  serve::CircuitBreaker brk(tiny_breaker());
+  brk.record_outcome(SimTime{0.0}, 4.0);
+  EXPECT_DOUBLE_EQ(brk.score(SimTime{0.0}), 4.0);
+  // One decay_tau later the score is down by exactly 1/e (const view —
+  // asking must not mutate).
+  EXPECT_NEAR(brk.score(SimTime{2.0}), 4.0 / std::exp(1.0), 1e-12);
+  EXPECT_NEAR(brk.score(SimTime{2.0}), 4.0 / std::exp(1.0), 1e-12);
+  // Decay applies before accumulation: two below-threshold outcomes far
+  // apart never trip the breaker.
+  brk.record_outcome(SimTime{100.0}, 4.0);
+  EXPECT_EQ(brk.state(), serve::BreakerState::Closed);
+}
+
+TEST(Breaker, CleanProbeReclosesAndResetsCooldown) {
+  serve::CircuitBreaker brk(tiny_breaker());
+  brk.record_outcome(SimTime{1.0}, 10.0);  // Open at 1, ready at 2
+  brk.begin_probe(SimTime{2.5});           // first dispatch past ready_at
+  EXPECT_EQ(brk.state(), serve::BreakerState::HalfOpen);
+  EXPECT_TRUE(brk.probe_in_flight());
+
+  brk.probe_result(SimTime{3.5}, /*success=*/true);
+  EXPECT_EQ(brk.state(), serve::BreakerState::Closed);
+  EXPECT_FALSE(brk.probe_in_flight());
+  EXPECT_EQ(brk.ready_at(), SimTime::zero());
+  EXPECT_DOUBLE_EQ(brk.score(SimTime{3.5}), 0.0);  // clean slate
+
+  // The next trip uses the *reset* cooldown (1 s), not a doubled one.
+  brk.record_outcome(SimTime{10.0}, 10.0);
+  EXPECT_EQ(brk.ready_at(), SimTime{11.0});
+}
+
+TEST(Breaker, FailedProbeReopensWithDoubledCooldown) {
+  serve::CircuitBreaker brk(tiny_breaker());
+  brk.record_outcome(SimTime{1.0}, 10.0);  // Open at 1, ready at 2
+  brk.begin_probe(SimTime{2.0});
+  brk.probe_result(SimTime{3.0}, /*success=*/false);
+  EXPECT_EQ(brk.state(), serve::BreakerState::Open);
+  EXPECT_EQ(brk.ready_at(), SimTime{5.0});  // 3 + 2 * 1 s
+
+  // A second failed probe doubles again: geometric backoff.
+  brk.begin_probe(SimTime{5.0});
+  brk.probe_result(SimTime{6.0}, /*success=*/false);
+  EXPECT_EQ(brk.ready_at(), SimTime{10.0});  // 6 + 4 * 1 s
+
+  // Closed -> Open -> HalfOpen -> Open -> HalfOpen -> Open: 5 transitions.
+  EXPECT_EQ(brk.transitions().size(), 5u);
+}
+
+TEST(Breaker, AbortedProbeClearsInFlightWithoutResolving) {
+  serve::CircuitBreaker brk(tiny_breaker());
+  brk.record_outcome(SimTime{1.0}, 10.0);
+  brk.begin_probe(SimTime{2.0});
+  brk.abort_probe();  // the probe's lane died mid-service
+  EXPECT_FALSE(brk.probe_in_flight());
+  EXPECT_EQ(brk.state(), serve::BreakerState::HalfOpen);
+}
+
+TEST(Breaker, DisabledBreakerNeverOpens) {
+  auto config = tiny_breaker();
+  config.enabled = false;
+  serve::CircuitBreaker brk(config);
+  brk.record_outcome(SimTime{1.0}, 1e9);
+  EXPECT_EQ(brk.state(), serve::BreakerState::Closed);
+  EXPECT_EQ(brk.ready_at(), SimTime::zero());
+  EXPECT_TRUE(brk.transitions().empty());
+}
+
+// --- Deadline admission and retry accounting (pure scheduler) ------------
+
+TEST(Admission, DeadlineBoundaryAdmitsAndStrictlyPastRejects) {
+  serve::AdmissionController admission({serve::TenantConfig{
+      .weight = 1.0, .queue_depth = 4, .slo = Seconds{1.0}}});
+  // Boundary: earliest feasible start exactly at arrival + slo is fine.
+  auto job = job_for(0, 0);
+  job.arrival = SimTime{2.0};
+  EXPECT_TRUE(admission.offer(job, SimTime{3.0}).is_ok());
+  // Strictly past the deadline: typed DeadlineExceeded, not Overloaded.
+  auto late = job_for(1, 0);
+  late.arrival = SimTime{2.0};
+  const auto status = admission.offer(late, SimTime{3.0 + 1e-9});
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::DeadlineExceeded);
+  EXPECT_EQ(admission.stats(0).deadline_rejected, 1u);
+  EXPECT_EQ(admission.stats(0).offered, 2u);
+  EXPECT_EQ(admission.queued(0), 1u);
+
+  // The admitted job carries its stamped deadline and ready time.
+  const auto picked = admission.pick();
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->deadline, SimTime{3.0});
+  EXPECT_EQ(picked->ready, SimTime{2.0});
+}
+
+TEST(Admission, RequeueFrontPreservesOrderAndCountsRetry) {
+  serve::AdmissionController admission(
+      {serve::TenantConfig{.weight = 1.0, .queue_depth = 2}});
+  ASSERT_TRUE(admission.offer(job_for(0, 0)).is_ok());
+  ASSERT_TRUE(admission.offer(job_for(1, 0)).is_ok());
+
+  auto lost = admission.pick();
+  ASSERT_TRUE(lost.has_value());
+  EXPECT_EQ(lost->id, 0u);
+  // The lane died under job 0: it re-enters at the *head*, ahead of job 1,
+  // even though the queue is already at its depth bound.
+  lost->attempt = 1;
+  lost->ready = SimTime{5.0};
+  admission.requeue_front(*lost);
+  EXPECT_EQ(admission.queued(0), 2u);
+  EXPECT_EQ(admission.stats(0).retried, 1u);
+
+  const auto again = admission.pick();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->id, 0u);
+  EXPECT_EQ(again->attempt, 1u);
+  EXPECT_EQ(again->ready, SimTime{5.0});
+  // Both the original dispatch and the re-dispatch counted.
+  EXPECT_EQ(admission.stats(0).dispatched, 2u);
+}
+
+TEST(Admission, ReturnFrontUndoesThePick) {
+  serve::AdmissionController admission(
+      {serve::TenantConfig{.weight = 1.0, .queue_depth = 4}});
+  ASSERT_TRUE(admission.offer(job_for(0, 0)).is_ok());
+  const auto job = admission.pick();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(admission.stats(0).dispatched, 1u);
+  admission.return_front(*job);  // no free lane this wave: put it back
+  EXPECT_EQ(admission.stats(0).dispatched, 0u);
+  EXPECT_EQ(admission.queued(0), 1u);
+}
+
+// --- Fleet failure domains: kills, retries, deadlines end to end ---------
+
+TEST(ServeChaos, DeviceKillRetriesAndConservesEveryJob) {
+  // Kill CSD 0 mid-run: in-flight work on it is lost and re-enqueued;
+  // everything still resolves exactly once.
+  auto config = small_config(2, 4.0, 16, 2);
+  const auto healthy = serve::serve(config);
+  config.kill_devices = {serve::KillDevice{
+      .device = 0,
+      .at = SimTime{healthy.makespan.seconds() * 0.3}}};
+  const auto report = serve::serve(config);
+
+  EXPECT_EQ(report.devices_failed, 1u);
+  EXPECT_FALSE(report.lanes[0].died_at == SimTime::infinity());
+  EXPECT_EQ(report.admitted + report.rejected + report.deadline_rejected,
+            report.total_jobs);
+  EXPECT_EQ(report.admitted,
+            report.completed + report.deadline_missed + report.retry_exhausted);
+
+  std::uint64_t lost = 0, retries = 0;
+  for (const auto& o : report.outcomes) {
+    lost += o.lost_attempts.size();
+    retries += o.retries;
+    for (const auto& a : o.lost_attempts) {
+      EXPECT_EQ(a.lane, 0u);  // only CSD 0 died
+      EXPECT_LT(a.start, a.end);
+    }
+    // A completed retry can never start before the death that caused it.
+    if (o.completed() && o.retries > 0) {
+      EXPECT_GE(o.start, o.lost_attempts.back().end);
+    }
+  }
+  EXPECT_EQ(lost, report.lost_in_flight);
+  EXPECT_EQ(retries, report.retried);
+  EXPECT_EQ(report.lanes[0].lost_jobs, lost);
+  expect_snapshot_invariants(report);
+}
+
+TEST(ServeChaos, KillScheduleStaysDeterministicAcrossJobs) {
+  auto config = small_config(2, 4.0, 16, 1);
+  config.kill_devices = {
+      serve::KillDevice{.device = 0, .at = SimTime{2.0}}};
+  const auto a = serve::serve(config);
+  auto parallel = config;
+  parallel.jobs = 3;
+  const auto b = serve::serve(parallel);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(ServeChaos, AllLanesDeadDrainsQueueLoudly) {
+  // Both CSDs die early and there is no host fallback: admitted jobs that
+  // cannot ever start must be abandoned as retry_exhausted, never dropped.
+  auto config = small_config(2, 4.0, 12, 2);
+  config.fleet = serve::FleetConfig::make(2, /*host_lanes=*/0);
+  config.kill_devices = {
+      serve::KillDevice{.device = 0, .at = SimTime{1.5}},
+      serve::KillDevice{.device = 1, .at = SimTime{1.5}}};
+  const auto report = serve::serve(config);
+
+  EXPECT_EQ(report.devices_failed, 2u);
+  EXPECT_GT(report.retry_exhausted, 0u);
+  EXPECT_EQ(report.admitted,
+            report.completed + report.deadline_missed + report.retry_exhausted);
+  for (const auto& o : report.outcomes) {
+    if (o.retry_exhausted) {
+      // Abandonment is an explicit resolution instant, not a dangling job.
+      EXPECT_GE(o.resolved, o.arrival);
+    }
+  }
+  expect_snapshot_invariants(report);
+}
+
+TEST(ServeChaos, ZeroRetryBudgetAbandonsOnFirstLoss) {
+  auto config = small_config(2, 4.0, 16, 2);
+  const auto healthy = serve::serve(config);
+  config.kill_devices = {serve::KillDevice{
+      .device = 0, .at = SimTime{healthy.makespan.seconds() * 0.3}}};
+  config.retry_budget = 0;
+  const auto report = serve::serve(config);
+  EXPECT_EQ(report.retried, 0u);
+  // Every lost in-flight attempt becomes a retry_exhausted outcome.
+  EXPECT_EQ(report.lost_in_flight, report.retry_exhausted);
+  EXPECT_EQ(report.admitted,
+            report.completed + report.deadline_missed + report.retry_exhausted);
+}
+
+TEST(ServeChaos, TightSloRejectsWithTypedDeadlineStatus) {
+  // An SLO far below the queue wait at this load (arrivals ~8x faster than
+  // the two lanes can drain): admission must reject with DeadlineExceeded
+  // (typed, distinct from Overloaded backpressure).
+  auto config = small_config(1, 20.0, 16, 2);
+  for (auto& t : config.tenants) t.slo = Seconds{0.1};
+  const auto report = serve::serve(config);
+  EXPECT_GT(report.deadline_rejected, 0u);
+  EXPECT_EQ(report.admitted + report.rejected + report.deadline_rejected,
+            report.total_jobs);
+  for (const auto& o : report.outcomes) {
+    if (o.deadline_rejected) {
+      EXPECT_FALSE(o.rejected);  // the two rejection types never overlap
+      EXPECT_EQ(o.resolved, o.arrival);
+    }
+    if (o.completed() && !o.on_host) {
+      // Admitted work respected the SLO: start within arrival + 0.1 s.
+      EXPECT_LE(o.start, o.arrival + Seconds{0.1});
+    }
+  }
+  expect_snapshot_invariants(report);
+}
+
+TEST(ServeChaos, DeadlineMissedWhileQueuedResolvesLoudly) {
+  // An SLO just wide enough to admit borderline jobs on the optimistic
+  // earliest-start estimate: by the time WFQ actually dispatches them,
+  // earlier picks have claimed the lanes and the deadline has passed.  The
+  // miss must be a typed outcome with an explicit resolution instant.
+  auto config = small_config(1, 20.0, 24, 2);
+  for (auto& t : config.tenants) t.slo = Seconds{0.3};
+  const auto report = serve::serve(config);
+
+  EXPECT_GT(report.deadline_missed, 0u);
+  EXPECT_EQ(report.admitted,
+            report.completed + report.deadline_missed + report.retry_exhausted);
+  std::uint64_t missed_outcomes = 0;
+  for (const auto& o : report.outcomes) {
+    if (!o.deadline_missed) continue;
+    ++missed_outcomes;
+    EXPECT_FALSE(o.rejected);
+    EXPECT_FALSE(o.deadline_rejected);
+    EXPECT_EQ(o.lane, -1);  // the job never reached a lane
+    // The miss resolves at (or after) the deadline itself.
+    EXPECT_GE(o.resolved, o.arrival + Seconds{0.3});
+  }
+  EXPECT_EQ(missed_outcomes, report.deadline_missed);
+  // Misses never count as dispatches: tenant books stay balanced.
+  for (const auto& s : report.tenants) {
+    EXPECT_EQ(s.dispatched, s.completed + s.retried);
+  }
+  expect_snapshot_invariants(report);
+}
+
+TEST(ServeChaos, FailureDomainCountersMirrorMetrics) {
+  auto config = small_config(2, 4.0, 16, 2);
+  const auto healthy = serve::serve(config);
+  config.kill_devices = {serve::KillDevice{
+      .device = 0, .at = SimTime{healthy.makespan.seconds() * 0.3}}};
+  const auto report = serve::serve(config);
+  const auto& m = report.metrics;
+  EXPECT_EQ(m.counter_value("serve.retried"), report.retried);
+  EXPECT_EQ(m.counter_value("serve.lost_in_flight"), report.lost_in_flight);
+  EXPECT_EQ(m.counter_value("serve.retry_exhausted"), report.retry_exhausted);
+  EXPECT_EQ(m.counter_value("serve.devices_failed"), report.devices_failed);
+  EXPECT_EQ(m.counter_value("serve.lane.0.lost_jobs"),
+            report.lanes[0].lost_jobs);
+}
+
+TEST(ServeChaos, CleanRunReportIsIndifferentToFailureKnobs) {
+  // With no kills and no SLO, the failure-domain machinery must be pure
+  // bookkeeping: changing the retry budget or breaker threshold cannot move
+  // a single byte of the report.
+  const auto base = serve::serve(small_config(2, 4.0, 12, 2));
+  auto config = small_config(2, 4.0, 12, 2);
+  config.retry_budget = 7;
+  config.breaker.threshold = 2.5;
+  const auto tweaked = serve::serve(config);
+  EXPECT_EQ(base.digest, tweaked.digest);
+  EXPECT_EQ(base.to_json(), tweaked.to_json());
+  EXPECT_EQ(base.deadline_missed, 0u);
+  EXPECT_EQ(base.retried, 0u);
+  EXPECT_EQ(base.devices_failed, 0u);
 }
 
 TEST(ServeObs, DisablingObsChangesNothingButOmitsArtifacts) {
