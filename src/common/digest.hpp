@@ -1,0 +1,62 @@
+// The repository's one FNV-1a implementation.
+//
+// Every determinism gate in the stack — the recovery sweep's output digests
+// (PR 2), the metrics registry / timeline digests (PR 5), the serving
+// report digest (PR 4/6) and the hot-path memo-cache keys (PR 7) — folds
+// state into the same 64-bit FNV-1a stream.  Until PR 7 each subsystem
+// carried a private copy of the constants and the byte fold; this header is
+// the shared one, bit-compatible with all of them:
+//
+//   * fnv1a(h, u64)    folds the word little-endian, byte by byte;
+//   * fnv1a_bytes      folds a raw byte range (the recovery convention —
+//                      no length prefix);
+//   * fnv1a(h, string) folds the length as a u64 first, then the bytes
+//                      (the obs convention — strings of different lengths
+//                      sharing a prefix must not collide trivially).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace isp {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Fold one 64-bit word into an FNV-1a digest, byte by byte.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Fold a raw byte range into an FNV-1a digest (no length prefix).
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(std::uint64_t h,
+                                               const void* data,
+                                               std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Fold a string into an FNV-1a digest: the length as a u64, then the bytes.
+[[nodiscard]] inline std::uint64_t fnv1a(std::uint64_t h,
+                                         const std::string& s) {
+  h = fnv1a(h, static_cast<std::uint64_t>(s.size()));
+  return fnv1a_bytes(h, s.data(), s.size());
+}
+
+/// The bit pattern of a double, for hashing exact values.
+[[nodiscard]] inline std::uint64_t double_bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+}  // namespace isp

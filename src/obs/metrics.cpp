@@ -10,21 +10,6 @@
 
 namespace isp::obs {
 
-std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
-  h = fnv1a(h, static_cast<std::uint64_t>(s.size()));
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-std::uint64_t double_bits(double v) {
-  std::uint64_t u = 0;
-  std::memcpy(&u, &v, sizeof(u));
-  return u;
-}
-
 // ---- Histogram -----------------------------------------------------------
 
 Histogram::Histogram(HistogramOptions options) : options_(options) {

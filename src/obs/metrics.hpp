@@ -22,29 +22,21 @@
 #include <string>
 #include <vector>
 
+#include "common/digest.hpp"
 #include "common/units.hpp"
 
 namespace isp::obs {
 
 // ---- FNV-1a (the repository's digest convention, PR 2) -------------------
+//
+// The implementation now lives in common/digest.hpp, shared with the
+// recovery sweep and the serving layer; the obs call sites keep their
+// unqualified names.
 
-inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-/// Fold one 64-bit word into an FNV-1a digest, byte by byte.
-[[nodiscard]] constexpr std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xFF;
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-/// Fold a string into an FNV-1a digest.
-[[nodiscard]] std::uint64_t fnv1a(std::uint64_t h, const std::string& s);
-
-/// The bit pattern of a double, for hashing exact values.
-[[nodiscard]] std::uint64_t double_bits(double v);
+using isp::double_bits;
+using isp::fnv1a;
+using isp::kFnvOffset;
+using isp::kFnvPrime;
 
 // ---- Scalar metrics ------------------------------------------------------
 

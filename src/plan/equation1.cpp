@@ -16,6 +16,17 @@ bool profitable(const Eq1Terms& terms) {
   return net_profit(terms).value() > 0.0;
 }
 
+Seconds host_side_cost(const Eq1Terms& terms, const Eq1Contention& c) {
+  const BytesPerSecond bw = terms.bw_d2h * c.link_share;
+  return terms.ds_raw / bw + terms.ct_host;
+}
+
+Seconds device_side_cost(const Eq1Terms& terms, const Eq1Contention& c) {
+  const BytesPerSecond bw = terms.bw_d2h * c.link_share;
+  return c.queue_wait + terms.ct_device / c.cse_availability +
+         terms.ds_processed / bw;
+}
+
 Seconds net_profit_under_contention(const Eq1Terms& terms,
                                     const Eq1Contention& c) {
   ISP_CHECK(terms.bw_d2h.value() > 0.0, "bandwidth must be positive");
@@ -24,12 +35,7 @@ Seconds net_profit_under_contention(const Eq1Terms& terms,
             "CSE availability out of (0,1]: " << c.cse_availability);
   ISP_CHECK(c.link_share > 0.0 && c.link_share <= 1.0,
             "link share out of (0,1]: " << c.link_share);
-  const BytesPerSecond bw = terms.bw_d2h * c.link_share;
-  const Seconds host_side = terms.ds_raw / bw + terms.ct_host;
-  const Seconds device_side = c.queue_wait +
-                              terms.ct_device / c.cse_availability +
-                              terms.ds_processed / bw;
-  return host_side - device_side;
+  return host_side_cost(terms, c) - device_side_cost(terms, c);
 }
 
 }  // namespace isp::plan

@@ -53,4 +53,16 @@ struct Eq1Contention {
 [[nodiscard]] Seconds net_profit_under_contention(const Eq1Terms& terms,
                                                   const Eq1Contention& c);
 
+/// The two sides of S' exposed separately, so a caller that caches one side
+/// (the serving layer's bid cache re-prices a lane's bid when only the
+/// host-side wait changed) can recombine without drifting from the one-shot
+/// form: net_profit_under_contention() is exactly
+/// host_side_cost() − device_side_cost(), bit for bit (asserted in
+/// plan_test).  Argument checks live on net_profit_under_contention();
+/// these are the raw arithmetic.
+[[nodiscard]] Seconds host_side_cost(const Eq1Terms& terms,
+                                     const Eq1Contention& c);
+[[nodiscard]] Seconds device_side_cost(const Eq1Terms& terms,
+                                       const Eq1Contention& c);
+
 }  // namespace isp::plan

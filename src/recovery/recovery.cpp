@@ -3,26 +3,12 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "exec/pool.hpp"
 #include "system/model.hpp"
 
 namespace isp::recovery {
-
-namespace {
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-void fnv_mix(std::uint64_t& h, const void* data, std::size_t n) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= bytes[i];
-    h *= kFnvPrime;
-  }
-}
-
-}  // namespace
 
 std::uint64_t digest_outputs(const ir::Program& program,
                              const ir::ObjectStore& store) {
@@ -31,9 +17,9 @@ std::uint64_t digest_outputs(const ir::Program& program,
     for (const auto& name : line.outputs) {
       if (!store.contains(name)) continue;
       const auto& obj = store.at(name);
-      fnv_mix(h, name.data(), name.size());
+      h = fnv1a_bytes(h, name.data(), name.size());
       const auto bytes = obj.physical.as<const std::byte>();
-      fnv_mix(h, bytes.data(), bytes.size());
+      h = fnv1a_bytes(h, bytes.data(), bytes.size());
     }
   }
   return h;

@@ -1,5 +1,6 @@
 #include "serve/fleet.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
@@ -32,6 +33,13 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
   }
   busy_until_.assign(lane_count(), SimTime::zero());
   stats_.assign(lane_count(), LaneStats{});
+  gate_.assign(lane_count(), SimTime::zero());
+  kill_at_.assign(lane_count(), SimTime::infinity());
+  epoch_.assign(lane_count(), 0);
+  for (std::size_t lane = 0; lane < lane_count(); ++lane) {
+    ready_order_.emplace(SimTime::zero(), lane);
+  }
+  device_busy_sorted_.assign(device_count(), SimTime::zero());
 }
 
 const DeviceConfig& Fleet::device(std::size_t lane) const {
@@ -40,6 +48,14 @@ const DeviceConfig& Fleet::device(std::size_t lane) const {
 }
 
 std::size_t Fleet::busy_devices_after(SimTime t) const {
+  // device_busy_sorted_ holds every device lane's busy_until ascending, so
+  // the busy-after-t count is the suffix past the first entry > t.
+  const auto it = std::upper_bound(device_busy_sorted_.begin(),
+                                   device_busy_sorted_.end(), t);
+  return static_cast<std::size_t>(device_busy_sorted_.end() - it);
+}
+
+std::size_t Fleet::busy_devices_after_scan(SimTime t) const {
   std::size_t n = 0;
   for (std::size_t lane = 0; lane < config_.devices.size(); ++lane) {
     if (busy_until_[lane] > t) ++n;
@@ -62,9 +78,11 @@ void Fleet::occupy(std::size_t lane, SimTime start, Seconds service) {
   ISP_CHECK(start >= busy_until_[lane],
             "lane " << lane << " dispatched into its own past");
   ISP_CHECK(service.value() >= 0.0, "negative service time");
+  const SimTime old_busy = busy_until_[lane];
   busy_until_[lane] = start + service;
   stats_[lane].jobs += 1;
   stats_[lane].busy += service;
+  reindex(lane, old_busy);
 }
 
 void Fleet::note_outcome(std::size_t lane, std::uint32_t migrations,
@@ -79,16 +97,83 @@ void Fleet::mark_dead(std::size_t lane, SimTime at) {
   ISP_CHECK(lane < config_.devices.size(),
             "only CSD lanes die; lane " << lane << " is a host lane");
   if (!alive(lane)) return;  // first kill wins
+  const SimTime old_busy = busy_until_[lane];
   stats_[lane].died_at = at;
   // The lane serves nothing past its death; clamp so busy_devices_after
   // never counts a corpse as drawing on the host link.
   if (busy_until_[lane] > at) busy_until_[lane] = at;
+  reindex(lane, old_busy);  // death removes the lane from the ready order
 }
 
 void Fleet::note_lost(std::size_t lane) {
   ISP_CHECK(lane < config_.devices.size(), "host lanes lose nothing");
   ISP_CHECK(!alive(lane), "lost a job on a living lane");
   stats_[lane].lost_jobs += 1;
+}
+
+// ---- Incremental lane-state index (PR 7) ---------------------------------
+
+void Fleet::reindex(std::size_t lane, SimTime old_busy) {
+  ready_order_.erase({old_busy, lane});  // no-op if already removed
+  if (alive(lane) && busy_until_[lane] < kill_at_[lane]) {
+    ready_order_.emplace(busy_until_[lane], lane);
+  }
+  if (lane < config_.devices.size()) {
+    const auto it = std::lower_bound(device_busy_sorted_.begin(),
+                                     device_busy_sorted_.end(), old_busy);
+    ISP_CHECK(it != device_busy_sorted_.end() && *it == old_busy,
+              "device busy index lost lane " << lane);
+    device_busy_sorted_.erase(it);
+    const SimTime now_busy = busy_until_[lane];
+    device_busy_sorted_.insert(
+        std::lower_bound(device_busy_sorted_.begin(),
+                         device_busy_sorted_.end(), now_busy),
+        now_busy);
+    ++fleet_epoch_;
+  }
+  ++epoch_[lane];
+}
+
+void Fleet::set_kill_at(std::size_t lane, SimTime at) {
+  ISP_CHECK(lane < config_.devices.size(),
+            "only CSD lanes die; lane " << lane << " is a host lane");
+  if (at >= kill_at_[lane]) return;  // min-fold: the earliest kill wins
+  kill_at_[lane] = at;
+  if (busy_until_[lane] >= at) {
+    // Doomed already: the lane can never start another job.
+    ready_order_.erase({busy_until_[lane], lane});
+  }
+  ++epoch_[lane];
+}
+
+void Fleet::set_gate(std::size_t lane, SimTime at) {
+  ISP_CHECK(lane < config_.devices.size(),
+            "breaker gates are per-device; lane " << lane << " is host");
+  if (gate_[lane] == at) return;  // quiet breakers don't invalidate bids
+  gate_[lane] = at;
+  ++epoch_[lane];
+}
+
+SimTime Fleet::earliest_feasible_start(SimTime arrival) const {
+  SimTime best = SimTime::infinity();
+  for (const auto& [busy, lane] : ready_order_) {
+    // Entries are busy-ascending: once a lane's idle instant is at or past
+    // the bound, no later entry can start earlier either.
+    if (busy >= best) break;
+    SimTime start = std::max(busy, arrival);
+    start = std::max(start, gate_[lane]);
+    if (start >= kill_at_[lane]) continue;
+    best = std::min(best, start);
+    if (best <= arrival) break;  // can't start before the job exists
+  }
+  return best;
+}
+
+SimTime Fleet::next_free(const std::vector<bool>& claimed) const {
+  for (const auto& [busy, lane] : ready_order_) {
+    if (!claimed[lane]) return busy;
+  }
+  return SimTime::infinity();
 }
 
 }  // namespace isp::serve

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -79,8 +81,14 @@ class Fleet {
     return busy_until_[lane];
   }
 
-  /// Devices (not host lanes) still busy strictly after `t`.
+  /// Devices (not host lanes) still busy strictly after `t` — O(log n) off
+  /// the sorted busy index (PR 7).  Dead lanes count through their clamped
+  /// busy_until, exactly like the reference scan.
   [[nodiscard]] std::size_t busy_devices_after(SimTime t) const;
+
+  /// The pre-index O(devices) reference scan, kept for the legacy
+  /// (`plan_cache` off) decision path and the index property tests.
+  [[nodiscard]] std::size_t busy_devices_after_scan(SimTime t) const;
 
   /// Link share a device gets when `busy_devices` devices (including
   /// itself) are drawing on the host link: provisioned share capped by
@@ -114,10 +122,69 @@ class Fleet {
     return stats_[lane];
   }
 
+  // ---- Incremental lane-state index (PR 7) -------------------------------
+  //
+  // The serving loop's decision phase needs three queries per job —
+  // "earliest instant any lane could start", "next lane to free up", and
+  // "devices busy after t" — that were all O(lanes) scans.  The index keeps
+  // a busy-ordered set of the *schedulable* lanes (living, not yet doomed
+  // by a registered kill) plus a sorted vector of every device lane's
+  // busy_until, updated on occupy / mark_dead / gate changes, so each query
+  // is O(log lanes).  Epochs version the state for the Eq.1 bid cache: a
+  // lane's cached bid is valid only while its lane epoch (own busy / death
+  // / breaker gate) and the fleet epoch (any device's busy or death — the
+  // link-contention input) both still match.
+
+  /// Register the lane's scheduled death (min-folds with earlier calls).
+  /// serve() registers the full kill schedule before the first wave; a lane
+  /// whose busy_until reaches its kill time leaves the schedulable set for
+  /// good (busy_until only grows, so it can never start another job).
+  void set_kill_at(std::size_t lane, SimTime at);
+  [[nodiscard]] SimTime kill_at(std::size_t lane) const {
+    return kill_at_[lane];
+  }
+
+  /// Mirror of the lane's breaker delayed-start gate (ready_at()); devices
+  /// only.  No-op when unchanged, so a quiet breaker never invalidates
+  /// cached bids.
+  void set_gate(std::size_t lane, SimTime at);
+  [[nodiscard]] SimTime gate(std::size_t lane) const { return gate_[lane]; }
+
+  /// Bumped whenever this lane's busy_until, death or gate changes.
+  [[nodiscard]] std::uint64_t lane_epoch(std::size_t lane) const {
+    return epoch_[lane];
+  }
+  /// Bumped whenever any *device* lane's busy_until or death changes (the
+  /// shared link-contention input every device bid reads).
+  [[nodiscard]] std::uint64_t fleet_epoch() const { return fleet_epoch_; }
+
+  /// The earliest instant any schedulable lane could start a job arriving
+  /// at `arrival` (gate- and kill-aware; infinity when no lane qualifies).
+  /// Equivalent to the legacy scan over all lanes, but walks the
+  /// busy-ordered set and stops as soon as no later lane can improve the
+  /// bound.
+  [[nodiscard]] SimTime earliest_feasible_start(SimTime arrival) const;
+
+  /// The earliest busy_until over schedulable, unclaimed lanes — the next
+  /// wave decision instant.  Infinity when every such lane is claimed.
+  [[nodiscard]] SimTime next_free(const std::vector<bool>& claimed) const;
+
  private:
+  /// Re-seat `lane` in the index after its busy_until moved from
+  /// `old_busy`, and bump the epochs.
+  void reindex(std::size_t lane, SimTime old_busy);
+
   FleetConfig config_;
   std::vector<SimTime> busy_until_;
   std::vector<LaneStats> stats_;
+  /// Schedulable lanes (living, undoomed) ordered by (busy_until, lane).
+  std::set<std::pair<SimTime, std::size_t>> ready_order_;
+  /// Every device lane's busy_until (dead lanes clamped), ascending.
+  std::vector<SimTime> device_busy_sorted_;
+  std::vector<SimTime> gate_;     // breaker ready_at mirror; host lanes 0
+  std::vector<SimTime> kill_at_;  // scheduled death; infinity = never
+  std::vector<std::uint64_t> epoch_;
+  std::uint64_t fleet_epoch_ = 0;
 };
 
 }  // namespace isp::serve

@@ -1,0 +1,70 @@
+#include "serve/memo.hpp"
+
+#include "common/digest.hpp"
+#include "common/error.hpp"
+
+namespace isp::serve {
+
+bool SimKey::operator==(const SimKey& other) const {
+  return job_class == other.job_class && on_host == other.on_host &&
+         link_share_bits == other.link_share_bits &&
+         faulted == other.faulted && fault_seed == other.fault_seed &&
+         power_loss_armed == other.power_loss_armed &&
+         power_loss_after == other.power_loss_after &&
+         schedule == other.schedule;
+}
+
+std::uint64_t SimKey::digest() const {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, job_class);
+  h = fnv1a(h, static_cast<std::uint64_t>(on_host ? 1 : 0) |
+                   (faulted ? 2 : 0) | (power_loss_armed ? 4 : 0));
+  h = fnv1a(h, link_share_bits);
+  h = fnv1a(h, fault_seed);
+  h = fnv1a(h, power_loss_after);
+  return schedule.digest(h);
+}
+
+SimMemoCache::SimMemoCache(std::size_t capacity) : capacity_(capacity) {
+  ISP_CHECK(capacity_ >= 1, "memo cache needs capacity for one entry");
+}
+
+const SimResult* SimMemoCache::find(const SimKey& key) const {
+  const auto bucket = buckets_.find(key.digest());
+  if (bucket == buckets_.end()) return nullptr;
+  for (const auto& entry : bucket->second) {
+    // Digest-verified: the full key must match, not just its hash.
+    if (entry.key == key) return &entry.value;
+  }
+  return nullptr;
+}
+
+void SimMemoCache::insert(const SimKey& key, const SimResult& value) {
+  ISP_CHECK(find(key) == nullptr, "memo cache double insert");
+  while (live_ >= capacity_) {
+    const auto [digest, seq] = fifo_.front();
+    fifo_.pop_front();
+    auto bucket = buckets_.find(digest);
+    ISP_CHECK(bucket != buckets_.end(), "memo cache FIFO lost its bucket");
+    auto& entries = bucket->second;
+    bool erased = false;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].seq == seq) {
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+        erased = true;
+        break;
+      }
+    }
+    ISP_CHECK(erased, "memo cache FIFO lost its entry");
+    if (entries.empty()) buckets_.erase(bucket);
+    --live_;
+    ++evictions_;
+  }
+  const std::uint64_t digest = key.digest();
+  buckets_[digest].push_back(Entry{key, value, next_seq_});
+  fifo_.emplace_back(digest, next_seq_);
+  ++next_seq_;
+  ++live_;
+}
+
+}  // namespace isp::serve

@@ -1,0 +1,126 @@
+// Digest-verified engine-run memo cache for the serving hot path (PR 7).
+//
+// Every dispatched job is a full engine simulation, but the simulation is a
+// pure function of a small key: the job class (fixes the program, plan and
+// profile), host vs device lane, the contended link share the SystemModel
+// is built with, the derived per-job fault seed (only when any fault site
+// is actually armed — fault-free jobs share one canonical key), the
+// power-loss arming parameters, and the device's availability schedule
+// rebased to the dispatch instant.  The fleet's default schedules are
+// constant, so rebasing lands on the same function for every start — under
+// steady load most dispatches repeat a handful of keys and the cache turns
+// O(jobs) engine runs into O(distinct keys).
+//
+// Correctness over speed: lookups bucket by the key's FNV-1a digest but
+// *verify the full key* field by field (including every schedule step)
+// before returning a hit, so a digest collision degrades to a miss, never a
+// wrong result.  All cache operations happen on the serial decision thread
+// in wave submission order, and eviction is FIFO by insertion sequence —
+// the cache's behaviour is a deterministic function of the dispatch stream,
+// which is why serve() stays byte-identical across `--jobs` values and with
+// the cache on or off (asserted in serve_test, gated in
+// bench/serve_hotpath).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "sim/availability.hpp"
+
+namespace isp::serve {
+
+/// What one engine simulation reports back to the serving loop (and what a
+/// memo hit replays).  Everything here is job-local: no field depends on
+/// the dispatch instant or lane index, which is what makes the result
+/// reusable across dispatches with equal keys.
+struct SimResult {
+  Seconds service;
+  std::uint32_t migrations = 0;
+  std::uint32_t power_losses = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t faults_exhausted = 0;  // breaker severity input
+  // Observability detail (ObsOptions::enabled only).  Fault-event times are
+  // job-local here; the serial fold shifts them to fleet time.
+  Seconds migration_overhead;
+  Seconds recovery_overhead;
+  std::uint32_t lines_csd = 0;
+  std::uint32_t lines_host = 0;
+  std::vector<FaultEvent> fault_events;
+  /// Per-job engine/monitor/fault/FTL metrics, merged into the report's
+  /// registry in submission order (merge is associative, so the fold equals
+  /// a serial run regardless of worker count).
+  obs::MetricsRegistry metrics;
+};
+
+/// The complete set of inputs that determine a dispatch's engine simulation
+/// bit for bit.  Two dispatches with equal keys run byte-identical
+/// simulations; anything that could differ (fault seed, armed power loss,
+/// link share, availability) is part of the key.
+struct SimKey {
+  std::uint32_t job_class = 0;
+  bool on_host = false;
+  /// Bit pattern of the contended link share the SystemModel scales its
+  /// link bandwidth by (1.0 for host lanes).
+  std::uint64_t link_share_bits = 0;
+  /// True when any fault site is armed for this job (a FaultConfig rate
+  /// > 0, or this job is the armed power-loss job).  When false the
+  /// injector never fires and the per-job seed is irrelevant — all
+  /// fault-free jobs of a class share one canonical key (fault_seed 0).
+  bool faulted = false;
+  std::uint64_t fault_seed = 0;
+  bool power_loss_armed = false;
+  std::uint64_t power_loss_after = 0;
+  /// The device's availability as the engine will see it: already rebased
+  /// to the dispatch instant (default-constructed for host lanes).
+  sim::AvailabilitySchedule schedule;
+
+  [[nodiscard]] bool operator==(const SimKey& other) const;
+  /// FNV-1a over every field — the bucket key.  Hits are still verified
+  /// against the full key.
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// Capacity-bounded memo cache: digest-bucketed, exact-verified, FIFO
+/// eviction by insertion order.  Single-threaded by design — the serving
+/// loop touches it only from the serial decision/fold phases.
+class SimMemoCache {
+ public:
+  /// `capacity` bounds the number of live entries (>= 1).
+  explicit SimMemoCache(std::size_t capacity);
+
+  /// The cached result for `key`, or nullptr.  The pointer is valid only
+  /// until the next insert() — callers copy immediately.
+  [[nodiscard]] const SimResult* find(const SimKey& key) const;
+
+  /// Memoize `value` under `key`, evicting the oldest entry first when at
+  /// capacity.  `key` must not already be present.
+  void insert(const SimKey& key, const SimResult& value);
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    SimKey key;
+    SimResult value;
+    std::uint64_t seq = 0;  // insertion sequence, for FIFO eviction
+  };
+
+  std::size_t capacity_;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t evictions_ = 0;
+  /// digest -> entries with that digest (usually exactly one; a genuine
+  /// FNV collision just means a longer verify chain).
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  /// Insertion order as (digest, seq) pairs — the FIFO eviction queue.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> fifo_;
+};
+
+}  // namespace isp::serve

@@ -3,16 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "apps/registry.hpp"
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "exec/pool.hpp"
 #include "plan/equation1.hpp"
 #include "runtime/active_runtime.hpp"
+#include "serve/bid_cache.hpp"
+#include "serve/memo.hpp"
 #include "serve/observe.hpp"
 
 namespace isp::serve {
@@ -111,25 +114,7 @@ struct Dispatch {
   sim::AvailabilitySchedule device_schedule;
 };
 
-/// What one engine simulation reports back to the serving loop.
-struct SimResult {
-  Seconds service;
-  std::uint32_t migrations = 0;
-  std::uint32_t power_losses = 0;
-  std::uint64_t faults = 0;
-  std::uint64_t faults_exhausted = 0;  // breaker severity input
-  // Observability detail (ObsOptions::enabled only).  Fault-event times are
-  // job-local here; the serial fold shifts them to fleet time.
-  Seconds migration_overhead;
-  Seconds recovery_overhead;
-  std::uint32_t lines_csd = 0;
-  std::uint32_t lines_host = 0;
-  std::vector<FaultEvent> fault_events;
-  /// Per-job engine/monitor/fault/FTL metrics, merged into the report's
-  /// registry in submission order (merge is associative, so the fold equals
-  /// a serial run regardless of worker count).
-  obs::MetricsRegistry metrics;
-};
+// SimResult lives in serve/memo.hpp (PR 7): a memo hit replays one.
 
 SimResult simulate_dispatch(const ServeConfig& config, const Profile& profile,
                             const Dispatch& d) {
@@ -193,6 +178,29 @@ SimResult simulate_dispatch(const ServeConfig& config, const Profile& profile,
   return r;
 }
 
+/// The memo-cache key for a dispatch: every simulate_dispatch() input that
+/// can vary between dispatches.  The derived fault seed enters the key only
+/// when a fault site is actually armed — with all rates zero and no armed
+/// power loss the injector never fires, so fault-free jobs of a class share
+/// one canonical key (that sharing is where the hit rate comes from).
+SimKey make_sim_key(const ServeConfig& config, const Dispatch& d) {
+  SimKey key;
+  key.job_class = d.job.job_class;
+  key.on_host = d.on_host;
+  key.link_share_bits = double_bits(d.on_host ? 1.0 : d.link_share);
+  const bool armed =
+      config.power_loss_job >= 0 &&
+      d.job.id == static_cast<std::uint64_t>(config.power_loss_job);
+  if (config.fault.enabled() || armed) {
+    key.faulted = true;
+    key.fault_seed = splitmix64(config.seed ^ (0xf1ee7000ULL + d.job.id));
+    key.power_loss_armed = armed;
+    if (armed) key.power_loss_after = config.power_loss_after;
+  }
+  if (!d.on_host) key.schedule = d.device_schedule;
+  return key;
+}
+
 /// How a placement attempt ended.
 enum class Place {
   Ok,               // out is a valid dispatch
@@ -222,11 +230,19 @@ struct LaneBid {
 /// cannot start by the job's deadline, the earliest-starting eligible lane
 /// is tried instead; only when even that misses is DeadlineExpired
 /// returned.
+///
+/// Hot path (PR 7): when `bids` is non-null the device loop consults the
+/// epoch-versioned bid cache — a lane whose state epochs and candidate
+/// start match the cached slot reuses the finish-time integral, contended
+/// share and completion projection; the Equation-1 profit additionally
+/// revalidates on (arrival, host_wait).  `indexed` selects the O(log n)
+/// busy-device count off the fleet's sorted index over the legacy scan.
+/// Both are exact: cached and fresh bids are bit-identical.
 Place choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
                   const std::vector<SimTime>& kill_at,
                   const std::vector<CircuitBreaker>& breakers,
                   const Profile& profile, const QueuedJob& job,
-                  Dispatch& out) {
+                  BidCache* bids, bool indexed, Dispatch& out) {
   const BytesPerSecond bw = fleet.config().system.link.bandwidth;
   const std::size_t device_count = fleet.device_count();
 
@@ -242,11 +258,14 @@ Place choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
 
   // Host lanes first: the fallback's own queue wait belongs on Equation 1's
   // host side, so the devices are priced against the host path the job
-  // would actually take.
+  // would actually take.  The winning lane's busy_until rides along so the
+  // host-wait term below doesn't re-read it (the PR 7 hoist).
+  SimTime best_host_busy = SimTime::zero();
   for (std::size_t lane = fleet.device_count(); lane < fleet.lane_count();
        ++lane) {
     if (claimed[lane]) continue;
-    const SimTime start = std::max(fleet.busy_until(lane), job.ready);
+    const SimTime busy = fleet.busy_until(lane);
+    const SimTime start = std::max(busy, job.ready);
     const LaneBid bid{.lane = lane,
                       .on_host = true,
                       .start = start,
@@ -257,11 +276,11 @@ Place choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
     if (!have_host || bid.done < best_host.done) {
       have_host = true;
       best_host = bid;
+      best_host_busy = busy;
     }
   }
   const Seconds host_wait =
-      have_host ? std::max(Seconds::zero(),
-                           fleet.busy_until(best_host.lane) - job.arrival)
+      have_host ? std::max(Seconds::zero(), best_host_busy - job.arrival)
                 : Seconds::zero();
 
   for (std::size_t lane = 0; lane < fleet.device_count(); ++lane) {
@@ -273,38 +292,92 @@ Place choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
     const SimTime start =
         std::max({fleet.busy_until(lane), job.ready, brk.ready_at()});
     if (start >= kill_at[lane]) continue;  // lane is dead by then
-    const auto& sched = fleet.device(lane).cse_availability;
-    const SimTime compute_done = sched.finish_time(start, profile.csd_work);
-    if (compute_done == SimTime::infinity()) continue;  // starved device
-    const std::size_t busy =
-        std::min(fleet.busy_devices_after(start) + 1, device_count);
-    const double share = fleet.contended_link_share(lane, busy);
-    const SimTime done =
-        compute_done + profile.ds_processed / (bw * share);
-    // Effective CSE fraction over exactly the window the job would occupy.
-    const double avail_eff =
-        profile.csd_work.value() > 0.0
-            ? profile.csd_work.value() / (compute_done - start).value()
-            : 1.0;
-    const plan::Eq1Terms terms{.ds_raw = profile.ds_raw,
-                               .ct_host = profile.host_work + host_wait,
-                               .ct_device = profile.csd_work,
-                               .ds_processed = profile.ds_processed,
-                               .bw_d2h = bw};
-    // The wait this job would actually experience on the device: the time
-    // from its arrival until the lane's queued work drains.
-    const plan::Eq1Contention contention{
-        .queue_wait =
-            std::max(Seconds::zero(), fleet.busy_until(lane) - job.arrival),
-        .cse_availability = std::clamp(avail_eff, 1e-6, 1.0),
-        .link_share = share};
+
+    // Core placement terms: reused when the lane's state epochs and the
+    // candidate start still match the cached slot.
+    CachedBid* cb = bids != nullptr ? &bids->slot(job.job_class, lane)
+                                    : nullptr;
+    const bool core_hit = cb != nullptr && cb->core_valid &&
+                          cb->lane_epoch == fleet.lane_epoch(lane) &&
+                          cb->fleet_epoch == fleet.fleet_epoch() &&
+                          cb->start == start;
+    SimTime compute_done;
+    SimTime done = SimTime::infinity();
+    double share = 1.0;
+    double avail_eff = 1.0;
+    if (core_hit) {
+      ++bids->hits;
+      if (cb->starved) continue;  // still starved: same schedule, same start
+      compute_done = cb->compute_done;
+      done = cb->done;
+      share = cb->share;
+      avail_eff = cb->avail_eff;
+    } else {
+      const auto& sched = fleet.device(lane).cse_availability;
+      compute_done = sched.finish_time(start, profile.csd_work);
+      const bool starved = compute_done == SimTime::infinity();
+      if (!starved) {
+        const std::size_t busy =
+            std::min((indexed ? fleet.busy_devices_after(start)
+                              : fleet.busy_devices_after_scan(start)) +
+                         1,
+                     device_count);
+        share = fleet.contended_link_share(lane, busy);
+        done = compute_done + profile.ds_processed / (bw * share);
+        // Effective CSE fraction over exactly the window the job would
+        // occupy.
+        avail_eff =
+            profile.csd_work.value() > 0.0
+                ? profile.csd_work.value() / (compute_done - start).value()
+                : 1.0;
+      }
+      if (cb != nullptr) {
+        ++bids->misses;
+        cb->core_valid = true;
+        cb->profit_valid = false;
+        cb->lane_epoch = fleet.lane_epoch(lane);
+        cb->fleet_epoch = fleet.fleet_epoch();
+        cb->start = start;
+        cb->starved = starved;
+        cb->compute_done = compute_done;
+        cb->done = done;
+        cb->share = share;
+        cb->avail_eff = avail_eff;
+      }
+      if (starved) continue;  // starved device
+    }
+
+    Seconds profit;
+    if (core_hit && cb->profit_valid && cb->arrival == job.arrival &&
+        cb->host_wait == host_wait) {
+      profit = cb->profit;
+    } else {
+      const plan::Eq1Terms terms{.ds_raw = profile.ds_raw,
+                                 .ct_host = profile.host_work + host_wait,
+                                 .ct_device = profile.csd_work,
+                                 .ds_processed = profile.ds_processed,
+                                 .bw_d2h = bw};
+      // The wait this job would actually experience on the device: the time
+      // from its arrival until the lane's queued work drains.
+      const plan::Eq1Contention contention{
+          .queue_wait =
+              std::max(Seconds::zero(), fleet.busy_until(lane) - job.arrival),
+          .cse_availability = std::clamp(avail_eff, 1e-6, 1.0),
+          .link_share = share};
+      profit = plan::net_profit_under_contention(terms, contention);
+      if (cb != nullptr) {
+        cb->profit_valid = true;
+        cb->arrival = job.arrival;
+        cb->host_wait = host_wait;
+        cb->profit = profit;
+      }
+    }
     const LaneBid bid{.lane = lane,
                       .on_host = false,
                       .start = start,
                       .done = done,
                       .share = share,
-                      .profit = plan::net_profit_under_contention(
-                          terms, contention)};
+                      .profit = profit};
     consider_earliest(bid);
     if (!have_device || bid.done < best_device.done) {
       have_device = true;
@@ -331,20 +404,6 @@ Place choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
   out.link_share = chosen.on_host ? 1.0 : chosen.share;
   out.eq1_profit = have_device ? best_device.profit : Seconds::zero();
   return Place::Ok;
-}
-
-std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xFF;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-std::uint64_t bits(double v) {
-  std::uint64_t u = 0;
-  std::memcpy(&u, &v, sizeof(u));
-  return u;
 }
 
 }  // namespace
@@ -385,6 +444,23 @@ ServeReport serve(const ServeConfig& config) {
           kill_at[k], SimTime::zero() + Seconds{-std::log1p(-u) / fail_rate});
     }
   }
+  // Mirror the kill schedule into the fleet's incremental index so its
+  // ready-order and feasibility queries skip doomed lanes exactly like the
+  // legacy scans do.
+  for (std::size_t k = 0; k < fleet.device_count(); ++k) {
+    if (kill_at[k] < SimTime::infinity()) fleet.set_kill_at(k, kill_at[k]);
+  }
+
+  // Hot-path caches (PR 7).  Both are exact — serve() output is
+  // byte-identical with them on or off; the flags exist for the benchmark's
+  // off-arm and for bisecting.
+  const bool hotpath = config.plan_cache;
+  std::optional<BidCache> bid_cache;
+  if (config.plan_cache) {
+    bid_cache.emplace(config.job_classes.size(), fleet.device_count());
+  }
+  std::optional<SimMemoCache> memo;
+  if (config.sim_cache) memo.emplace(config.sim_cache_capacity);
 
   // One health breaker per CSD lane (host lanes never break).
   std::vector<CircuitBreaker> breakers;
@@ -399,8 +475,12 @@ ServeReport serve(const ServeConfig& config) {
 
   // The earliest instant any living lane could start a job arriving now —
   // the admission-time deadline feasibility bound.  Future dispatches only
-  // push busy_until later, so this is a true lower bound.
+  // push busy_until later, so this is a true lower bound.  The hot path
+  // answers off the fleet's ready-order index (breaker gates are mirrored
+  // into it after every breaker mutation below); the legacy scan stays as
+  // the plan_cache-off reference.
   const auto earliest_feasible_start = [&](SimTime arrival) {
+    if (hotpath) return fleet.earliest_feasible_start(arrival);
     SimTime best = SimTime::infinity();
     for (std::size_t lane = 0; lane < fleet.lane_count(); ++lane) {
       if (!fleet.alive(lane)) continue;
@@ -444,20 +524,32 @@ ServeReport serve(const ServeConfig& config) {
     }
   };
 
+  // Wave scratch, hoisted so the per-wave cost is an assign(), not an
+  // allocation (satellite 6).
+  std::vector<Dispatch> wave;
+  wave.reserve(fleet.lane_count());
+  std::vector<bool> claimed;
   while (true) {
     // Decision phase (serial): claim at most one job per lane.  Every
     // unclaimed lane's busy_until is a *measured* quantity from previous
     // waves, so each decision sees exact state.
-    std::vector<Dispatch> wave;
-    std::vector<bool> claimed(fleet.lane_count(), false);
+    wave.clear();
+    claimed.assign(fleet.lane_count(), false);
     while (wave.size() < fleet.lane_count()) {
-      SimTime t = SimTime::infinity();
-      for (std::size_t lane = 0; lane < fleet.lane_count(); ++lane) {
-        if (claimed[lane] || !fleet.alive(lane)) continue;
-        // A lane already committed past its death can never free up again;
-        // letting it pin `t` would stall admission forever.
-        if (fleet.busy_until(lane) >= lane_kill(lane)) continue;
-        t = std::min(t, fleet.busy_until(lane));
+      SimTime t;
+      if (hotpath) {
+        // First unclaimed entry in busy_until order — the index already
+        // excludes dead and doomed lanes.
+        t = fleet.next_free(claimed);
+      } else {
+        t = SimTime::infinity();
+        for (std::size_t lane = 0; lane < fleet.lane_count(); ++lane) {
+          if (claimed[lane] || !fleet.alive(lane)) continue;
+          // A lane already committed past its death can never free up
+          // again; letting it pin `t` would stall admission forever.
+          if (fleet.busy_until(lane) >= lane_kill(lane)) continue;
+          t = std::min(t, fleet.busy_until(lane));
+        }
       }
       admit_up_to(t);
       if (!admission.any_queued()) {
@@ -470,8 +562,9 @@ ServeReport serve(const ServeConfig& config) {
       }
       const auto job = admission.pick();
       Dispatch d;
-      const Place placed = choose_lane(fleet, claimed, kill_at, breakers,
-                                       *profiles[job->job_class], *job, d);
+      const Place placed = choose_lane(
+          fleet, claimed, kill_at, breakers, *profiles[job->job_class], *job,
+          bid_cache ? &*bid_cache : nullptr, hotpath, d);
       if (placed == Place::DeadlineExpired) {
         // Skip the expired job loudly: typed per-tenant counter, resolved
         // at the deadline — or at the death that re-enqueued it, when the
@@ -505,6 +598,7 @@ ServeReport serve(const ServeConfig& config) {
           // First dispatch at or after the cooldown end is the probe.
           breakers[d.lane].begin_probe(d.start);
           d.is_probe = true;
+          fleet.set_gate(d.lane, breakers[d.lane].ready_at());
         }
       }
       claimed[d.lane] = true;
@@ -513,14 +607,66 @@ ServeReport serve(const ServeConfig& config) {
     if (wave.empty()) break;  // queues drained, no arrivals left
 
     // Execution phase: worker threads run the already-scheduled engine
-    // simulations; results come back in submission order.
-    const auto results = exec::run_batch(
-        wave.size(),
-        [&](std::size_t i) {
-          return simulate_dispatch(config, *profiles[wave[i].job.job_class],
-                                   wave[i]);
-        },
-        config.jobs);
+    // simulations; results come back in submission order.  With the memo
+    // cache on, a serial key pass first dedupes the wave against the cache
+    // *and against itself* — only distinct missing keys reach the workers,
+    // and everything folds back in submission order, so the wave's outputs
+    // are byte-identical with the cache off (asserted in serve_test).
+    std::vector<SimResult> results(wave.size());
+    if (memo) {
+      struct Miss {
+        SimKey key;
+        std::size_t first;  // wave index that owns the fresh engine run
+      };
+      std::vector<Miss> misses;
+      std::vector<std::ptrdiff_t> from_miss(wave.size(), -1);
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        SimKey key = make_sim_key(config, wave[i]);
+        std::ptrdiff_t pending = -1;
+        for (std::size_t m = 0; m < misses.size(); ++m) {
+          if (misses[m].key == key) {
+            pending = static_cast<std::ptrdiff_t>(m);
+            break;
+          }
+        }
+        if (pending >= 0) {  // duplicate within this wave
+          from_miss[i] = pending;
+          ++report.sim_cache_hits;
+          continue;
+        }
+        if (const SimResult* hit = memo->find(key)) {
+          results[i] = *hit;
+          ++report.sim_cache_hits;
+          continue;
+        }
+        from_miss[i] = static_cast<std::ptrdiff_t>(misses.size());
+        misses.push_back(Miss{std::move(key), i});
+        ++report.sim_cache_misses;
+      }
+      const auto fresh = exec::run_batch(
+          misses.size(),
+          [&](std::size_t m) {
+            const auto& d = wave[misses[m].first];
+            return simulate_dispatch(config, *profiles[d.job.job_class], d);
+          },
+          config.jobs);
+      for (std::size_t m = 0; m < misses.size(); ++m) {
+        memo->insert(misses[m].key, fresh[m]);
+      }
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        if (from_miss[i] >= 0) {
+          results[i] = fresh[static_cast<std::size_t>(from_miss[i])];
+        }
+      }
+    } else {
+      results = exec::run_batch(
+          wave.size(),
+          [&](std::size_t i) {
+            return simulate_dispatch(config, *profiles[wave[i].job.job_class],
+                                     wave[i]);
+          },
+          config.jobs);
+    }
 
     for (std::size_t i = 0; i < wave.size(); ++i) {
       const auto& d = wave[i];
@@ -536,7 +682,10 @@ ServeReport serve(const ServeConfig& config) {
         fleet.occupy(d.lane, d.start, death - d.start);
         fleet.mark_dead(d.lane, death);
         fleet.note_lost(d.lane);
-        if (d.is_probe) breakers[d.lane].abort_probe();
+        if (d.is_probe) {
+          breakers[d.lane].abort_probe();
+          fleet.set_gate(d.lane, breakers[d.lane].ready_at());
+        }
         outcome.lost_attempts.push_back(
             LostAttempt{.lane = static_cast<std::uint32_t>(d.lane),
                         .start = d.start,
@@ -569,6 +718,10 @@ ServeReport serve(const ServeConfig& config) {
         } else {
           breakers[d.lane].record_outcome(end, severity);
         }
+        // Keep the fleet index's breaker gate in sync (set_gate is a no-op
+        // unless ready_at actually moved, so quiet outcomes don't
+        // invalidate cached bids).
+        fleet.set_gate(d.lane, breakers[d.lane].ready_at());
       }
       outcome.lane = static_cast<std::int32_t>(d.lane);
       outcome.on_host = d.on_host;
@@ -617,7 +770,13 @@ ServeReport serve(const ServeConfig& config) {
   report.total_jobs = config.total_jobs;
   report.offered_load = config.offered_load;
   report.seed = config.seed;
+  if (memo) report.sim_cache_evictions = memo->evictions();
+  if (bid_cache) {
+    report.bid_cache_hits = bid_cache->hits;
+    report.bid_cache_misses = bid_cache->misses;
+  }
   std::vector<double> latencies;
+  latencies.reserve(report.outcomes.size());
   for (const auto& o : report.outcomes) {
     if (o.rejected) {
       report.rejected += 1;
@@ -659,15 +818,18 @@ ServeReport serve(const ServeConfig& config) {
             "admitted jobs leaked: "
                 << report.admitted << " != " << report.completed << " + "
                 << report.deadline_missed << " + " << report.retry_exhausted);
+  report.tenants.reserve(admission.tenant_count());
   for (std::uint32_t t = 0; t < admission.tenant_count(); ++t) {
     report.tenants.push_back(admission.stats(t));
   }
+  report.lanes.reserve(fleet.lane_count());
   for (std::size_t lane = 0; lane < fleet.lane_count(); ++lane) {
     report.lanes.push_back(fleet.stats(lane));
     if (lane < fleet.device_count() && !fleet.alive(lane)) {
       report.devices_failed += 1;
     }
   }
+  report.breaker_transitions.reserve(fleet.device_count());
   for (std::size_t k = 0; k < fleet.device_count(); ++k) {
     report.breaker_transitions.push_back(breakers[k].transitions());
   }
@@ -685,42 +847,42 @@ ServeReport serve(const ServeConfig& config) {
   report.p50_latency = Seconds{obs::percentile_sorted(latencies, 0.50)};
   report.p99_latency = Seconds{obs::percentile_sorted(latencies, 0.99)};
 
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+  std::uint64_t h = kFnvOffset;
   for (const auto& o : report.outcomes) {
-    h = fnv_mix(h, o.id);
-    h = fnv_mix(h, o.tenant);
-    h = fnv_mix(h, o.rejected ? 1 : 0);
-    h = fnv_mix(h, (o.deadline_rejected ? 1 : 0) |
-                       (o.deadline_missed ? 2 : 0) |
-                       (o.retry_exhausted ? 4 : 0));
-    h = fnv_mix(h, o.retries);
-    h = fnv_mix(h, bits(o.resolved.seconds()));
+    h = fnv1a(h, o.id);
+    h = fnv1a(h, o.tenant);
+    h = fnv1a(h, o.rejected ? 1 : 0);
+    h = fnv1a(h, (o.deadline_rejected ? 1 : 0) |
+                     (o.deadline_missed ? 2 : 0) |
+                     (o.retry_exhausted ? 4 : 0));
+    h = fnv1a(h, o.retries);
+    h = fnv1a(h, double_bits(o.resolved.seconds()));
     for (const auto& a : o.lost_attempts) {
-      h = fnv_mix(h, a.lane);
-      h = fnv_mix(h, bits(a.start.seconds()));
-      h = fnv_mix(h, bits(a.end.seconds()));
+      h = fnv1a(h, a.lane);
+      h = fnv1a(h, double_bits(a.start.seconds()));
+      h = fnv1a(h, double_bits(a.end.seconds()));
     }
-    h = fnv_mix(h, static_cast<std::uint64_t>(
-                       static_cast<std::int64_t>(o.lane)));
-    h = fnv_mix(h, bits(o.start.seconds()));
-    h = fnv_mix(h, bits(o.service.value()));
-    h = fnv_mix(h, o.migrations);
-    h = fnv_mix(h, o.power_losses);
-    h = fnv_mix(h, o.faults);
+    h = fnv1a(h, static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(o.lane)));
+    h = fnv1a(h, double_bits(o.start.seconds()));
+    h = fnv1a(h, double_bits(o.service.value()));
+    h = fnv1a(h, o.migrations);
+    h = fnv1a(h, o.power_losses);
+    h = fnv1a(h, o.faults);
   }
   for (const auto& lane : report.lanes) {
-    h = fnv_mix(h, lane.jobs);
-    h = fnv_mix(h, bits(lane.busy.value()));
-    h = fnv_mix(h, lane.lost_jobs);
-    h = fnv_mix(h, bits(lane.died_at.seconds()));
+    h = fnv1a(h, lane.jobs);
+    h = fnv1a(h, double_bits(lane.busy.value()));
+    h = fnv1a(h, lane.lost_jobs);
+    h = fnv1a(h, double_bits(lane.died_at.seconds()));
   }
   for (const auto& lane_transitions : report.breaker_transitions) {
-    h = fnv_mix(h, lane_transitions.size());
+    h = fnv1a(h, lane_transitions.size());
     for (const auto& tr : lane_transitions) {
-      h = fnv_mix(h, static_cast<std::uint64_t>(tr.from) * 16 +
-                         static_cast<std::uint64_t>(tr.to));
-      h = fnv_mix(h, bits(tr.time.seconds()));
-      h = fnv_mix(h, bits(tr.score));
+      h = fnv1a(h, static_cast<std::uint64_t>(tr.from) * 16 +
+                       static_cast<std::uint64_t>(tr.to));
+      h = fnv1a(h, double_bits(tr.time.seconds()));
+      h = fnv1a(h, double_bits(tr.score));
     }
   }
   report.digest = h;

@@ -117,6 +117,20 @@ struct ServeConfig {
   std::uint32_t retry_budget = 2;
   /// Per-CSD-lane health circuit breaker (health-aware placement).
   BreakerConfig breaker;
+  // Hot-path toggles (PR 7).  Both caches are *exact*: reports, metrics and
+  // trace artifacts are byte-identical with them on or off (asserted in
+  // serve_test, gated in bench/serve_hotpath) — they only change how much
+  // work the decision and execution phases redo.
+  /// Incremental lane-state index + per-(class, lane) Equation-1 bid cache
+  /// in the wave decision phase; off falls back to the O(lanes) scans.
+  bool plan_cache = true;
+  /// Digest-verified engine-run memo cache: a dispatch whose simulation
+  /// inputs (class, lane kind, rebased availability, contended link share,
+  /// derived fault seed) exactly match an already-run simulation reuses its
+  /// result instead of re-running the engine.
+  bool sim_cache = true;
+  /// Bound on distinct memoized engine runs (FIFO eviction, deterministic).
+  std::size_t sim_cache_capacity = 512;
   ObsOptions obs;
 };
 
@@ -225,6 +239,15 @@ struct ServeReport {
   /// and deadline flags), lane counter and breaker transition: the one
   /// word two runs must agree on byte-for-byte (the determinism gate).
   std::uint64_t digest = 0;
+
+  // Hot-path cache statistics (PR 7) — diagnostics only.  Deliberately
+  // excluded from to_json(), the digest and the metrics registry so every
+  // exported artifact stays byte-identical with the caches on or off.
+  std::uint64_t sim_cache_hits = 0;
+  std::uint64_t sim_cache_misses = 0;
+  std::uint64_t sim_cache_evictions = 0;
+  std::uint64_t bid_cache_hits = 0;
+  std::uint64_t bid_cache_misses = 0;
 
   /// Fleet-wide metrics: serve.* (admission, WFQ, lanes, latency
   /// histograms) plus the per-job engine.*, monitor.*, fault.* and ftl.*

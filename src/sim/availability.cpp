@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 
 namespace isp::sim {
@@ -121,6 +122,15 @@ void AvailabilitySchedule::add_step(SimTime at, double fraction) {
   ISP_CHECK(steps_.empty() || steps_.back().first < at,
             "step must be later than existing steps");
   steps_.emplace_back(at, fraction);
+}
+
+std::uint64_t AvailabilitySchedule::digest(std::uint64_t h) const {
+  h = fnv1a(h, static_cast<std::uint64_t>(steps_.size()));
+  for (const auto& [at, fraction] : steps_) {
+    h = fnv1a(h, double_bits(at.seconds()));
+    h = fnv1a(h, double_bits(fraction));
+  }
+  return h;
 }
 
 }  // namespace isp::sim

@@ -13,6 +13,7 @@
 //   work_done(t0, t1): how much full-speed service fits in [t0, t1)?
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/units.hpp"
@@ -60,6 +61,19 @@ class AvailabilitySchedule {
       const {
     return steps_;
   }
+
+  /// True when the two schedules are the same piecewise function, step for
+  /// step and bit for bit.  The query cursor is a pure cache and is ignored.
+  /// This is the serving memo cache's exact-key check.
+  [[nodiscard]] bool operator==(const AvailabilitySchedule& other) const {
+    return steps_ == other.steps_;
+  }
+
+  /// Fold the schedule's steps (count, then each start-time and fraction
+  /// bit pattern) into an FNV-1a digest — the serving memo cache's bucket
+  /// key.  Equal schedules digest equally; the cache still verifies the
+  /// full steps on every hit.
+  [[nodiscard]] std::uint64_t digest(std::uint64_t h) const;
 
  private:
   /// Index of the segment containing t: the last step with start <= t.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -202,6 +203,44 @@ TEST(BenchUtil, GeomeanSkipsNonPositiveEntries) {
 TEST(BenchUtil, MeanBasics) {
   EXPECT_DOUBLE_EQ(bench::mean({1.0, 2.0, 3.0}), 2.0);
   EXPECT_DOUBLE_EQ(bench::mean({}), 0.0);
+}
+
+TEST(Digest, Fnv1aMatchesTheReferenceVectors) {
+  // Classic FNV-1a 64 test vectors: the empty string is the offset basis,
+  // and h("a") is the published reference value.
+  EXPECT_EQ(kFnvOffset, 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a_bytes(kFnvOffset, "", 0), kFnvOffset);
+  EXPECT_EQ(fnv1a_bytes(kFnvOffset, "a", 1), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Digest, WordFoldIsLittleEndianByteFold) {
+  // fnv1a(h, u64) must equal folding the value's 8 bytes LSB-first — the
+  // convention every digest in the repository (obs, recovery, serve) uses.
+  const std::uint64_t v = 0x0102030405060708ULL;
+  const unsigned char le[8] = {0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01};
+  EXPECT_EQ(fnv1a(kFnvOffset, v), fnv1a_bytes(kFnvOffset, le, 8));
+  // Zero still advances the hash: eight zero bytes, not a no-op.
+  EXPECT_NE(fnv1a(kFnvOffset, 0), kFnvOffset);
+}
+
+TEST(Digest, StringFoldPrefixesTheLength) {
+  // Strings fold size-then-bytes so "ab"+"c" and "a"+"bc" cannot collide.
+  const std::string s = "ab";
+  EXPECT_EQ(fnv1a(kFnvOffset, s),
+            fnv1a_bytes(fnv1a(kFnvOffset, std::uint64_t{2}), s.data(), 2));
+  std::uint64_t split_a = fnv1a(kFnvOffset, std::string("ab"));
+  split_a = fnv1a(split_a, std::string("c"));
+  std::uint64_t split_b = fnv1a(kFnvOffset, std::string("a"));
+  split_b = fnv1a(split_b, std::string("bc"));
+  EXPECT_NE(split_a, split_b);
+}
+
+TEST(Digest, DoubleBitsIsExact) {
+  EXPECT_EQ(double_bits(1.5), 0x3FF8000000000000ULL);
+  EXPECT_EQ(double_bits(0.0), 0u);
+  // +0.0 and -0.0 compare equal as doubles but are distinct states; the
+  // digest must see the difference.
+  EXPECT_NE(double_bits(0.0), double_bits(-0.0));
 }
 
 TEST(Log, LevelGate) {

@@ -440,6 +440,23 @@ TEST(Timeline, DigestIsFnvOverSerialisedJson) {
   EXPECT_EQ(t.digest(), obs::fnv1a(obs::kFnvOffset, t.to_json()));
 }
 
+TEST(Metrics, FnvHelpersAreTheSharedCommonDigest) {
+  // The obs names are using-declarations for common/digest.hpp (PR 7) —
+  // same constants, same folds, so digests computed through either spelling
+  // are interchangeable byte for byte.
+  EXPECT_EQ(obs::kFnvOffset, isp::kFnvOffset);
+  EXPECT_EQ(obs::kFnvPrime, isp::kFnvPrime);
+  EXPECT_EQ(obs::fnv1a(obs::kFnvOffset, std::uint64_t{42}),
+            isp::fnv1a(isp::kFnvOffset, std::uint64_t{42}));
+  const std::string s = "serve.latency_s";
+  EXPECT_EQ(obs::fnv1a(obs::kFnvOffset, s), isp::fnv1a(isp::kFnvOffset, s));
+  // The string fold is length-prefixed: size as a u64 word, then the bytes.
+  EXPECT_EQ(isp::fnv1a(isp::kFnvOffset, s),
+            isp::fnv1a_bytes(isp::fnv1a(isp::kFnvOffset, s.size()), s.data(),
+                             s.size()));
+  EXPECT_EQ(obs::double_bits(1.5), isp::double_bits(1.5));
+}
+
 // --- Single-run Chrome-trace backfill ------------------------------------
 
 runtime::ExecutionReport two_line_report() {

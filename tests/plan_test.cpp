@@ -93,6 +93,35 @@ TEST(Equation1, ContentionStretchesTheDeviceSideOnly) {
   EXPECT_GT(shared_link, base);
 }
 
+TEST(Equation1, SideSplitRecombinesBitForBit) {
+  // The serving bid cache recombines a cached device-side core with a fresh
+  // host-side term, so the split must be *exactly* the monolithic profit:
+  // host_side_cost − device_side_cost == net_profit_under_contention, bit
+  // for bit, across contention regimes.
+  const Eq1Terms terms{.ds_raw = gigabytes(6.9),
+                       .ct_host = Seconds{2.0},
+                       .ct_device = Seconds{2.8},
+                       .ds_processed = gigabytes(0.05),
+                       .bw_d2h = gb_per_s(5.0)};
+  const Eq1Contention regimes[] = {
+      {.queue_wait = Seconds::zero(),
+       .cse_availability = 1.0,
+       .link_share = 1.0},
+      {.queue_wait = Seconds{0.75},
+       .cse_availability = 0.37,
+       .link_share = 0.5},
+      {.queue_wait = Seconds{123.456},
+       .cse_availability = 1e-6,
+       .link_share = 0.125},
+  };
+  for (const auto& c : regimes) {
+    const auto recombined = host_side_cost(terms, c) - device_side_cost(terms, c);
+    EXPECT_EQ(recombined.value(),
+              net_profit_under_contention(terms, c).value())
+        << "A=" << c.cse_availability << " share=" << c.link_share;
+  }
+}
+
 TEST(Equation1, ContentionRejectsBadFractions) {
   const Eq1Terms terms{.ds_raw = gigabytes(1.0),
                        .ct_host = Seconds{1.0},

@@ -11,8 +11,10 @@
 #include "obs/metrics.hpp"
 #include "serve/admission.hpp"
 #include "serve/fleet.hpp"
+#include "serve/memo.hpp"
 #include "serve/observe.hpp"
 #include "serve/server.hpp"
+#include "sim/availability.hpp"
 
 namespace {
 
@@ -772,6 +774,256 @@ TEST(ServeObs, DisablingObsChangesNothingButOmitsArtifacts) {
   EXPECT_GT(on.snapshots.rows(), 0u);
   EXPECT_TRUE(off.metrics.empty());
   EXPECT_EQ(off.snapshots.rows(), 0u);
+}
+
+// --- Hot-path caches (PR 7): exactness, eviction, epochs -----------------
+
+/// A saturating config the bid and memo caches actually bite on: deep
+/// queues, offered load past the fleet's capacity, two job classes.
+serve::ServeConfig hot_config(std::size_t fleet, std::uint64_t total_jobs,
+                              unsigned jobs) {
+  serve::ServeConfig config;
+  config.fleet = serve::FleetConfig::make(fleet, 1, 0.0);
+  config.tenants = {serve::TenantConfig{.weight = 1.0, .queue_depth = 16},
+                    serve::TenantConfig{.weight = 2.0, .queue_depth = 16}};
+  config.job_classes = {serve::JobClass{.app = "tpch-q6", .size_factor = 0.1},
+                        serve::JobClass{.app = "kmeans", .size_factor = 0.05}};
+  config.total_jobs = total_jobs;
+  config.offered_load = static_cast<double>(fleet) * 2.0;
+  config.jobs = jobs;
+  return config;
+}
+
+/// The full externally visible surface of a serve run, for byte-for-byte
+/// comparison: JSON report, outcome digest, metrics digest, Perfetto trace.
+void expect_identical(const serve::ServeReport& a,
+                      const serve::ServeReport& b) {
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.metrics.digest(), b.metrics.digest());
+  EXPECT_EQ(serve::to_fleet_trace(a), serve::to_fleet_trace(b));
+}
+
+TEST(ServeHotpath, ByteIdenticalOnVsOffVsSerial) {
+  auto config = hot_config(3, 24, 2);
+  const auto on = serve::serve(config);
+  EXPECT_GT(on.sim_cache_hits, 0u);  // the memo must actually engage
+
+  config.plan_cache = false;
+  config.sim_cache = false;
+  const auto off = serve::serve(config);
+  EXPECT_EQ(off.sim_cache_hits, 0u);
+  EXPECT_EQ(off.bid_cache_hits + off.bid_cache_misses, 0u);
+
+  config.plan_cache = true;
+  config.sim_cache = true;
+  config.jobs = 1;
+  const auto serial = serve::serve(config);
+
+  expect_identical(on, off);
+  expect_identical(on, serial);
+}
+
+TEST(ServeHotpath, EachToggleAloneStaysExact) {
+  auto config = hot_config(3, 24, 2);
+  config.plan_cache = false;
+  config.sim_cache = false;
+  const auto off = serve::serve(config);
+
+  config.plan_cache = true;  // lane index + bid cache only
+  const auto plan_only = serve::serve(config);
+  expect_identical(off, plan_only);
+  EXPECT_EQ(plan_only.sim_cache_hits, 0u);
+
+  config.plan_cache = false;
+  config.sim_cache = true;  // memo cache only
+  const auto sim_only = serve::serve(config);
+  expect_identical(off, sim_only);
+  EXPECT_GT(sim_only.sim_cache_hits, 0u);
+}
+
+TEST(ServeHotpath, ChaosKillAndPowerLossParity) {
+  // The hard case: a device dies mid-run (retries, breaker traffic, lost
+  // attempts) while one job takes a mid-sweep power cut and every job runs
+  // seeded point faults.  Cache on, cache off and serial must still agree
+  // byte for byte.
+  auto config = hot_config(3, 24, 3);
+  config.fault.set_rate_all(0.02);
+  config.kill_devices = {
+      serve::KillDevice{.device = 0, .at = SimTime{3.0}}};
+  config.retry_budget = 2;
+  config.power_loss_job = 5;
+  config.power_loss_after = 3;
+
+  const auto on = serve::serve(config);
+  config.plan_cache = false;
+  config.sim_cache = false;
+  const auto off = serve::serve(config);
+  config.plan_cache = true;
+  config.sim_cache = true;
+  config.jobs = 1;
+  const auto serial = serve::serve(config);
+
+  expect_identical(on, off);
+  expect_identical(on, serial);
+  EXPECT_GT(on.devices_failed, 0u);
+}
+
+TEST(ServeHotpath, TinyMemoCapacityEvictsButStaysExact) {
+  auto config = hot_config(3, 24, 2);
+  const auto roomy = serve::serve(config);
+  config.sim_cache_capacity = 2;
+  const auto tight = serve::serve(config);
+  // FIFO eviction under a two-entry bound: strictly worse hit rate, many
+  // evictions, identical bytes.
+  EXPECT_GT(tight.sim_cache_evictions, 0u);
+  EXPECT_LE(tight.sim_cache_hits, roomy.sim_cache_hits);
+  expect_identical(roomy, tight);
+}
+
+TEST(ServeMemo, FindIsDigestBucketedButKeyVerified) {
+  serve::SimMemoCache cache(4);
+  serve::SimKey key;
+  key.job_class = 1;
+  key.link_share_bits = 42;
+  serve::SimResult r;
+  r.service = Seconds{1.5};
+  r.migrations = 3;
+  cache.insert(key, r);
+  ASSERT_NE(cache.find(key), nullptr);
+  EXPECT_EQ(cache.find(key)->service, Seconds{1.5});
+  EXPECT_EQ(cache.find(key)->migrations, 3u);
+
+  // Any field difference — including only the availability schedule — is a
+  // different key, never a false hit.
+  auto other = key;
+  other.fault_seed = 7;
+  EXPECT_EQ(cache.find(other), nullptr);
+  auto sched = key;
+  sched.schedule = sim::AvailabilitySchedule::constant(0.5);
+  EXPECT_EQ(cache.find(sched), nullptr);
+  EXPECT_NE(key.digest(), sched.digest());
+}
+
+TEST(ServeMemo, FifoEvictionByInsertionOrder) {
+  serve::SimMemoCache cache(2);
+  serve::SimKey a, b, c;
+  a.job_class = 1;
+  b.job_class = 2;
+  c.job_class = 3;
+  serve::SimResult r;
+  cache.insert(a, r);
+  cache.insert(b, r);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.insert(c, r);  // evicts a — the oldest — not b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(a), nullptr);
+  EXPECT_NE(cache.find(b), nullptr);
+  EXPECT_NE(cache.find(c), nullptr);
+}
+
+TEST(ServeMemo, DoubleInsertAndZeroCapacityAreLoudErrors) {
+  EXPECT_THROW(serve::SimMemoCache{0}, Error);
+  serve::SimMemoCache cache(2);
+  serve::SimKey key;
+  cache.insert(key, serve::SimResult{});
+  EXPECT_THROW(cache.insert(key, serve::SimResult{}), Error);
+}
+
+TEST(FleetIndex, EpochsTrackBusyDeathAndGate) {
+  serve::Fleet fleet(serve::FleetConfig::make(2, 1));
+  const auto lane0 = fleet.lane_epoch(0);
+  const auto lane1 = fleet.lane_epoch(1);
+  const auto global = fleet.fleet_epoch();
+
+  fleet.occupy(0, SimTime::zero(), Seconds{1.0});
+  EXPECT_GT(fleet.lane_epoch(0), lane0);
+  EXPECT_EQ(fleet.lane_epoch(1), lane1);  // untouched lane keeps its epoch
+  EXPECT_GT(fleet.fleet_epoch(), global);  // device busy moved the fleet
+
+  // Gate changes bump the lane epoch only when the gate actually moves.
+  const auto before_gate = fleet.lane_epoch(1);
+  fleet.set_gate(1, SimTime::zero());  // already zero: must be a no-op
+  EXPECT_EQ(fleet.lane_epoch(1), before_gate);
+  fleet.set_gate(1, SimTime{2.0});
+  EXPECT_GT(fleet.lane_epoch(1), before_gate);
+
+  // Host lane occupancy moves its lane epoch but not the fleet epoch (host
+  // lanes never draw on the device link).
+  const auto host = fleet.device_count();
+  const auto before_host = fleet.fleet_epoch();
+  fleet.occupy(host, SimTime::zero(), Seconds{1.0});
+  EXPECT_EQ(fleet.fleet_epoch(), before_host);
+
+  const auto before_death = fleet.lane_epoch(1);
+  fleet.mark_dead(1, SimTime{0.5});
+  EXPECT_GT(fleet.lane_epoch(1), before_death);
+}
+
+TEST(FleetIndex, QueriesMatchTheLinearScans) {
+  // Drive a small fleet through occupies, a death, a kill schedule and a
+  // gate, checking every indexed query against its reference scan.
+  serve::Fleet fleet(serve::FleetConfig::make(4, 2, 0.05));
+  fleet.set_kill_at(3, SimTime{2.5});
+  fleet.occupy(0, SimTime::zero(), Seconds{1.0});
+  fleet.occupy(1, SimTime{0.5}, Seconds{2.0});
+  fleet.occupy(3, SimTime::zero(), Seconds{3.0});  // sails past its death
+  fleet.occupy(4, SimTime::zero(), Seconds{0.25});
+  fleet.mark_dead(2, SimTime{1.0});
+  fleet.set_gate(0, SimTime{1.75});
+
+  for (const double t : {0.0, 0.5, 0.9999, 1.0, 1.5, 2.0, 2.5, 3.0, 9.0}) {
+    EXPECT_EQ(fleet.busy_devices_after(SimTime{t}),
+              fleet.busy_devices_after_scan(SimTime{t}))
+        << "t=" << t;
+  }
+
+  const auto reference_earliest = [&](SimTime arrival) {
+    SimTime best = SimTime::infinity();
+    for (std::size_t lane = 0; lane < fleet.lane_count(); ++lane) {
+      if (!fleet.alive(lane)) continue;
+      SimTime start = std::max(fleet.busy_until(lane), arrival);
+      start = std::max(start, fleet.gate(lane));
+      if (start >= fleet.kill_at(lane)) continue;
+      best = std::min(best, start);
+    }
+    return best;
+  };
+  for (const double t : {0.0, 0.5, 1.0, 1.9, 2.6, 4.0}) {
+    EXPECT_EQ(fleet.earliest_feasible_start(SimTime{t}),
+              reference_earliest(SimTime{t}))
+        << "arrival=" << t;
+  }
+
+  const auto reference_next_free = [&](const std::vector<bool>& claimed) {
+    SimTime best = SimTime::infinity();
+    for (std::size_t lane = 0; lane < fleet.lane_count(); ++lane) {
+      if (claimed[lane] || !fleet.alive(lane)) continue;
+      if (fleet.busy_until(lane) >= fleet.kill_at(lane)) continue;
+      best = std::min(best, fleet.busy_until(lane));
+    }
+    return best;
+  };
+  std::vector<bool> claimed(fleet.lane_count(), false);
+  EXPECT_EQ(fleet.next_free(claimed), reference_next_free(claimed));
+  claimed[4] = true;  // claim one host lane
+  claimed[0] = true;
+  EXPECT_EQ(fleet.next_free(claimed), reference_next_free(claimed));
+  claimed.assign(fleet.lane_count(), true);
+  EXPECT_EQ(fleet.next_free(claimed), SimTime::infinity());
+}
+
+TEST(FleetIndex, DoomedLaneNeverSchedulesAgain) {
+  serve::Fleet fleet(serve::FleetConfig::make(2, 0));
+  fleet.occupy(0, SimTime::zero(), Seconds{5.0});
+  fleet.set_kill_at(0, SimTime{2.0});  // already committed past its death
+  // Lane 0 is doomed: every feasibility query must route around it.
+  EXPECT_EQ(fleet.earliest_feasible_start(SimTime{0.0}), SimTime::zero());
+  std::vector<bool> claimed(fleet.lane_count(), false);
+  claimed[1] = true;
+  EXPECT_EQ(fleet.next_free(claimed), SimTime::infinity());
 }
 
 }  // namespace

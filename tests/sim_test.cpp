@@ -172,6 +172,38 @@ TEST(Availability, RebasedPreservesFinishTimes) {
   }
 }
 
+TEST(Availability, EqualityIgnoresTheQueryCursor) {
+  const auto a = AvailabilitySchedule::steps(
+      {{SimTime::zero(), 1.0}, {SimTime{2.0}, 0.5}});
+  auto b = a;
+  // Move b's cached query cursor to the last segment; the schedules are
+  // still the same piecewise function, so they must still compare equal
+  // and digest identically (the serving memo cache depends on this).
+  (void)b.fraction_at(SimTime{10.0});
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.digest(0x1234), b.digest(0x1234));
+
+  const auto c = AvailabilitySchedule::steps(
+      {{SimTime::zero(), 1.0}, {SimTime{2.0}, 0.25}});
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.digest(0x1234), c.digest(0x1234));
+  // Default-constructed means fully available forever — equal to the
+  // explicit constant(1.0), not to any stepped schedule.
+  EXPECT_TRUE(AvailabilitySchedule{} == AvailabilitySchedule::constant(1.0));
+  EXPECT_FALSE(AvailabilitySchedule{} == a);
+}
+
+TEST(Availability, DigestSeparatesTimeFromFraction) {
+  // (t=0, f=1), (t=1, f=0.5) vs (t=0, f=1), (t=0.5, f=1): same multiset of
+  // doubles in different roles must not collide (the fold interleaves
+  // time-bits then fraction-bits per step).
+  const auto a = AvailabilitySchedule::steps(
+      {{SimTime::zero(), 1.0}, {SimTime{1.0}, 0.5}});
+  const auto b = AvailabilitySchedule::steps(
+      {{SimTime::zero(), 1.0}, {SimTime{0.5}, 1.0}});
+  EXPECT_NE(a.digest(0), b.digest(0));
+}
+
 TEST(Availability, RejectsBadInputs) {
   EXPECT_THROW(AvailabilitySchedule::constant(1.5), Error);
   EXPECT_THROW(AvailabilitySchedule::constant(-0.1), Error);
