@@ -1,16 +1,40 @@
 #include "csd/device.hpp"
 
+#include "common/error.hpp"
+#include "zns/zns.hpp"
+
 namespace isp::csd {
+
+namespace {
+
+std::unique_ptr<flash::StorageBackend> make_storage(const CsdConfig& config) {
+  switch (config.backend) {
+    case flash::BackendKind::Ftl:
+      return std::make_unique<flash::Ftl>(
+          flash::FtlConfig{.geometry = config.nand_geometry,
+                           .overprovision = config.ftl_overprovision,
+                           .journal = config.ftl_journal});
+    case flash::BackendKind::Zns:
+      return std::make_unique<zns::ZnsDevice>(
+          zns::ZnsConfig{.geometry = config.nand_geometry,
+                         .zone_blocks = config.zns_zone_blocks,
+                         .max_open_zones = config.zns_max_open_zones,
+                         .overprovision = config.ftl_overprovision,
+                         .journal = config.ftl_journal});
+  }
+  ISP_CHECK(false, "unknown storage backend kind: "
+                       << static_cast<unsigned>(config.backend));
+  return nullptr;
+}
+
+}  // namespace
 
 CsdDevice::CsdDevice(sim::Simulator& simulator, CsdConfig config)
     : config_(config),
       cse_(config.cse),
       flash_(config.nand_geometry, config.nand_timing),
-      ftl_(std::make_unique<flash::Ftl>(
-          flash::FtlConfig{.geometry = config.nand_geometry,
-                           .overprovision = config.ftl_overprovision,
-                           .journal = config.ftl_journal})),
-      controller_(simulator, flash_, ftl_.get(), config.controller),
+      storage_(make_storage(config)),
+      controller_(simulator, flash_, storage_.get(), config.controller),
       io_queue_(/*id=*/1, config.queue_depth),
       call_queue_(config.call_queue_depth),
       status_queue_(config.status_queue_depth) {}
@@ -21,7 +45,7 @@ Seconds CsdDevice::call_overhead() const {
 }
 
 void CsdDevice::apply_gc_pressure() {
-  const double pressure = ftl_->gc_pressure();
+  const double pressure = storage_->gc_pressure();
   flash_.set_availability(
       sim::AvailabilitySchedule::constant(1.0 - pressure));
 }
@@ -30,9 +54,9 @@ PowerCycleOutcome CsdDevice::power_cycle() {
   PowerCycleOutcome out;
   out.commands_requeued = controller_.power_cycle();
   cse_.reset_counters();  // perf counters are volatile
-  if (ftl_->journaling() && ftl_->mounted()) {
-    out.crash = ftl_->power_loss();
-    out.recovery = ftl_->recover();
+  if (storage_->journaling() && storage_->mounted()) {
+    out.crash = storage_->power_loss();
+    out.recovery = storage_->recover();
     out.remount_time =
         config_.nand_timing.page_read *
         static_cast<double>(out.recovery.media_reads());

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "csd/cse.hpp"
+#include "flash/backend.hpp"
 #include "flash/flash_array.hpp"
 #include "flash/ftl.hpp"
 #include "mem/address_space.hpp"
@@ -19,11 +20,18 @@ struct CsdConfig {
   CseConfig cse;
   flash::NandGeometry nand_geometry;
   flash::NandTiming nand_timing;
+  /// Which storage-management model the device runs (flash/backend.hpp):
+  /// the page-mapped FTL with device-side GC, or the zoned namespace with
+  /// append-only zones and host-coordinated reclaim.
+  flash::BackendKind backend = flash::BackendKind::Ftl;
   double ftl_overprovision = 0.125;
-  /// The device FTL journals its metadata by default: a real CSD must
+  /// The device backend journals its metadata by default: a real CSD must
   /// survive power loss.  (A bare Ftl constructed directly stays
   /// journal-free, so existing unit tests and cost models are unchanged.)
   flash::FtlJournalConfig ftl_journal{.enabled = true};
+  /// ZNS-only shape knobs (ignored by the FTL backend).
+  std::uint32_t zns_zone_blocks = 8;
+  std::uint32_t zns_max_open_zones = 6;
   Bytes device_dram = 8_GiB;
   std::uint32_t queue_depth = 64;
   std::uint32_t call_queue_depth = 64;
@@ -33,10 +41,10 @@ struct CsdConfig {
 
 /// What one whole-device power cycle did and cost.
 struct PowerCycleOutcome {
-  std::uint64_t commands_requeued = 0;  // aborted + requeued NVMe commands
-  flash::FtlCrash crash;                // volatile FTL state lost
-  flash::FtlRecovery recovery;          // remount replay/scan statistics
-  Seconds remount_time;                 // recovery media reads × page_read
+  std::uint64_t commands_requeued = 0;   // aborted + requeued NVMe commands
+  flash::StorageCrash crash;             // volatile backend state lost
+  flash::StorageRecovery recovery;       // remount replay/scan statistics
+  Seconds remount_time;                  // recovery media reads × page_read
 };
 
 class CsdDevice {
@@ -47,7 +55,12 @@ class CsdDevice {
   [[nodiscard]] const Cse& cse() const { return cse_; }
   [[nodiscard]] flash::FlashArray& flash_array() { return flash_; }
   [[nodiscard]] const flash::FlashArray& flash_array() const { return flash_; }
-  [[nodiscard]] flash::Ftl& ftl() { return *ftl_; }
+  /// The storage-management backend behind the pluggable seam (FTL or ZNS,
+  /// per CsdConfig::backend).
+  [[nodiscard]] flash::StorageBackend& storage() { return *storage_; }
+  [[nodiscard]] const flash::StorageBackend& storage() const {
+    return *storage_;
+  }
   [[nodiscard]] nvme::Controller& controller() { return controller_; }
   [[nodiscard]] nvme::QueuePair& io_queue() { return io_queue_; }
   [[nodiscard]] nvme::CallQueue& call_queue() { return call_queue_; }
@@ -58,13 +71,14 @@ class CsdDevice {
   /// fetch plus completion post (the paper's NVMe-style short-latency call).
   [[nodiscard]] Seconds call_overhead() const;
 
-  /// Fold GC pressure into the flash array's availability: when the FTL is
-  /// relocating pages, ISP reads see a derated internal bandwidth.
+  /// Fold reclaim pressure into the flash array's availability: when the
+  /// backend is relocating pages (FTL GC or ZNS copy-forward), ISP reads see
+  /// a derated internal bandwidth.
   void apply_gc_pressure();
 
   /// Whole-device power cycle: reset the NVMe controller (in-flight
   /// commands complete with Status::Aborted and are requeued by the host),
-  /// clear the CSE's volatile state, crash and remount the FTL
+  /// clear the CSE's volatile state, crash and remount the storage backend
   /// (checkpoint + journal replay, OOB tail scan).  Returns the outcome;
   /// remount_time converts the remount's media reads through NandTiming.
   /// The controller is left quiescent — the recovery orchestration calls
@@ -75,7 +89,7 @@ class CsdDevice {
   CsdConfig config_;
   Cse cse_;
   flash::FlashArray flash_;
-  std::unique_ptr<flash::Ftl> ftl_;
+  std::unique_ptr<flash::StorageBackend> storage_;
   nvme::Controller controller_;
   nvme::QueuePair io_queue_;
   nvme::CallQueue call_queue_;

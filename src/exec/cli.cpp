@@ -110,6 +110,32 @@ bool on_off_flag(int argc, char** argv, const char* name, bool fallback) {
   return *v;
 }
 
+std::optional<std::size_t> parse_enum(
+    const char* text, const std::vector<const char*>& choices) {
+  if (text == nullptr || text[0] == '\0') return std::nullopt;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (std::strcmp(text, choices[i]) == 0) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t enum_flag(int argc, char** argv, const char* name,
+                      const std::vector<const char*>& choices,
+                      std::size_t fallback) {
+  const char* text = flag_value(argc, argv, name);
+  if (text == nullptr) return fallback;
+  const auto v = parse_enum(text, choices);
+  if (!v.has_value()) {
+    std::string accepted;
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      if (i > 0) accepted += "|";
+      accepted += choices[i];
+    }
+    die(std::string(name) + ": '" + text + "' is not one of " + accepted);
+  }
+  return *v;
+}
+
 std::optional<KillSpec> parse_kill_spec(const char* text) {
   if (text == nullptr || text[0] == '\0') return std::nullopt;
   const char* sep = std::strchr(text, '@');

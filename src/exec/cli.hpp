@@ -53,6 +53,21 @@ namespace isp::exec {
 [[nodiscard]] bool on_off_flag(int argc, char** argv, const char* name,
                                bool fallback);
 
+/// Parse an enumerated flag value against a closed choice list: exact match
+/// only — no case folding, no prefixes, no aliases.  Returns the index into
+/// `choices` or nullopt on anything else, nullptr and empty strings
+/// included (pure — unit-testable without exiting).
+[[nodiscard]] std::optional<std::size_t> parse_enum(
+    const char* text, const std::vector<const char*>& choices);
+
+/// Parse `--name V` (or `--name=V`) where V must be exactly one of
+/// `choices`.  Returns the index of the matched choice, or `fallback` when
+/// the flag is absent.  Exits with status 2 on a missing value or a value
+/// not in the list, printing the accepted spellings.
+[[nodiscard]] std::size_t enum_flag(int argc, char** argv, const char* name,
+                                    const std::vector<const char*>& choices,
+                                    std::size_t fallback);
+
 /// One `--kill-device k@t` entry: device index `k` dies permanently at
 /// fleet-virtual-time `t` seconds.
 struct KillSpec {

@@ -17,6 +17,8 @@ void FtlStats::record_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("ftl.checkpoint_folds").add(checkpoint_folds);
   registry.counter("ftl.blocks_retired").add(blocks_retired);
   registry.counter("ftl.recoveries").add(recoveries);
+  registry.gauge("ftl.free_pages").set(static_cast<double>(free_pages));
+  registry.gauge("ftl.wa").set(write_amplification());
   if (host_writes > 0) {
     registry
         .histogram("ftl.write_amplification",
@@ -78,6 +80,8 @@ Ftl::Ftl(FtlConfig config) : config_(config) {
 
   active_block_ = allocate_free_block();
   gc_active_block_ = allocate_free_block();
+  stats_.free_pages =
+      static_cast<std::uint64_t>(g.total_blocks()) * g.pages_per_block;
 }
 
 Ppn Ftl::block_first_page(std::uint64_t block) const {
@@ -120,6 +124,8 @@ Ppn Ftl::append_to_active(bool for_gc) {
   Block& blk = blocks_[active];
   const Ppn ppn = block_first_page(active) + blk.next_free_page;
   ++blk.next_free_page;
+  ISP_DCHECK(stats_.free_pages > 0, "free-page gauge underflow");
+  --stats_.free_pages;
   return ppn;
 }
 
@@ -252,6 +258,8 @@ void Ftl::retire_block(std::uint64_t block) {
   } else if (had_data) {
     ++stats_.erases;  // decommission erase of a programmed block
   }
+  // The retired block's unwritten remainder leaves the writable pool.
+  stats_.free_pages -= g.pages_per_block - blocks_[block].next_free_page;
   if (!media_.empty()) {
     for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
       media_[first + p] = std::nullopt;
@@ -314,6 +322,7 @@ void Ftl::garbage_collect() {
     ++free_count_;
     if (victim < free_scan_hint_) free_scan_hint_ = victim;
     ++stats_.erases;
+    stats_.free_pages += pages_per_block;  // the erase frees the whole block
   }
 }
 
@@ -486,6 +495,13 @@ FtlRecovery Ftl::recover() {
     ++stats_.erases;
   }
 
+  // Rebuild the free-page gauge from the recovered block states.
+  stats_.free_pages = 0;
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    if (retired_[b]) continue;
+    stats_.free_pages += pages_per_block - blocks_[b].next_free_page;
+  }
+
   ++stats_.recoveries;
   // The remount contract: every invariant holds before the first IO.
   check_invariants();
@@ -552,6 +568,15 @@ void Ftl::check_invariants() const {
   // Free + in-use + retired partition the array.
   ISP_CHECK(free_seen + retired_seen <= blocks_.size(),
             "block partition overflow");
+  // The exported free-page gauge equals the recomputed truth.
+  std::uint64_t free_pages = 0;
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    if (retired_[b]) continue;
+    free_pages += pages_per_block - blocks_[b].next_free_page;
+  }
+  ISP_CHECK(free_pages == stats_.free_pages,
+            "free-page gauge drifted: " << stats_.free_pages << " != "
+                                        << free_pages);
 }
 
 }  // namespace isp::flash

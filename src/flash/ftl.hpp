@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "flash/backend.hpp"
 #include "flash/nand.hpp"
 
 namespace isp::obs {
@@ -41,20 +42,8 @@ class MetricsRegistry;
 
 namespace isp::flash {
 
-using Lpn = std::uint64_t;  // logical page number
-using Ppn = std::uint64_t;  // physical page number
-
-/// Durable-metadata knobs.  Disabled by default so a bare Ftl behaves (and
-/// costs) exactly as before; CsdDevice enables it for the whole device.
-struct FtlJournalConfig {
-  bool enabled = false;
-  /// One mapping update in the journal (lpn + ppn/trim + sequence).
-  std::uint32_t entry_bytes = 16;
-  /// One map slot in a checkpoint page.
-  std::uint32_t checkpoint_entry_bytes = 8;
-  /// Fold the journal into a fresh checkpoint after this many journal pages.
-  std::uint32_t checkpoint_interval_pages = 64;
-};
+/// Pre-seam name for the shared journal knobs (flash/backend.hpp).
+using FtlJournalConfig = JournalConfig;
 
 struct FtlConfig {
   NandGeometry geometry;
@@ -76,6 +65,10 @@ struct FtlStats {
   std::uint64_t checkpoint_folds = 0;
   std::uint64_t blocks_retired = 0;
   std::uint64_t recoveries = 0;    // successful remounts after power loss
+  /// Data pages writable without further GC right now: pages in free blocks
+  /// plus the unwritten tails of the open append blocks.  Maintained
+  /// incrementally by the Ftl so record_metrics can export it as a gauge.
+  std::uint64_t free_pages = 0;
 
   /// Metadata persistence is real write traffic: it amplifies exactly like
   /// GC relocation does.
@@ -91,47 +84,29 @@ struct FtlStats {
   void record_metrics(obs::MetricsRegistry& registry) const;
 };
 
-/// What a power cut destroys: the buffered journal tail that was never
-/// programmed.  Writes and relocations in the tail are still recoverable
-/// from the data pages' OOB metadata; buffered trims are genuinely lost
-/// (the recovered map may resurrect them).
-struct FtlCrash {
-  std::uint64_t lost_tail_updates = 0;
-  std::uint64_t lost_trims = 0;
-};
+/// Pre-seam names for the shared crash/recovery ladder (flash/backend.hpp).
+using FtlCrash = StorageCrash;
+using FtlRecovery = StorageRecovery;
 
-/// Cost and outcome of one remount.  Media reads are reported as counts so
-/// the caller can convert with its NandTiming (the FTL itself is untimed).
-struct FtlRecovery {
-  std::uint64_t checkpoint_pages_read = 0;
-  std::uint64_t journal_pages_read = 0;
-  std::uint64_t journal_entries_replayed = 0;
-  std::uint64_t blocks_scanned = 0;   // OOB scan of blocks newer than journal
-  std::uint64_t pages_scanned = 0;
-  std::uint64_t mappings_recovered = 0;  // live map entries after remount
-  std::uint64_t tail_updates_rescued = 0;  // recovered from OOB, not journal
-  std::uint64_t stale_mappings_dropped = 0;
-
-  [[nodiscard]] std::uint64_t media_reads() const {
-    return checkpoint_pages_read + journal_pages_read + pages_scanned;
-  }
-};
-
-class Ftl {
+class Ftl final : public StorageBackend {
  public:
   explicit Ftl(FtlConfig config);
 
+  [[nodiscard]] BackendKind kind() const override { return BackendKind::Ftl; }
+
   /// Number of logical pages exposed.
-  [[nodiscard]] std::uint64_t logical_pages() const { return logical_pages_; }
+  [[nodiscard]] std::uint64_t logical_pages() const override {
+    return logical_pages_;
+  }
 
   /// Write one logical page (out of place). May trigger GC.
-  void write(Lpn lpn);
+  void write(Lpn lpn) override;
 
   /// Physical location of a logical page, if it has ever been written.
-  [[nodiscard]] std::optional<Ppn> translate(Lpn lpn) const;
+  [[nodiscard]] std::optional<Ppn> translate(Lpn lpn) const override;
 
   /// Trim: drop the mapping, invalidating the physical page.
-  void trim(Lpn lpn);
+  void trim(Lpn lpn) override;
 
   /// Decommission a block (grown-bad media): relocate its valid pages, add
   /// it to the durable bad-block table, and exclude it from allocation
@@ -144,8 +119,10 @@ class Ftl {
   [[nodiscard]] std::uint32_t retired_blocks() const { return retired_count_; }
   [[nodiscard]] std::uint64_t total_blocks() const { return blocks_.size(); }
 
-  [[nodiscard]] bool journaling() const { return config_.journal.enabled; }
-  [[nodiscard]] bool mounted() const { return mounted_; }
+  [[nodiscard]] bool journaling() const override {
+    return config_.journal.enabled;
+  }
+  [[nodiscard]] bool mounted() const override { return mounted_; }
   /// Mapping updates buffered in the volatile journal tail right now.
   [[nodiscard]] std::uint64_t journal_tail_updates() const {
     return journal_buf_.size();
@@ -155,23 +132,40 @@ class Ftl {
   /// buffered journal tail) is gone.  Requires journal mode.  Every call
   /// except recover(), stats() and the config accessors is invalid until
   /// the remount completes.
-  FtlCrash power_loss();
+  FtlCrash power_loss() override;
 
   /// Remount after power_loss(): replay checkpoint + journal, OOB-scan the
   /// blocks written since the last durable journal page, rebuild the
   /// reverse map and per-block valid counts, re-open the partially written
   /// blocks, and re-verify every invariant.
-  FtlRecovery recover();
+  FtlRecovery recover() override;
 
   /// Fraction of array bandwidth background storage management has consumed
   /// over the run so far: relocated + metadata traffic relative to all
   /// write traffic.  Used to derate the internal bandwidth visible to ISP
   /// tasks.
-  [[nodiscard]] double gc_pressure() const;
+  [[nodiscard]] double gc_pressure() const override;
+
+  [[nodiscard]] double write_amplification() const override {
+    return stats_.write_amplification();
+  }
+
+  [[nodiscard]] StorageCounters counters() const override {
+    return StorageCounters{.host_pages = stats_.host_writes,
+                           .reclaim_pages = stats_.gc_writes,
+                           .meta_pages = stats_.meta_writes,
+                           .resets = stats_.erases,
+                           .reclaim_events = stats_.gc_invocations,
+                           .recoveries = stats_.recoveries};
+  }
+
+  void record_metrics(obs::MetricsRegistry& registry) const override {
+    stats_.record_metrics(registry);
+  }
 
   /// Validate every invariant; throws isp::Error on violation.  Cheap enough
   /// to call from property tests after every operation.
-  void check_invariants() const;
+  void check_invariants() const override;
 
  private:
   struct Block {

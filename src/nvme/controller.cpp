@@ -8,8 +8,8 @@
 namespace isp::nvme {
 
 Controller::Controller(sim::Simulator& simulator, flash::FlashArray& array,
-                       flash::Ftl* ftl, ControllerConfig config)
-    : simulator_(&simulator), array_(&array), ftl_(ftl), config_(config) {}
+                       flash::StorageBackend* storage, ControllerConfig config)
+    : simulator_(&simulator), array_(&array), storage_(storage), config_(config) {}
 
 void Controller::ring_doorbell(QueuePair& qp) {
   if (std::find(queues_.begin(), queues_.end(), &qp) == queues_.end()) {
@@ -63,10 +63,10 @@ void Controller::process_next() {
 
   switch (entry->opcode) {
     case Opcode::Read: {
-      if (ftl_ != nullptr) {
+      if (storage_ != nullptr) {
         // Validate the mapping exists; timing itself is bulk-analytic.
         for (std::uint32_t i = 0; i < entry->length_pages; ++i) {
-          if (!ftl_->translate(entry->lba + i).has_value()) {
+          if (!storage_->translate(entry->lba + i).has_value()) {
             status = Status::Error;
             break;
           }
@@ -83,9 +83,9 @@ void Controller::process_next() {
       break;
     }
     case Opcode::Write: {
-      if (ftl_ != nullptr) {
+      if (storage_ != nullptr) {
         for (std::uint32_t i = 0; i < entry->length_pages; ++i) {
-          ftl_->write(entry->lba + i);
+          storage_->write(entry->lba + i);
         }
       }
       array_->note_write(io_bytes);

@@ -14,8 +14,8 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "flash/backend.hpp"
 #include "flash/flash_array.hpp"
-#include "flash/ftl.hpp"
 #include "nvme/queue.hpp"
 #include "sim/simulator.hpp"
 
@@ -33,7 +33,7 @@ class Controller {
   using ExecHook = std::function<Seconds(const SubmissionEntry&)>;
 
   Controller(sim::Simulator& simulator, flash::FlashArray& array,
-             flash::Ftl* ftl, ControllerConfig config = {});
+             flash::StorageBackend* storage, ControllerConfig config = {});
 
   /// Host writes the SQ tail doorbell: register the queue pair (first time)
   /// and start (or continue) processing.
@@ -92,7 +92,7 @@ class Controller {
 
   sim::Simulator* simulator_;
   flash::FlashArray* array_;
-  flash::Ftl* ftl_;
+  flash::StorageBackend* storage_;
   ControllerConfig config_;
   ExecHook exec_hook_;
   std::vector<QueuePair*> queues_;

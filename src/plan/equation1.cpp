@@ -23,8 +23,8 @@ Seconds host_side_cost(const Eq1Terms& terms, const Eq1Contention& c) {
 
 Seconds device_side_cost(const Eq1Terms& terms, const Eq1Contention& c) {
   const BytesPerSecond bw = terms.bw_d2h * c.link_share;
-  return c.queue_wait + terms.ct_device / c.cse_availability +
-         terms.ds_processed / bw;
+  return c.queue_wait + c.reclaim_wait + c.persist_cost +
+         terms.ct_device / c.cse_availability + terms.ds_processed / bw;
 }
 
 Seconds net_profit_under_contention(const Eq1Terms& terms,
@@ -35,6 +35,10 @@ Seconds net_profit_under_contention(const Eq1Terms& terms,
             "CSE availability out of (0,1]: " << c.cse_availability);
   ISP_CHECK(c.link_share > 0.0 && c.link_share <= 1.0,
             "link share out of (0,1]: " << c.link_share);
+  ISP_CHECK(c.reclaim_wait.value() >= 0.0,
+            "reclaim wait must be non-negative");
+  ISP_CHECK(c.persist_cost.value() >= 0.0,
+            "persist cost must be non-negative");
   return host_side_cost(terms, c) - device_side_cost(terms, c);
 }
 

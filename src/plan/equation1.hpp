@@ -41,12 +41,24 @@ struct Eq1Contention {
   /// Fraction of the host link's bandwidth this device's traffic gets,
   /// in (0, 1].
   double link_share = 1.0;
+  /// Storage-management stall the job is expected to ride out on the
+  /// device: backend reclaim work (FTL GC relocation / ZNS copy-forward
+  /// plus metadata programs) that its own persisted writes will trigger or
+  /// contend with.  Backend-specific: a zoned device with host-coordinated
+  /// reclaim prices a smaller term than a page-mapped FTL under the same
+  /// write mix.  Zero for jobs that persist nothing.
+  Seconds reclaim_wait;
+  /// Device-side cost of pushing the job's persisted output through the
+  /// backend's write path (appends × write amplification at NAND program
+  /// cost).  Zero for jobs that persist nothing.
+  Seconds persist_cost;
 };
 
 /// Equation 1 with the device-side terms inflated by contention:
 ///
 ///   S' = (DS_raw / BW' + CT_host)
-///        − (W_queue + CT_device / A_cse + DS_processed / BW')
+///        − (W_queue + W_reclaim + C_persist + CT_device / A_cse
+///           + DS_processed / BW')
 ///
 /// with BW' = BW_D2H × link_share and A_cse the CSE fraction left.  Collapses
 /// to net_profit() when the contention terms are neutral.

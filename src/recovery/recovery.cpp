@@ -53,7 +53,7 @@ CrashSweepResult crash_sweep(const ir::Program& program, const ir::Plan& plan,
 
   // Reference run: same mode and engine options, no faults at all.
   {
-    system::SystemModel system;
+    system::SystemModel system(options.system);
     auto store = program.make_store();
     runtime::EngineOptions opts = options.engine;
     opts.fault = fault::FaultConfig{};
@@ -67,7 +67,7 @@ CrashSweepResult crash_sweep(const ir::Program& program, const ir::Plan& plan,
   // (k·stride + 1)-th PowerLoss opportunity.  Everything mutable lives
   // inside the call, so points can run on any thread in any order.
   const auto run_point = [&](std::uint64_t k) {
-    system::SystemModel system;
+    system::SystemModel system(options.system);
     auto store = program.make_store();
     runtime::EngineOptions opts = options.engine;
     opts.fault = fault::FaultConfig{};
@@ -92,11 +92,12 @@ CrashSweepResult crash_sweep(const ir::Program& program, const ir::Plan& plan,
     point.total = report.total;
     point.recovery_overhead = report.recovery_overhead;
 
-    auto& ftl = system.csd_device().ftl();
-    point.ftl_recoveries = ftl.stats().recoveries;
+    auto& storage = system.csd_device().storage();
+    point.ftl_recoveries = storage.counters().recoveries;
     try {
-      ftl.check_invariants();
-      point.ftl_invariants_ok = ftl.mounted() && point.ftl_recoveries >= 1;
+      storage.check_invariants();
+      point.ftl_invariants_ok =
+          storage.mounted() && point.ftl_recoveries >= 1;
     } catch (const Error&) {
       point.ftl_invariants_ok = false;
     }

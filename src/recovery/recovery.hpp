@@ -23,6 +23,7 @@
 #include "ir/plan.hpp"
 #include "ir/program.hpp"
 #include "runtime/engine.hpp"
+#include "system/config.hpp"
 
 namespace isp::recovery {
 
@@ -59,6 +60,10 @@ struct CrashSweepOptions {
   unsigned jobs = 1;
   /// Base engine options; the fault plan is overwritten per point.
   runtime::EngineOptions engine;
+  /// Platform every point runs on.  The crash sweep exercises whichever
+  /// storage backend this selects (CsdConfig::backend), so the same sweep
+  /// validates FTL journal replay and ZNS zone recovery.
+  system::SystemConfig system = system::SystemConfig::paper_platform();
 };
 
 struct CrashSweepResult {

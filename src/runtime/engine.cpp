@@ -18,7 +18,7 @@ namespace {
 /// one (asserted by serve_test and bench/obs_overhead).
 void record_run_metrics(obs::MetricsRegistry& m, const ExecutionReport& report,
                         std::uint64_t monitor_lost_updates,
-                        const flash::FtlStats& ftl) {
+                        const flash::StorageBackend& storage) {
   m.counter("engine.runs").add();
   for (const auto& line : report.lines) {
     m.counter(line.placement == ir::Placement::Csd ? "engine.lines.csd"
@@ -54,7 +54,14 @@ void record_run_metrics(obs::MetricsRegistry& m, const ExecutionReport& report,
   if (report.faults.penalty.value() > 0.0) {
     m.histogram("fault.penalty_s").record(report.faults.penalty);
   }
-  ftl.record_metrics(m);
+  if (report.storage.driven && report.storage.reclaim_time.value() > 0.0) {
+    m.histogram("engine.reclaim_stall_s").record(report.storage.reclaim_time);
+  }
+  // Backend stats only when the run actually drove the backend: an idle
+  // backend is pristine state, and recording its (kind-specific) zero
+  // counters would make a persist-free run's metric schema depend on
+  // whether the device happens to be FTL or ZNS.
+  if (report.storage.driven) storage.record_metrics(m);
 }
 
 using interconnect::TransferKind;
@@ -214,33 +221,51 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
     return done;
   };
 
-  // ---- Power loss ------------------------------------------------------
-  // Only armed when the PowerLoss site has a rate: the engine then drives
-  // the device FTL for real (datasets mounted as logical writes, result
-  // write-back journalled), so crashes have durable metadata to recover
-  // from, and every line start / CSD chunk boundary becomes a crash
-  // opportunity.  At rate zero none of this executes and the run is
-  // bit-for-bit identical to the fault-free engine, FtlStats included.
+  // ---- Storage backend -------------------------------------------------
+  // Armed when the PowerLoss site has a rate (crashes need durable metadata
+  // to recover from) or when options.drive_storage asks for it explicitly:
+  // the engine then drives the device's storage backend for real (datasets
+  // mounted as logical writes, result write-back through the mapping
+  // machinery), and every line start / CSD chunk boundary becomes a crash
+  // opportunity when armed.  With both off none of this executes and the
+  // run is bit-for-bit identical to the fault-free engine, backend stats
+  // included.
   const bool power_loss_on =
       injector != nullptr && fcfg.rate(fault::Site::PowerLoss) > 0.0 &&
-      csd.ftl().journaling();
-  flash::Ftl* ftl = power_loss_on ? &csd.ftl() : nullptr;
+      csd.storage().journaling();
+  const bool storage_on = power_loss_on || options.drive_storage;
+  flash::StorageBackend* backend = storage_on ? &csd.storage() : nullptr;
+  const flash::StorageCounters storage_base =
+      backend != nullptr ? backend->counters() : flash::StorageCounters{};
   std::uint64_t wb_cursor = 0;
-  if (ftl != nullptr && ftl->mounted()) {
-    // Mount the program's storage datasets: their pages become live FTL
-    // mappings, charged as host writes (journal + checkpoint traffic shows
-    // up in FtlStats and write amplification exactly like data does).
+  if (backend != nullptr && backend->mounted()) {
+    // Mount the program's storage datasets: their pages become live
+    // mappings, charged as host writes (journal/checkpoint or zone-append
+    // traffic shows up in the backend stats and write amplification exactly
+    // like data does).
     const auto page = flash.geometry().page_bytes.count();
     for (const auto& name : dataset_names) {
       const auto& obj = store.at(name);
       const std::uint64_t pages =
           (obj.virtual_bytes.count() + page - 1) / page;
       for (std::uint64_t p = 0; p < pages; ++p) {
-        ftl->write(wb_cursor % ftl->logical_pages());
+        backend->write(wb_cursor % backend->logical_pages());
         ++wb_cursor;
       }
     }
   }
+  // In drive_storage mode the backend-internal traffic a write-back
+  // triggers (reclaim copies, metadata programs, erases) stalls the device
+  // for real.  Serial NAND conversion, matching the remount-time model.
+  auto reclaim_stall = [&](const flash::StorageCounters& before) {
+    const auto after = backend->counters();
+    const std::uint64_t internal =
+        (after.reclaim_pages - before.reclaim_pages) +
+        (after.meta_pages - before.meta_pages);
+    const std::uint64_t resets = after.resets - before.resets;
+    return flash.timing().page_program * static_cast<double>(internal) +
+           flash.timing().block_erase * static_cast<double>(resets);
+  };
   // One whole-device power cycle: NVMe reset (in-flight commands abort and
   // requeue), CSE/firmware state cleared, FTL crash + remount.  Device DRAM
   // does not survive, so the code image must be redistributed and device-
@@ -736,14 +761,25 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
         rec.access += done - t;
         t = done;
       }
-      if (ftl != nullptr && ftl->mounted()) {
-        // Persisted pages go through the FTL: mapping updates hit the
-        // journal, and the metadata traffic amplifies the write like GC.
+      if (backend != nullptr && backend->mounted()) {
+        // Persisted pages go through the backend's mapping machinery: FTL
+        // journal updates or ZNS zone appends, either of which can trigger
+        // reclaim.  In drive_storage mode that internal traffic stalls the
+        // device here, at the write-back that caused it.
         const auto page = flash.geometry().page_bytes.count();
         const std::uint64_t pages = (rec.out_bytes.count() + page - 1) / page;
+        const auto before = backend->counters();
         for (std::uint64_t p = 0; p < pages; ++p) {
-          ftl->write(wb_cursor % ftl->logical_pages());
+          backend->write(wb_cursor % backend->logical_pages());
           ++wb_cursor;
+        }
+        if (options.drive_storage) {
+          const Seconds stall = reclaim_stall(before);
+          if (stall.value() > 0.0) {
+            rec.access += stall;
+            report.storage.reclaim_time += stall;
+            t += stall;
+          }
         }
       }
     }
@@ -811,10 +847,26 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
     report.faults = injector->summary();
     report.fault_records = injector->records();
   }
+  if (backend != nullptr) {
+    // Per-run deltas: what THIS run pushed through the backend, so memoised
+    // replays of the same dispatch report identical activity regardless of
+    // device history.
+    const auto after = backend->counters();
+    report.storage.driven = true;
+    report.storage.backend = backend->kind();
+    report.storage.host_pages = after.host_pages - storage_base.host_pages;
+    report.storage.reclaim_pages =
+        after.reclaim_pages - storage_base.reclaim_pages;
+    report.storage.meta_pages = after.meta_pages - storage_base.meta_pages;
+    report.storage.resets = after.resets - storage_base.resets;
+    report.storage.reclaim_events =
+        after.reclaim_events - storage_base.reclaim_events;
+    report.storage.write_amplification =
+        report.storage.run_write_amplification();
+  }
   if (options.metrics != nullptr) {
     record_run_metrics(*options.metrics, report,
-                       monitor ? monitor->lost_updates() : 0,
-                       csd.ftl().stats());
+                       monitor ? monitor->lost_updates() : 0, csd.storage());
   }
   return report;
 }

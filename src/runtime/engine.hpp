@@ -72,6 +72,14 @@ struct EngineOptions {
   /// takes exactly the fault-free code paths — timing is bit-for-bit
   /// identical to a build without the fault layer.
   fault::FaultConfig fault;
+  /// Drive the device's storage backend even without PowerLoss armed:
+  /// datasets mount as live mappings, persisted outputs go through
+  /// write()/zone-append bookkeeping, and the backend-internal traffic the
+  /// run triggers (FTL GC relocations / ZNS copy-forward, metadata
+  /// programs, erases) is charged to virtual time as a device-side reclaim
+  /// stall — the §II-B(3) contention made explicit per run.  Off by
+  /// default: the fault-free timing path is bit-for-bit unchanged.
+  bool drive_storage = false;
   /// Observability sink (optional).  When set, the engine folds per-line
   /// placements, migrations, monitor/status-update traffic, fault-site
   /// counters, and the device FTL's GC/journal/write-amplification stats

@@ -74,7 +74,20 @@ std::string ExecutionReport::to_json() const {
                       static_cast<interconnect::TransferKind>(k))
        << "_bytes\":" << dma.bytes[k].count();
   }
-  os << "}}";
+  os << "}";
+  if (storage.driven) {
+    os << ",\"storage\":{"
+       << "\"backend\":\"" << flash::to_string(storage.backend) << "\","
+       << "\"host_pages\":" << storage.host_pages << ","
+       << "\"reclaim_pages\":" << storage.reclaim_pages << ","
+       << "\"meta_pages\":" << storage.meta_pages << ","
+       << "\"resets\":" << storage.resets << ","
+       << "\"reclaim_events\":" << storage.reclaim_events << ","
+       << "\"write_amplification\":" << storage.run_write_amplification()
+       << ","
+       << "\"reclaim_time_s\":" << storage.reclaim_time.value() << "}";
+  }
+  os << "}";
   return os.str();
 }
 
@@ -93,6 +106,14 @@ std::string ExecutionReport::to_string() const {
     os << "  power losses: " << power_losses << " survived, "
        << std::setprecision(4) << recovery_overhead.value()
        << " s recovery overhead\n";
+  }
+  if (storage.driven) {
+    os << "  storage [" << flash::to_string(storage.backend)
+       << "]: " << storage.host_pages << " host page(s), "
+       << storage.reclaim_pages << " reclaimed, " << storage.meta_pages
+       << " meta, WA " << std::setprecision(3)
+       << storage.run_write_amplification() << ", reclaim stall "
+       << std::setprecision(4) << storage.reclaim_time.value() << " s\n";
   }
   for (const auto& l : lines) {
     os << "  [" << std::setw(2) << l.index << "] " << std::left

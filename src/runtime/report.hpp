@@ -12,6 +12,7 @@
 
 #include "common/units.hpp"
 #include "fault/fault.hpp"
+#include "flash/backend.hpp"
 #include "interconnect/dma.hpp"
 #include "ir/plan.hpp"
 
@@ -36,6 +37,30 @@ struct LineRecord {
   Seconds fault_penalty;       // virtual time the line lost to fault handling
 };
 
+/// What the storage backend did while the engine drove it (dataset mount +
+/// result write-back).  Deltas over the run, not device lifetime totals, so
+/// memoised and repeated runs report identical activity.  `reclaim_time` is
+/// the device-side stall the run was charged for backend-internal traffic
+/// (GC relocations / ZNS copy-forward, metadata programs, erases) — only
+/// non-zero when EngineOptions::drive_storage is on.
+struct StorageActivity {
+  bool driven = false;  // did the engine drive a backend this run?
+  flash::BackendKind backend = flash::BackendKind::Ftl;
+  std::uint64_t host_pages = 0;
+  std::uint64_t reclaim_pages = 0;
+  std::uint64_t meta_pages = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t reclaim_events = 0;
+  double write_amplification = 1.0;  // over this run's host pages
+  Seconds reclaim_time;
+
+  [[nodiscard]] double run_write_amplification() const {
+    if (host_pages == 0) return 1.0;
+    return static_cast<double>(host_pages + reclaim_pages + meta_pages) /
+           static_cast<double>(host_pages);
+  }
+};
+
 struct ExecutionReport {
   std::string program;
   Seconds total;            // end-to-end latency, including compile overhead
@@ -54,6 +79,10 @@ struct ExecutionReport {
   Seconds recovery_overhead;
 
   interconnect::DmaStats dma;
+
+  /// Storage-backend traffic this run generated (all zeros when the engine
+  /// did not drive a backend).
+  StorageActivity storage;
 
   /// Aggregate fault-injection outcome (all zeros on fault-free runs) and
   /// the per-episode log behind it (bounded; feeds the trace export).

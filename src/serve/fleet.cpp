@@ -7,8 +7,21 @@
 
 namespace isp::serve {
 
+const char* to_string(BackendMix mix) {
+  switch (mix) {
+    case BackendMix::Ftl:
+      return "ftl";
+    case BackendMix::Zns:
+      return "zns";
+    case BackendMix::Mixed:
+      return "mixed";
+  }
+  ISP_CHECK(false, "unknown backend mix");
+  return "?";
+}
+
 FleetConfig FleetConfig::make(std::size_t devices, std::size_t host_lanes,
-                              double skew) {
+                              double skew, BackendMix mix) {
   ISP_CHECK(devices >= 1, "a fleet needs at least one device");
   ISP_CHECK(skew >= 0.0 && skew * 3.0 < 1.0,
             "fleet skew must leave the slowest device usable: " << skew);
@@ -19,6 +32,18 @@ FleetConfig FleetConfig::make(std::size_t devices, std::size_t host_lanes,
     DeviceConfig d;
     d.cse_availability =
         sim::AvailabilitySchedule::constant(1.0 - skew * static_cast<double>(k % 4));
+    switch (mix) {
+      case BackendMix::Ftl:
+        d.backend = flash::BackendKind::Ftl;
+        break;
+      case BackendMix::Zns:
+        d.backend = flash::BackendKind::Zns;
+        break;
+      case BackendMix::Mixed:
+        d.backend =
+            (k % 2 == 0) ? flash::BackendKind::Ftl : flash::BackendKind::Zns;
+        break;
+    }
     config.devices.push_back(std::move(d));
   }
   return config;
@@ -91,6 +116,17 @@ void Fleet::note_outcome(std::size_t lane, std::uint32_t migrations,
   stats_[lane].migrations += migrations;
   stats_[lane].power_losses += power_losses;
   stats_[lane].faults += faults;
+}
+
+void Fleet::note_storage(std::size_t lane, std::uint64_t host_pages,
+                         std::uint64_t internal_pages, std::uint64_t resets,
+                         Seconds reclaim_time) {
+  ISP_CHECK(lane < lane_count(), "lane out of range: " << lane);
+  ISP_CHECK(reclaim_time.value() >= 0.0, "negative reclaim time");
+  stats_[lane].storage_host_pages += host_pages;
+  stats_[lane].storage_internal_pages += internal_pages;
+  stats_[lane].storage_resets += resets;
+  stats_[lane].reclaim_time += reclaim_time;
 }
 
 void Fleet::mark_dead(std::size_t lane, SimTime at) {

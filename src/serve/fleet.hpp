@@ -19,17 +19,27 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "flash/backend.hpp"
 #include "sim/availability.hpp"
 #include "system/config.hpp"
 
 namespace isp::serve {
 
-/// One CSD in the fleet: its time-varying CSE capacity and the static share
-/// of host-link bandwidth its slot is provisioned with.
+/// One CSD in the fleet: its time-varying CSE capacity, the static share of
+/// host-link bandwidth its slot is provisioned with, and which
+/// storage-management backend (FTL or ZNS) the device runs.
 struct DeviceConfig {
   sim::AvailabilitySchedule cse_availability;  // in fleet virtual time
   double link_share = 1.0;                     // provisioned share, (0, 1]
+  flash::BackendKind backend = flash::BackendKind::Ftl;
 };
+
+/// Fleet-level backend composition (`--backend ftl|zns|mixed`).  Mixed
+/// alternates by device index (even lanes FTL, odd lanes ZNS), so any fleet
+/// of two or more devices exercises both reclaim models side by side.
+enum class BackendMix { Ftl, Zns, Mixed };
+
+[[nodiscard]] const char* to_string(BackendMix mix);
 
 struct FleetConfig {
   std::vector<DeviceConfig> devices;
@@ -45,8 +55,11 @@ struct FleetConfig {
   /// availability 1.0 − skew·(k mod 4) — deterministic, no RNG — so
   /// placement has real differences to price.  `skew` must leave the
   /// slowest device with positive availability (skew in [0, 1/3)).
+  /// `mix` assigns each device's storage backend (Mixed alternates by
+  /// index: even FTL, odd ZNS).
   static FleetConfig make(std::size_t devices, std::size_t host_lanes = 1,
-                          double skew = 0.05);
+                          double skew = 0.05,
+                          BackendMix mix = BackendMix::Ftl);
 };
 
 /// Per-lane serving statistics, aggregated over measured engine runs.
@@ -58,6 +71,21 @@ struct LaneStats {
   std::uint64_t faults = 0;         // injected faults across this lane's jobs
   std::uint64_t lost_jobs = 0;      // in-flight jobs lost to device death
   SimTime died_at = SimTime::infinity();  // infinity while the lane lives
+  // Storage-backend activity folded from completed storage-driven jobs
+  // (zero unless a job class persists its outputs).  internal = reclaim
+  // copies + metadata programs; resets are block-granular erases.
+  std::uint64_t storage_host_pages = 0;
+  std::uint64_t storage_internal_pages = 0;
+  std::uint64_t storage_resets = 0;
+  Seconds reclaim_time;  // device-side reclaim stall absorbed by this lane
+
+  /// Observed write amplification over everything this lane persisted so
+  /// far (1.0 before any storage-driven job lands).
+  [[nodiscard]] double storage_write_amplification() const {
+    if (storage_host_pages == 0) return 1.0;
+    return static_cast<double>(storage_host_pages + storage_internal_pages) /
+           static_cast<double>(storage_host_pages);
+  }
 };
 
 class Fleet {
@@ -103,6 +131,13 @@ class Fleet {
   /// Fold a finished job's fault/migration counters into the lane's stats.
   void note_outcome(std::size_t lane, std::uint32_t migrations,
                     std::uint32_t power_losses, std::uint64_t faults);
+
+  /// Fold a finished storage-driven job's backend activity into the lane's
+  /// stats (serial fold phase only, adjacent to occupy() so the epoch bump
+  /// covers the change for cached bids).
+  void note_storage(std::size_t lane, std::uint64_t host_pages,
+                    std::uint64_t internal_pages, std::uint64_t resets,
+                    Seconds reclaim_time);
 
   /// True while the lane has not suffered a permanent device failure.
   /// Host lanes never die.

@@ -7,6 +7,7 @@ namespace isp::serve {
 
 bool SimKey::operator==(const SimKey& other) const {
   return job_class == other.job_class && on_host == other.on_host &&
+         backend == other.backend &&
          link_share_bits == other.link_share_bits &&
          faulted == other.faulted && fault_seed == other.fault_seed &&
          power_loss_armed == other.power_loss_armed &&
@@ -17,6 +18,7 @@ bool SimKey::operator==(const SimKey& other) const {
 std::uint64_t SimKey::digest() const {
   std::uint64_t h = kFnvOffset;
   h = fnv1a(h, job_class);
+  h = fnv1a(h, backend);
   h = fnv1a(h, static_cast<std::uint64_t>(on_host ? 1 : 0) |
                    (faulted ? 2 : 0) | (power_loss_armed ? 4 : 0));
   h = fnv1a(h, link_share_bits);

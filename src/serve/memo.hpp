@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "runtime/report.hpp"
 #include "serve/server.hpp"
 #include "sim/availability.hpp"
 
@@ -51,6 +52,10 @@ struct SimResult {
   std::uint32_t lines_csd = 0;
   std::uint32_t lines_host = 0;
   std::vector<FaultEvent> fault_events;
+  /// Storage-backend activity the run generated (driven only when the job
+  /// class persists its outputs).  Per-run deltas, so a memo hit replays the
+  /// same backend work a fresh run would have reported.
+  runtime::StorageActivity storage;
   /// Per-job engine/monitor/fault/FTL metrics, merged into the report's
   /// registry in submission order (merge is associative, so the fold equals
   /// a serial run regardless of worker count).
@@ -64,6 +69,12 @@ struct SimResult {
 struct SimKey {
   std::uint32_t job_class = 0;
   bool on_host = false;
+  /// Storage-backend kind of the dispatch lane: 0 for host lanes, else
+  /// 1 + flash::BackendKind.  Two devices that differ only in backend run
+  /// different simulations (reclaim model, metadata traffic), so the kind
+  /// must split the key — a shared entry would silently replay FTL service
+  /// times on a ZNS lane (regression-tested in serve_test).
+  std::uint32_t backend = 0;
   /// Bit pattern of the contended link share the SystemModel scales its
   /// link bandwidth by (1.0 for host lanes).
   std::uint64_t link_share_bits = 0;

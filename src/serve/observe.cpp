@@ -113,6 +113,17 @@ obs::Timeline to_fleet_timeline(const ServeReport& report) {
     timeline.complete(lane, job + " [recovery]", cursor,
                       o.recovery_overhead.value());
 
+    // Backend reclaim stall absorbed inside the job's service, on its own
+    // track so the lane's exec/migration/recovery partition is untouched
+    // (persist-free jobs emit nothing here — the clean-run schema holds).
+    if (o.reclaim_time.value() > 0.0) {
+      timeline.complete(
+          "storage", job + " [reclaim]", o.start.seconds(),
+          o.reclaim_time.value(),
+          {{"lane", "\"" + lane + "\""},
+           {"internal_pages", std::to_string(o.storage_internal_pages)}});
+    }
+
     for (const auto& f : o.fault_events) {
       timeline.instant("faults",
                        "fault:" + std::string(fault::to_string(f.site)) +

@@ -34,6 +34,10 @@ struct Profile {
   Seconds csd_work;        // planner's T_csd
   Bytes ds_raw;            // stored input the host path pulls over the link
   Bytes ds_processed;      // intermediates the device ships back
+  bool persist = false;    // class drives the lane's storage backend
+  /// Flash pages the persisted outputs program per run (before write
+  /// amplification) — the Equation-1 persist-cost input.
+  std::uint64_t persist_pages = 0;
 };
 
 std::vector<std::shared_ptr<const Profile>> build_profiles(
@@ -45,6 +49,19 @@ std::vector<std::shared_ptr<const Profile>> build_profiles(
         apps::AppConfig ac;
         ac.size_factor = jc.size_factor;
         auto profile = std::make_shared<Profile>(apps::make_app(jc.app, ac));
+        if (jc.persist) {
+          // Persist the class's final product: the last line that produces
+          // anything writes its outputs to flash.  Marked before the
+          // profiling run so the cached plan, estimates and projected
+          // latencies all price the write-back the dispatches will pay.
+          profile->persist = true;
+          for (std::size_t i = profile->program.line_count(); i-- > 0;) {
+            if (!profile->program.lines()[i].outputs.empty()) {
+              profile->program.line_mut(i).writes_storage = true;
+              break;
+            }
+          }
+        }
 
         system::SystemModel system(config.fleet.system);
         runtime::ActiveRuntime active(system);
@@ -57,6 +74,8 @@ std::vector<std::shared_ptr<const Profile>> build_profiles(
             ir::Plan::host_only(profile->program.line_count());
         profile->host_work = result.projected_host;
         profile->csd_work = result.projected_csd;
+        const auto page_bytes =
+            config.fleet.system.csd.nand_geometry.page_bytes.count();
         for (std::size_t i = 0; i < result.plan.estimate.size(); ++i) {
           const auto& est = result.plan.estimate[i];
           profile->ds_raw += est.storage_in;
@@ -65,6 +84,10 @@ std::vector<std::shared_ptr<const Profile>> build_profiles(
                 i + 1 == result.plan.placement.size() ||
                 result.plan.placement[i + 1] == ir::Placement::Host;
             if (boundary) profile->ds_processed += est.d_out;
+          }
+          if (profile->program.lines()[i].writes_storage) {
+            profile->persist_pages +=
+                (est.d_out.count() + page_bytes - 1) / page_bytes;
           }
         }
         return profile;
@@ -106,6 +129,8 @@ struct Dispatch {
   bool is_probe = false;
   SimTime start;
   double link_share = 1.0;
+  /// Storage backend of the dispatch lane (ignored for host lanes).
+  flash::BackendKind backend = flash::BackendKind::Ftl;
   Seconds eq1_profit;
   /// The device's availability as seen from `start` — precomputed in the
   /// serial decision phase because rebased()/fraction_at() move the
@@ -121,11 +146,17 @@ SimResult simulate_dispatch(const ServeConfig& config, const Profile& profile,
   system::SystemConfig sc = config.fleet.system;
   if (!d.on_host) {
     sc.link.bandwidth = sc.link.bandwidth * d.link_share;
+    sc.csd.backend = d.backend;
   }
   system::SystemModel system(sc);
 
   runtime::RunConfig rc;
   rc.mode = config.mode;
+  // Persisting classes drive the storage backend for real: datasets mount
+  // as live mappings, outputs go through write()/zone_append, and the
+  // backend-internal reclaim traffic stalls the device inside the measured
+  // service time.
+  rc.engine.drive_storage = profile.persist;
   rc.engine.fault = config.fault;
   rc.engine.fault.seed = splitmix64(config.seed ^ (0xf1ee7000ULL + d.job.id));
   if (config.power_loss_job >= 0 &&
@@ -156,6 +187,7 @@ SimResult simulate_dispatch(const ServeConfig& config, const Profile& profile,
   r.power_losses = result.report.power_losses;
   r.faults = result.report.faults.total_injected();
   r.faults_exhausted = result.report.faults.total_exhausted();
+  r.storage = result.report.storage;
   if (config.obs.enabled) {
     r.migration_overhead = result.report.migration_overhead;
     r.recovery_overhead = result.report.recovery_overhead;
@@ -187,6 +219,8 @@ SimKey make_sim_key(const ServeConfig& config, const Dispatch& d) {
   SimKey key;
   key.job_class = d.job.job_class;
   key.on_host = d.on_host;
+  key.backend =
+      d.on_host ? 0 : 1 + static_cast<std::uint32_t>(d.backend);
   key.link_share_bits = double_bits(d.on_host ? 1.0 : d.link_share);
   const bool armed =
       config.power_loss_job >= 0 &&
@@ -241,10 +275,13 @@ struct LaneBid {
 Place choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
                   const std::vector<SimTime>& kill_at,
                   const std::vector<CircuitBreaker>& breakers,
+                  const std::vector<sim::AvailabilitySchedule>& scheds,
                   const Profile& profile, const QueuedJob& job,
                   BidCache* bids, bool indexed, Dispatch& out) {
   const BytesPerSecond bw = fleet.config().system.link.bandwidth;
   const std::size_t device_count = fleet.device_count();
+  const Seconds page_program =
+      fleet.config().system.csd.nand_timing.page_program;
 
   bool have_device = false, have_host = false, have_earliest = false;
   LaneBid best_device, best_host, earliest;
@@ -313,7 +350,10 @@ Place choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
       share = cb->share;
       avail_eff = cb->avail_eff;
     } else {
-      const auto& sched = fleet.device(lane).cse_availability;
+      // The lane's *derated* schedule: base CSE availability scaled down by
+      // the lane's observed reclaim pressure (serial fold phase keeps it in
+      // step with occupy(), so the lane epoch covers it).
+      const auto& sched = scheds[lane];
       compute_done = sched.finish_time(start, profile.csd_work);
       const bool starved = compute_done == SimTime::infinity();
       if (!starved) {
@@ -357,13 +397,29 @@ Place choose_lane(const Fleet& fleet, const std::vector<bool>& claimed,
                                  .ct_device = profile.csd_work,
                                  .ds_processed = profile.ds_processed,
                                  .bw_d2h = bw};
+      // Backend-specific device-side terms: the reclaim stall this lane has
+      // historically charged per job (FTL GC vs ZNS copy-forward price very
+      // differently), and the NAND-program cost of the class's persisted
+      // pages inflated by the lane's observed write amplification.  Both
+      // fold from completed jobs in the serial phase, so cached bids stay
+      // exact (the occupy() epoch bump covers every change).
+      const auto& ls = fleet.stats(lane);
+      const Seconds reclaim_wait =
+          ls.jobs > 0 ? Seconds{ls.reclaim_time.value() /
+                                static_cast<double>(ls.jobs)}
+                      : Seconds::zero();
+      const Seconds persist_cost =
+          page_program * (static_cast<double>(profile.persist_pages) *
+                          ls.storage_write_amplification());
       // The wait this job would actually experience on the device: the time
       // from its arrival until the lane's queued work drains.
       const plan::Eq1Contention contention{
           .queue_wait =
               std::max(Seconds::zero(), fleet.busy_until(lane) - job.arrival),
           .cse_availability = std::clamp(avail_eff, 1e-6, 1.0),
-          .link_share = share};
+          .link_share = share,
+          .reclaim_wait = reclaim_wait,
+          .persist_cost = persist_cost};
       profit = plan::net_profit_under_contention(terms, contention);
       if (cb != nullptr) {
         cb->profit_valid = true;
@@ -461,6 +517,31 @@ ServeReport serve(const ServeConfig& config) {
   }
   std::optional<SimMemoCache> memo;
   if (config.sim_cache) memo.emplace(config.sim_cache_capacity);
+
+  // Per-device derated CSE schedules: a lane that keeps stalling on backend
+  // reclaim (FTL GC / ZNS copy-forward) loses a quantized slice of its CSE
+  // capacity for future placements and dispatches.  The derating factor is
+  // reclaim-stall time over busy time, quantized to 1/64 and capped at 1/2,
+  // updated only in the serial fold phase right after occupy() — so cached
+  // bids stay exact and the derated schedule enters both the engine run and
+  // the memo-cache key through the schedule itself.
+  std::vector<double> lane_derate(fleet.device_count(), 0.0);
+  std::vector<sim::AvailabilitySchedule> lane_sched;
+  lane_sched.reserve(fleet.device_count());
+  for (std::size_t k = 0; k < fleet.device_count(); ++k) {
+    lane_sched.push_back(fleet.device(k).cse_availability);
+  }
+  const auto update_derate = [&](std::size_t lane) {
+    const auto& ls = fleet.stats(lane);
+    const double busy = ls.busy.value();
+    double p = busy > 0.0 ? ls.reclaim_time.value() / busy : 0.0;
+    p = std::min(p, 0.5);
+    const double q = std::floor(p * 64.0) / 64.0;
+    if (q != lane_derate[lane]) {
+      lane_derate[lane] = q;
+      lane_sched[lane] = fleet.device(lane).cse_availability.scaled(1.0 - q);
+    }
+  };
 
   // One health breaker per CSD lane (host lanes never break).
   std::vector<CircuitBreaker> breakers;
@@ -563,8 +644,9 @@ ServeReport serve(const ServeConfig& config) {
       const auto job = admission.pick();
       Dispatch d;
       const Place placed = choose_lane(
-          fleet, claimed, kill_at, breakers, *profiles[job->job_class], *job,
-          bid_cache ? &*bid_cache : nullptr, hotpath, d);
+          fleet, claimed, kill_at, breakers, lane_sched,
+          *profiles[job->job_class], *job, bid_cache ? &*bid_cache : nullptr,
+          hotpath, d);
       if (placed == Place::DeadlineExpired) {
         // Skip the expired job loudly: typed per-tenant counter, resolved
         // at the deadline — or at the death that re-enqueued it, when the
@@ -592,8 +674,8 @@ ServeReport serve(const ServeConfig& config) {
         continue;
       }
       if (!d.on_host) {
-        d.device_schedule =
-            fleet.device(d.lane).cse_availability.rebased(d.start);
+        d.backend = fleet.device(d.lane).backend;
+        d.device_schedule = lane_sched[d.lane].rebased(d.start);
         if (breakers[d.lane].state() == BreakerState::Open) {
           // First dispatch at or after the cooldown end is the probe.
           breakers[d.lane].begin_probe(d.start);
@@ -706,6 +788,15 @@ ServeReport serve(const ServeConfig& config) {
       }
       fleet.occupy(d.lane, d.start, r.service);
       fleet.note_outcome(d.lane, r.migrations, r.power_losses, r.faults);
+      if (r.storage.driven) {
+        fleet.note_storage(d.lane, r.storage.host_pages,
+                           r.storage.reclaim_pages + r.storage.meta_pages,
+                           r.storage.resets, r.storage.reclaim_time);
+        // Reclaim pressure derates the lane's CSE for future placements —
+        // adjacent to the occupy() epoch bump, so cached bids never see a
+        // stale derating.
+        if (!d.on_host) update_derate(d.lane);
+      }
       admission.note_completed(d.job.tenant);
       if (!d.on_host) {
         // Health feedback: exhausted fault episodes, migrations and power
@@ -739,6 +830,9 @@ ServeReport serve(const ServeConfig& config) {
         outcome.queue_wait = d.start - d.job.arrival;
         outcome.migration_overhead = r.migration_overhead;
         outcome.recovery_overhead = r.recovery_overhead;
+        outcome.reclaim_time = r.storage.reclaim_time;
+        outcome.storage_internal_pages =
+            r.storage.reclaim_pages + r.storage.meta_pages;
         outcome.lines_csd = r.lines_csd;
         outcome.lines_host = r.lines_host;
         outcome.fault_events = std::move(results[i].fault_events);
@@ -875,6 +969,10 @@ ServeReport serve(const ServeConfig& config) {
     h = fnv1a(h, double_bits(lane.busy.value()));
     h = fnv1a(h, lane.lost_jobs);
     h = fnv1a(h, double_bits(lane.died_at.seconds()));
+    h = fnv1a(h, lane.storage_host_pages);
+    h = fnv1a(h, lane.storage_internal_pages);
+    h = fnv1a(h, lane.storage_resets);
+    h = fnv1a(h, double_bits(lane.reclaim_time.value()));
   }
   for (const auto& lane_transitions : report.breaker_transitions) {
     h = fnv1a(h, lane_transitions.size());
@@ -939,6 +1037,19 @@ ServeReport serve(const ServeConfig& config) {
       m.gauge(p + "utilization").set(report.utilization(lane));
       if (ls.died_at < SimTime::infinity()) {
         m.gauge(p + "died_at_s").set(ls.died_at.seconds());
+      }
+      // Storage-backend activity, only for lanes that actually drove a
+      // backend — persist-free runs keep the clean metric schema.
+      if (ls.storage_host_pages + ls.storage_internal_pages > 0) {
+        m.counter(p + "storage.host_pages").add(ls.storage_host_pages);
+        m.counter(p + "storage.internal_pages")
+            .add(ls.storage_internal_pages);
+        m.counter(p + "storage.resets").add(ls.storage_resets);
+        m.gauge(p + "storage.reclaim_time_s").set(ls.reclaim_time.value());
+        m.gauge(p + "storage.wa").set(ls.storage_write_amplification());
+        if (lane < fleet.device_count()) {
+          m.gauge(p + "storage.derate").set(lane_derate[lane]);
+        }
       }
     }
     // Breaker histories, only for lanes whose breaker actually moved — no

@@ -63,6 +63,12 @@ namespace isp::serve {
 struct JobClass {
   std::string app = "tpch-q6";
   double size_factor = 0.05;
+  /// Persist the app's final outputs to flash: the last producing line is
+  /// marked writes_storage and every dispatch drives the lane's storage
+  /// backend for real (dataset mount, mapping updates, reclaim stalls) —
+  /// the knob that makes FTL and ZNS lanes serve differently.  Off keeps
+  /// the class byte-identical to its pre-backend behaviour.
+  bool persist = false;
 };
 
 /// Observability knobs.  Everything here is bookkeeping in virtual time:
@@ -187,6 +193,8 @@ struct JobOutcome {
   Seconds queue_wait;            // start − arrival
   Seconds migration_overhead;    // regeneration + live-state movement
   Seconds recovery_overhead;     // power-cycle + FTL remount + re-staging
+  Seconds reclaim_time;          // device-side reclaim stall inside service
+  std::uint64_t storage_internal_pages = 0;  // reclaim copies + metadata
   std::uint32_t lines_csd = 0;   // per-line placements the job actually ran
   std::uint32_t lines_host = 0;
   std::vector<FaultEvent> fault_events;  // bounded; feeds the fleet timeline

@@ -116,6 +116,18 @@ AvailabilitySchedule AvailabilitySchedule::rebased(SimTime origin) const {
   return s;
 }
 
+AvailabilitySchedule AvailabilitySchedule::scaled(double factor) const {
+  ISP_CHECK(factor >= 0.0 && factor <= 1.0,
+            "scale factor out of [0,1]: " << factor);
+  AvailabilitySchedule s;
+  s.steps_ = steps_;
+  for (auto& [at, fraction] : s.steps_) {
+    (void)at;
+    fraction = std::clamp(fraction * factor, 0.0, 1.0);
+  }
+  return s;
+}
+
 void AvailabilitySchedule::add_step(SimTime at, double fraction) {
   ISP_CHECK(fraction >= 0.0 && fraction <= 1.0,
             "availability fraction out of [0,1]");

@@ -57,6 +57,13 @@ class AvailabilitySchedule {
   /// instant rather than at fleet time zero.
   [[nodiscard]] AvailabilitySchedule rebased(SimTime origin) const;
 
+  /// The schedule with every fraction multiplied by `factor` (clamped to
+  /// [0, 1]).  The serving layer derates a lane's CSE schedule by its
+  /// storage backend's reclaim pressure this way, so the derating enters
+  /// the engine run — and the memo-cache key — through the schedule itself
+  /// rather than a side channel.  `factor` must be in [0, 1].
+  [[nodiscard]] AvailabilitySchedule scaled(double factor) const;
+
   [[nodiscard]] const std::vector<std::pair<SimTime, double>>& raw_steps()
       const {
     return steps_;

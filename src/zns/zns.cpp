@@ -1,0 +1,783 @@
+#include "zns/zns.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace isp::zns {
+
+const char* to_string(ZoneState state) {
+  switch (state) {
+    case ZoneState::Empty:
+      return "empty";
+    case ZoneState::ImplicitlyOpen:
+      return "implicitly-open";
+    case ZoneState::ExplicitlyOpen:
+      return "explicitly-open";
+    case ZoneState::Closed:
+      return "closed";
+    case ZoneState::Full:
+      return "full";
+    case ZoneState::Offline:
+      return "offline";
+  }
+  ISP_CHECK(false, "unknown zone state: " << static_cast<unsigned>(state));
+  return "?";
+}
+
+ZnsDevice::ZnsDevice(ZnsConfig config) : config_(config) {
+  const auto& g = config_.geometry;
+  ISP_CHECK(config_.zone_blocks >= 1, "zones need at least one block");
+  ISP_CHECK(g.total_blocks() % config_.zone_blocks == 0,
+            "zone_blocks must tile the array: " << g.total_blocks() << " % "
+                                                << config_.zone_blocks);
+  const std::uint64_t zone_count = g.total_blocks() / config_.zone_blocks;
+  ISP_CHECK(zone_count >= config_.meta_zones + 4,
+            "geometry too small for a zoned namespace");
+  ISP_CHECK(config_.max_open_zones >= 2,
+            "need at least two open zones (host append + reclaim copy)");
+  ISP_CHECK(config_.overprovision > 0.0 && config_.overprovision < 1.0,
+            "overprovision fraction must be in (0,1)");
+  ISP_CHECK(config_.reclaim_low_watermark >= 1 &&
+                config_.reclaim_high_watermark > config_.reclaim_low_watermark,
+            "bad reclaim watermarks");
+  if (config_.journal.enabled) {
+    ISP_CHECK(config_.meta_zones >= 1,
+              "journal mode needs a dedicated metadata zone");
+    ISP_CHECK(config_.journal.entry_bytes > 0 &&
+                  config_.journal.checkpoint_entry_bytes > 0,
+              "journal entries need a size");
+    ISP_CHECK(config_.journal.checkpoint_interval_pages >= 1,
+              "checkpoint interval must be at least one journal page");
+    ISP_CHECK(journal_entries_per_page() >= 1,
+              "journal entry larger than a flash page");
+  }
+
+  zone_pages_ = config_.zone_blocks * g.pages_per_block;
+  const std::uint64_t data_zone_count = zone_count - config_.meta_zones;
+  const std::uint64_t data_pages = data_zone_count * zone_pages_;
+  logical_pages_ = static_cast<std::uint64_t>(
+      static_cast<double>(data_pages) * (1.0 - config_.overprovision));
+  // Feasibility: fully-compacted logical data plus the two append zones plus
+  // the reclaim high watermark must fit in the data zones, or steady-state
+  // reclaim cannot converge and appends eventually starve.
+  const auto logical_zones = (logical_pages_ + zone_pages_ - 1) / zone_pages_;
+  ISP_CHECK(logical_zones + 2 + config_.reclaim_high_watermark <=
+                data_zone_count,
+            "overprovision too small for the reclaim watermarks: "
+                << logical_zones << " logical zones + 2 append + "
+                << config_.reclaim_high_watermark << " watermark > "
+                << data_zone_count << " data zones");
+
+  l2p_.assign(logical_pages_, std::nullopt);
+  p2l_.assign(g.total_pages(), std::nullopt);
+  zones_.assign(zone_count, Zone{});
+  retired_.assign(zone_count, 0);
+  free_count_ = static_cast<std::uint32_t>(data_zone_count);
+  if (config_.journal.enabled) {
+    media_.assign(g.total_pages(), std::nullopt);
+    checkpoint_.assign(logical_pages_, std::nullopt);
+    journal_buf_.reserve(journal_entries_per_page());
+    journal_.reserve(static_cast<std::size_t>(journal_entries_per_page()) *
+                     config_.journal.checkpoint_interval_pages);
+  }
+
+  active_zone_ = allocate_append_zone();
+  reclaim_zone_ = allocate_append_zone();
+}
+
+flash::Ppn ZnsDevice::zone_first_page(std::uint64_t zone) const {
+  return zone * zone_pages_;
+}
+
+std::uint64_t ZnsDevice::page_zone(flash::Ppn ppn) const {
+  return ppn / zone_pages_;
+}
+
+std::uint32_t ZnsDevice::journal_entries_per_page() const {
+  return static_cast<std::uint32_t>(config_.geometry.page_bytes.count() /
+                                    config_.journal.entry_bytes);
+}
+
+ZoneState ZnsDevice::zone_state(std::uint64_t zone) const {
+  ISP_CHECK(zone < zones_.size(), "zone out of range: " << zone);
+  return zones_[zone].state;
+}
+
+std::uint32_t ZnsDevice::write_pointer(std::uint64_t zone) const {
+  ISP_CHECK(zone < zones_.size(), "zone out of range: " << zone);
+  return zones_[zone].write_pointer;
+}
+
+std::uint32_t ZnsDevice::live_pages(std::uint64_t zone) const {
+  ISP_CHECK(zone < zones_.size(), "zone out of range: " << zone);
+  return zones_[zone].live;
+}
+
+std::uint64_t ZnsDevice::write_pointer_pages() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
+    total += zones_[z].write_pointer;
+  }
+  return total;
+}
+
+void ZnsDevice::make_open(std::uint64_t zone, ZoneState state) {
+  Zone& z = zones_[zone];
+  if (is_open(z)) {
+    // Implicit→explicit (or the reverse) keeps the resource slot.
+    z.state = state;
+    z.opened_at = ++open_stamp_;
+    return;
+  }
+  ISP_CHECK(z.state == ZoneState::Empty || z.state == ZoneState::Closed,
+            "zone " << zone << " not openable from state "
+                    << to_string(z.state));
+  if (open_count_ == config_.max_open_zones) {
+    // Shed the least-recently-opened zone, like a controller reclaiming its
+    // open-zone resources for the new open.
+    std::uint64_t lru = zones_.size();
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint64_t other = config_.meta_zones; other < zones_.size();
+         ++other) {
+      if (other == zone || !is_open(zones_[other])) continue;
+      if (zones_[other].opened_at < best) {
+        best = zones_[other].opened_at;
+        lru = other;
+      }
+    }
+    ISP_CHECK(lru < zones_.size(), "open-zone limit hit with nothing to shed");
+    zones_[lru].state = ZoneState::Closed;
+    --open_count_;
+    ++stats_.implicit_closes;
+  }
+  if (z.state == ZoneState::Empty) {
+    ISP_DCHECK(free_count_ > 0, "free-zone count underflow");
+    --free_count_;
+  }
+  z.state = state;
+  z.opened_at = ++open_stamp_;
+  ++open_count_;
+}
+
+std::uint64_t ZnsDevice::allocate_append_zone() {
+  ISP_CHECK(free_count_ > 0, "ZNS out of empty zones (reclaim starved)");
+  for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
+    if (zones_[z].state == ZoneState::Empty && !retired_[z]) {
+      make_open(z, ZoneState::ImplicitlyOpen);
+      return z;
+    }
+  }
+  throw Error("free_count_ positive but no empty zone found");
+}
+
+void ZnsDevice::invalidate(flash::Lpn lpn) {
+  if (const auto old = l2p_[lpn]) {
+    p2l_[*old] = std::nullopt;
+    Zone& z = zones_[page_zone(*old)];
+    ISP_DCHECK(z.live > 0, "live-count underflow");
+    --z.live;
+  } else {
+    ++mapped_count_;
+  }
+}
+
+void ZnsDevice::install_mapping(flash::Lpn lpn, flash::Ppn ppn) {
+  l2p_[lpn] = ppn;
+  p2l_[ppn] = lpn;
+  ++zones_[page_zone(ppn)].live;
+  const std::uint64_t seq = ++seq_;
+  if (config_.journal.enabled) {
+    // The append order *is* the mapping: the OOB stamp alone makes this
+    // update recoverable, so — unlike the FTL — no journal record is
+    // written.  This is the structural metadata saving of ZNS.
+    media_[ppn] = Oob{lpn, seq};
+  }
+  ++appends_since_fold_;
+  maybe_fold();
+}
+
+flash::Ppn ZnsDevice::do_append(std::uint64_t zone, flash::Lpn lpn) {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(zone >= config_.meta_zones && zone < zones_.size(),
+            "not an appendable data zone: " << zone);
+  ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
+  Zone& z = zones_[zone];
+  ISP_CHECK(z.state != ZoneState::Full,
+            "append to full zone " << zone << " (reset it first)");
+  ISP_CHECK(z.state != ZoneState::Offline, "append to offline zone " << zone);
+  if (!is_open(z)) make_open(zone, ZoneState::ImplicitlyOpen);
+  ISP_DCHECK(z.write_pointer < zone_pages_, "write pointer past zone cap");
+
+  invalidate(lpn);
+  const flash::Ppn ppn = zone_first_page(zone) + z.write_pointer;
+  ++z.write_pointer;
+  install_mapping(lpn, ppn);
+  if (z.write_pointer == zone_pages_) {
+    // The zone filled: it leaves the open-resource set on its own.
+    --open_count_;
+    z.state = ZoneState::Full;
+  }
+  return ppn;
+}
+
+flash::Ppn ZnsDevice::zone_append(std::uint64_t zone, flash::Lpn lpn) {
+  const flash::Ppn ppn = do_append(zone, lpn);
+  ++stats_.host_appends;
+  if (free_count_ <= config_.reclaim_low_watermark) reclaim();
+  return ppn;
+}
+
+flash::Ppn ZnsDevice::append_internal(flash::Lpn lpn) {
+  if (zones_[reclaim_zone_].state == ZoneState::Full ||
+      zones_[reclaim_zone_].state == ZoneState::Offline) {
+    reclaim_zone_ = allocate_append_zone();
+  }
+  const flash::Ppn ppn = do_append(reclaim_zone_, lpn);
+  ++stats_.reclaim_copies;
+  return ppn;
+}
+
+void ZnsDevice::write(flash::Lpn lpn) {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
+  if (zones_[active_zone_].state == ZoneState::Full ||
+      zones_[active_zone_].state == ZoneState::Offline) {
+    active_zone_ = allocate_append_zone();
+  }
+  zone_append(active_zone_, lpn);
+}
+
+std::optional<flash::Ppn> ZnsDevice::translate(flash::Lpn lpn) const {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
+  return l2p_[lpn];
+}
+
+void ZnsDevice::trim(flash::Lpn lpn) {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
+  if (const auto old = l2p_[lpn]) {
+    p2l_[*old] = std::nullopt;
+    Zone& z = zones_[page_zone(*old)];
+    ISP_DCHECK(z.live > 0, "live-count underflow");
+    --z.live;
+    l2p_[lpn] = std::nullopt;
+    --mapped_count_;
+    // A trim is the one update the OOB append order cannot reconstruct, so
+    // it is the one record the ZNS journal carries.
+    journal_trim(lpn, ++seq_);
+  }
+}
+
+void ZnsDevice::journal_trim(flash::Lpn lpn, std::uint64_t seq) {
+  if (!config_.journal.enabled) return;
+  journal_buf_.push_back(JournalEntry{lpn, seq});
+  if (journal_buf_.size() < journal_entries_per_page()) return;
+  // The open journal page filled: program it into the metadata zone.  Its
+  // records become durable and the write is charged as real meta traffic.
+  journal_.insert(journal_.end(), journal_buf_.begin(), journal_buf_.end());
+  journal_buf_.clear();
+  ++stats_.meta_appends;
+  ++journal_pages_since_fold_;
+  ++meta_pages_live_;
+  if (journal_pages_since_fold_ >= config_.journal.checkpoint_interval_pages) {
+    fold_checkpoint();
+  }
+}
+
+void ZnsDevice::maybe_fold() {
+  if (!config_.journal.enabled) return;
+  // Appends never touch the journal, but an unbounded un-checkpointed append
+  // history would make remount scan every zone.  Fold at the same update
+  // cadence as the FTL (what would have filled checkpoint_interval_pages of
+  // journal) so recovery cost stays bounded and the two backends compare
+  // fairly.
+  const std::uint64_t interval =
+      static_cast<std::uint64_t>(config_.journal.checkpoint_interval_pages) *
+      journal_entries_per_page();
+  if (appends_since_fold_ >= interval) fold_checkpoint();
+}
+
+void ZnsDevice::fold_checkpoint() {
+  // Snapshot the whole map; the old checkpoint + journal region of the
+  // metadata zone is then recycled (erased) and a fresh journal starts
+  // empty.  Buffered trims are superseded by the snapshot (l2p_ already
+  // reflects them), exactly like the FTL fold.
+  checkpoint_ = l2p_;
+  checkpoint_seq_ = seq_;
+  const auto page = config_.geometry.page_bytes.count();
+  checkpoint_pages_ =
+      (mapped_count_ * config_.journal.checkpoint_entry_bytes + page - 1) /
+      page;
+  if (checkpoint_pages_ == 0) checkpoint_pages_ = 1;  // map header page
+  stats_.meta_appends += checkpoint_pages_;
+  ++stats_.checkpoint_folds;
+  const auto ppb = config_.geometry.pages_per_block;
+  stats_.erases += (meta_pages_live_ + ppb - 1) / ppb;
+  meta_pages_live_ = checkpoint_pages_;
+  journal_.clear();
+  journal_buf_.clear();
+  journal_pages_since_fold_ = 0;
+  appends_since_fold_ = 0;
+}
+
+void ZnsDevice::open_zone(std::uint64_t zone) {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(zone >= config_.meta_zones && zone < zones_.size(),
+            "not an openable data zone: " << zone);
+  const ZoneState s = zones_[zone].state;
+  ISP_CHECK(s != ZoneState::Full && s != ZoneState::Offline,
+            "cannot open zone " << zone << " from state " << to_string(s));
+  make_open(zone, ZoneState::ExplicitlyOpen);
+}
+
+void ZnsDevice::close_zone(std::uint64_t zone) {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(zone >= config_.meta_zones && zone < zones_.size(),
+            "not a data zone: " << zone);
+  Zone& z = zones_[zone];
+  ISP_CHECK(is_open(z),
+            "close of zone " << zone << " in state " << to_string(z.state));
+  z.state = ZoneState::Closed;
+  --open_count_;
+}
+
+void ZnsDevice::finish_zone(std::uint64_t zone) {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(zone >= config_.meta_zones && zone < zones_.size(),
+            "not a data zone: " << zone);
+  Zone& z = zones_[zone];
+  ISP_CHECK(z.state != ZoneState::Offline, "finish of offline zone " << zone);
+  if (z.state == ZoneState::Full) return;
+  if (is_open(z)) --open_count_;
+  if (z.state == ZoneState::Empty) {
+    ISP_DCHECK(free_count_ > 0, "free-zone count underflow");
+    --free_count_;
+  }
+  z.state = ZoneState::Full;
+}
+
+void ZnsDevice::reset_zone(std::uint64_t zone) {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(zone >= config_.meta_zones && zone < zones_.size(),
+            "not a resettable data zone: " << zone);
+  Zone& z = zones_[zone];
+  ISP_CHECK(z.state != ZoneState::Offline, "reset of offline zone " << zone);
+  if (z.state == ZoneState::Empty) return;  // spec: reset of Empty is a no-op
+  ISP_CHECK(z.live == 0,
+            "reset of zone " << zone << " would destroy " << z.live
+                             << " live pages (copy them forward first)");
+  reset_zone_internal(zone);
+}
+
+void ZnsDevice::reset_zone_internal(std::uint64_t zone) {
+  Zone& z = zones_[zone];
+  ISP_DCHECK(z.live == 0, "reset with live pages");
+  if (is_open(z)) --open_count_;
+  if (z.write_pointer > 0) {
+    // Erase exactly the blocks the write pointer reached.
+    const auto ppb = config_.geometry.pages_per_block;
+    stats_.erases += (z.write_pointer + ppb - 1) / ppb;
+    if (!media_.empty()) {
+      const flash::Ppn first = zone_first_page(zone);
+      for (std::uint32_t p = 0; p < z.write_pointer; ++p) {
+        media_[first + p] = std::nullopt;
+      }
+    }
+  }
+  z = Zone{};
+  ++free_count_;
+  ++stats_.zone_resets;
+}
+
+void ZnsDevice::retire_zone(std::uint64_t zone) {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(zone >= config_.meta_zones && zone < zones_.size(),
+            "not a retirable data zone: " << zone);
+  if (retired_[zone]) return;
+  // Feasibility after losing one more zone, mirroring the constructor.
+  const std::uint64_t data_zone_count = zones_.size() - config_.meta_zones;
+  const auto logical_zones = (logical_pages_ + zone_pages_ - 1) / zone_pages_;
+  ISP_CHECK(logical_zones + 2 + config_.reclaim_high_watermark +
+                    retired_count_ + 1 <=
+                data_zone_count,
+            "cannot retire zone " << zone
+                                  << ": too few healthy zones would remain");
+
+  // The append points must not sit on a dying zone.
+  if (zone == reclaim_zone_) reclaim_zone_ = allocate_append_zone();
+  if (zone == active_zone_) active_zone_ = allocate_append_zone();
+  Zone& z = zones_[zone];
+  // Copy-forward whatever is still live, exactly like a reclaim victim.
+  const flash::Ppn first = zone_first_page(zone);
+  for (std::uint32_t p = 0; p < z.write_pointer; ++p) {
+    if (const auto lpn = p2l_[first + p]) append_internal(*lpn);
+  }
+  ISP_DCHECK(z.live == 0, "retired zone not fully relocated");
+  if (is_open(z)) --open_count_;
+  if (z.state == ZoneState::Empty) {
+    ISP_DCHECK(free_count_ > 0, "free-zone count underflow");
+    --free_count_;
+  }
+  if (z.write_pointer > 0) {
+    const auto ppb = config_.geometry.pages_per_block;
+    stats_.erases += (z.write_pointer + ppb - 1) / ppb;  // decommission erase
+    if (!media_.empty()) {
+      for (std::uint32_t p = 0; p < z.write_pointer; ++p) {
+        media_[first + p] = std::nullopt;
+      }
+    }
+  }
+  z = Zone{};
+  z.state = ZoneState::Offline;
+  retired_[zone] = 1;
+  ++retired_count_;
+  ++stats_.zones_retired;
+  if (config_.journal.enabled) ++stats_.meta_appends;  // offline-table entry
+
+  // Retirement can eat into the empty pool; restore the watermark.
+  if (free_count_ <= config_.reclaim_low_watermark) reclaim();
+}
+
+void ZnsDevice::reclaim() {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ++stats_.reclaim_invocations;
+  while (free_count_ < config_.reclaim_high_watermark) {
+    // Host-coordinated victim policy: the Full zone with the fewest live
+    // pages (Closed partials stay appendable, so only Full zones qualify —
+    // the mirror of the FTL's full-block-only GC).
+    std::uint64_t victim = zones_.size();
+    std::uint32_t best_live = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
+      if (retired_[z] || z == active_zone_ || z == reclaim_zone_) continue;
+      if (zones_[z].state != ZoneState::Full) continue;
+      if (zones_[z].live < best_live) {
+        best_live = zones_[z].live;
+        victim = z;
+      }
+    }
+    if (victim == zones_.size()) return;  // nothing reclaimable yet
+    // A fully-live victim yields no space: copying it forward consumes
+    // exactly what the reset frees.  Stand down until something goes stale.
+    if (best_live == zone_pages_) return;
+
+    // Copy the live extents forward, then reset.
+    const flash::Ppn first = zone_first_page(victim);
+    for (std::uint32_t p = 0; p < zones_[victim].write_pointer; ++p) {
+      if (const auto lpn = p2l_[first + p]) append_internal(*lpn);
+    }
+    ISP_DCHECK(zones_[victim].live == 0, "victim not fully relocated");
+    reset_zone_internal(victim);
+  }
+}
+
+flash::StorageCrash ZnsDevice::power_loss() {
+  ISP_CHECK(config_.journal.enabled,
+            "power_loss() requires journal mode (JournalConfig::enabled)");
+  ISP_CHECK(mounted_, "device already crashed");
+  flash::StorageCrash crash;
+  crash.lost_tail_updates = journal_buf_.size();
+  crash.lost_trims = journal_buf_.size();  // the ZNS journal is trims only
+  // Everything volatile is gone: the map, the reverse map, every zone's
+  // state/write pointer/live count, and the buffered journal tail.  The
+  // durable state — page OOB stamps, programmed journal pages, the
+  // checkpoint, and the offline-zone table — survives.
+  journal_buf_.clear();
+  l2p_.assign(logical_pages_, std::nullopt);
+  p2l_.assign(media_.size(), std::nullopt);
+  for (auto& z : zones_) z = Zone{};
+  mapped_count_ = 0;
+  free_count_ = 0;
+  open_count_ = 0;
+  open_stamp_ = 0;
+  mounted_ = false;
+  return crash;
+}
+
+flash::StorageRecovery ZnsDevice::recover() {
+  ISP_CHECK(config_.journal.enabled, "recover() requires journal mode");
+  ISP_CHECK(!mounted_, "recover() on a mounted ZNS device");
+  flash::StorageRecovery rec;
+
+  // 1. Candidate map from the checkpoint, each entry stamped with the fold
+  //    sequence (everything in the checkpoint is at least that old).
+  recover_scratch_.assign(logical_pages_, std::nullopt);
+  auto& m = recover_scratch_;
+  for (flash::Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
+    if (checkpoint_[lpn]) m[lpn] = {*checkpoint_[lpn], checkpoint_seq_};
+  }
+  rec.checkpoint_pages_read = checkpoint_pages_;
+
+  // 2. Replay the durable journal in order (trim records only).  Each
+  //    trim's sequence is kept as a tombstone: the OOB scan below must not
+  //    resurrect an *older* append of the same lpn that a durable trim
+  //    already superseded.
+  std::vector<std::uint64_t> tombstone(logical_pages_, 0);
+  for (const auto& e : journal_) {
+    if (e.seq > checkpoint_seq_) {
+      m[e.lpn] = std::nullopt;
+      tombstone[e.lpn] = std::max(tombstone[e.lpn], e.seq);
+    }
+  }
+  rec.journal_entries_replayed = journal_.size();
+  rec.journal_pages_read = (journal_.size() + journal_entries_per_page() - 1) /
+                           journal_entries_per_page();
+
+  // 3. OOB scan: appends never hit the journal (only trims do), so the
+  //    checkpoint is the only durable record that covers them — every zone
+  //    written after the last checkpoint fold must be read back, even when
+  //    later trim pages pushed the journal's durability horizon further.
+  //    Appends land at a zone's write pointer, so its programmed pages are
+  //    a sequence-ordered prefix and the newest mapping for an lpn is the
+  //    highest-seq stamp.
+  for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
+    const flash::Ppn first = zone_first_page(z);
+    bool has_new = false;
+    for (std::uint32_t p = 0; p < zone_pages_; ++p) {
+      const auto& oob = media_[first + p];
+      if (oob && oob->seq > checkpoint_seq_) {
+        has_new = true;
+        break;
+      }
+    }
+    if (!has_new) continue;
+    ++rec.blocks_scanned;  // zones, for this backend
+    rec.pages_scanned += zone_pages_;
+    for (std::uint32_t p = 0; p < zone_pages_; ++p) {
+      const flash::Ppn ppn = first + p;
+      const auto& oob = media_[ppn];
+      if (!oob || oob->seq <= checkpoint_seq_) continue;
+      if (oob->seq <= tombstone[oob->lpn]) continue;  // durably trimmed
+      if (!m[oob->lpn] || oob->seq > m[oob->lpn]->second) {
+        m[oob->lpn] = {ppn, oob->seq};
+        ++rec.tail_updates_rescued;
+      }
+    }
+  }
+
+  // 4. Confirm every candidate against the media: a mapping whose physical
+  //    page was reset away is stale — the OOB scan already supplied the
+  //    newer location if one exists.
+  for (flash::Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
+    if (!m[lpn]) continue;
+    const flash::Ppn ppn = m[lpn]->first;
+    if (!media_[ppn] || media_[ppn]->lpn != lpn) {
+      m[lpn] = std::nullopt;
+      ++rec.stale_mappings_dropped;
+    }
+  }
+
+  // 5. Rebuild the volatile state.  Write pointers rebuild from the
+  //    programmed prefix of each zone; zone states derive from them (open
+  //    state is volatile, so survivors come back Empty, Closed or Full).
+  for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
+    Zone nz;
+    if (retired_[z]) {
+      nz.state = ZoneState::Offline;
+      zones_[z] = nz;
+      continue;
+    }
+    const flash::Ppn first = zone_first_page(z);
+    std::uint32_t programmed = 0;
+    for (std::uint32_t p = 0; p < zone_pages_; ++p) {
+      if (media_[first + p]) programmed = p + 1;
+    }
+    nz.write_pointer = programmed;
+    if (programmed == 0) {
+      nz.state = ZoneState::Empty;
+    } else if (programmed == zone_pages_) {
+      nz.state = ZoneState::Full;
+    } else {
+      nz.state = ZoneState::Closed;
+    }
+    zones_[z] = nz;
+  }
+  mapped_count_ = 0;
+  for (flash::Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
+    if (!m[lpn]) continue;
+    const flash::Ppn ppn = m[lpn]->first;
+    l2p_[lpn] = ppn;
+    p2l_[ppn] = lpn;
+    ++zones_[page_zone(ppn)].live;
+    ++mapped_count_;
+  }
+  rec.mappings_recovered = mapped_count_;
+  free_count_ = 0;
+  for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
+    if (zones_[z].state == ZoneState::Empty) ++free_count_;
+  }
+  open_count_ = 0;
+  open_stamp_ = 0;
+
+  // 6. Re-open append points.  The first two partially written zones become
+  //    the host and reclaim targets; any further partials are finished so
+  //    reclaim can take them once their data goes stale (no copy needed —
+  //    unlike FTL blocks, a finished zone is a first-class reclaim victim).
+  mounted_ = true;
+  std::vector<std::uint64_t> partial;
+  for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
+    if (zones_[z].state == ZoneState::Closed) partial.push_back(z);
+  }
+  if (!partial.empty()) {
+    active_zone_ = partial[0];
+    make_open(active_zone_, ZoneState::ImplicitlyOpen);
+  } else {
+    active_zone_ = allocate_append_zone();
+  }
+  if (partial.size() >= 2) {
+    reclaim_zone_ = partial[1];
+    make_open(reclaim_zone_, ZoneState::ImplicitlyOpen);
+  } else {
+    reclaim_zone_ = allocate_append_zone();
+  }
+  for (std::size_t i = 2; i < partial.size(); ++i) finish_zone(partial[i]);
+
+  ++stats_.recoveries;
+  // The remount contract: every invariant holds before the first IO.
+  check_invariants();
+  return rec;
+}
+
+double ZnsDevice::gc_pressure() const {
+  const double host = static_cast<double>(stats_.host_appends);
+  const double internal =
+      static_cast<double>(stats_.reclaim_copies + stats_.meta_appends);
+  if (host + internal == 0.0) return 0.0;
+  return internal / (host + internal);
+}
+
+flash::StorageCounters ZnsDevice::counters() const {
+  return flash::StorageCounters{.host_pages = stats_.host_appends,
+                                .reclaim_pages = stats_.reclaim_copies,
+                                .meta_pages = stats_.meta_appends,
+                                .resets = stats_.erases,
+                                .reclaim_events = stats_.reclaim_invocations,
+                                .recoveries = stats_.recoveries};
+}
+
+void ZnsDevice::record_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("zns.host_appends").add(stats_.host_appends);
+  registry.counter("zns.reclaim_copies").add(stats_.reclaim_copies);
+  registry.counter("zns.meta_appends").add(stats_.meta_appends);
+  registry.counter("zns.zone_resets").add(stats_.zone_resets);
+  registry.counter("zns.erases").add(stats_.erases);
+  registry.counter("zns.reclaim_invocations").add(stats_.reclaim_invocations);
+  registry.counter("zns.checkpoint_folds").add(stats_.checkpoint_folds);
+  registry.counter("zns.implicit_closes").add(stats_.implicit_closes);
+  registry.counter("zns.zones_retired").add(stats_.zones_retired);
+  registry.counter("zns.recoveries").add(stats_.recoveries);
+  registry.gauge("zns.open_zones").set(static_cast<double>(open_count_));
+  registry.gauge("zns.free_zones").set(static_cast<double>(free_count_));
+  registry.gauge("zns.write_pointer_pages")
+      .set(static_cast<double>(write_pointer_pages()));
+  registry.gauge("zns.wa").set(stats_.write_amplification());
+  if (stats_.host_appends > 0) {
+    registry
+        .histogram("zns.write_amplification",
+                   obs::HistogramOptions{.min_value = 1.0,
+                                         .growth = 1.05,
+                                         .buckets = 96})
+        .record(stats_.write_amplification());
+  }
+}
+
+void ZnsDevice::check_invariants() const {
+  ISP_CHECK(mounted_, "invariants undefined on an unmounted ZNS device");
+
+  // l2p / p2l are mutually consistent bijections on their valid domain, and
+  // every mapped physical page lives inside a data zone's programmed prefix.
+  std::uint64_t mapped = 0;
+  for (flash::Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
+    if (const auto ppn = l2p_[lpn]) {
+      ISP_CHECK(*ppn < p2l_.size(), "ppn out of range");
+      ISP_CHECK(p2l_[*ppn].has_value() && *p2l_[*ppn] == lpn,
+                "reverse map disagrees for lpn " << lpn);
+      const std::uint64_t z = page_zone(*ppn);
+      ISP_CHECK(z >= config_.meta_zones,
+                "data mapping points into the metadata zone");
+      ISP_CHECK(*ppn - zone_first_page(z) < zones_[z].write_pointer,
+                "mapping past zone " << z << "'s write pointer");
+      ++mapped;
+    }
+  }
+  std::uint64_t reverse_mapped = 0;
+  for (flash::Ppn ppn = 0; ppn < p2l_.size(); ++ppn) {
+    if (p2l_[ppn].has_value()) ++reverse_mapped;
+  }
+  ISP_CHECK(mapped == reverse_mapped, "map cardinality mismatch");
+  ISP_CHECK(mapped == mapped_count_, "mapped-count bookkeeping mismatch");
+
+  // Per-zone state machine consistency.
+  std::uint32_t free_seen = 0;
+  std::uint32_t open_seen = 0;
+  std::uint32_t retired_seen = 0;
+  for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
+    const Zone& zn = zones_[z];
+    const flash::Ppn first = zone_first_page(z);
+    std::uint32_t live = 0;
+    for (std::uint32_t p = 0; p < zone_pages_; ++p) {
+      if (p2l_[first + p].has_value()) {
+        ISP_CHECK(p < zn.write_pointer, "live page past the write pointer");
+        ++live;
+      }
+    }
+    ISP_CHECK(live == zn.live, "zone " << z << " live-count mismatch");
+    ISP_CHECK(zn.write_pointer <= zone_pages_, "write pointer past zone cap");
+    if (!media_.empty() && !retired_[z]) {
+      // Programmed pages are exactly the prefix [0, write_pointer).
+      for (std::uint32_t p = 0; p < zone_pages_; ++p) {
+        ISP_CHECK(media_[first + p].has_value() == (p < zn.write_pointer),
+                  "zone " << z << " programmed pages are not a prefix");
+      }
+    }
+    switch (zn.state) {
+      case ZoneState::Empty:
+        ISP_CHECK(zn.write_pointer == 0 && zn.live == 0,
+                  "empty zone " << z << " holds data");
+        ++free_seen;
+        break;
+      case ZoneState::ImplicitlyOpen:
+      case ZoneState::ExplicitlyOpen:
+        ISP_CHECK(zn.write_pointer < zone_pages_,
+                  "open zone " << z << " is at capacity");
+        ++open_seen;
+        break;
+      case ZoneState::Closed:
+        ISP_CHECK(zn.write_pointer < zone_pages_,
+                  "closed zone " << z << " is at capacity");
+        break;
+      case ZoneState::Full:
+        break;  // finish_zone allows write_pointer < zone_pages_
+      case ZoneState::Offline:
+        ISP_CHECK(retired_[z], "offline zone " << z << " not in the table");
+        ISP_CHECK(zn.live == 0 && zn.write_pointer == 0,
+                  "offline zone " << z << " holds data");
+        break;
+    }
+    if (retired_[z]) {
+      ISP_CHECK(zn.state == ZoneState::Offline,
+                "retired zone " << z << " not offline");
+      ++retired_seen;
+    }
+  }
+  ISP_CHECK(free_seen == free_count_, "free-zone bookkeeping mismatch");
+  ISP_CHECK(open_seen == open_count_, "open-zone bookkeeping mismatch");
+  ISP_CHECK(open_count_ <= config_.max_open_zones,
+            "open-zone limit exceeded: " << open_count_);
+  ISP_CHECK(retired_seen == retired_count_,
+            "retired-count bookkeeping mismatch");
+  // Empty + in-use + offline partition the data zones.
+  ISP_CHECK(free_seen + retired_seen <= data_zones(),
+            "zone partition overflow");
+
+  // The metadata zones never hold data mappings.
+  for (flash::Ppn ppn = 0; ppn < zone_first_page(config_.meta_zones); ++ppn) {
+    ISP_CHECK(!p2l_[ppn].has_value(), "data mapping in the metadata zone");
+  }
+}
+
+}  // namespace isp::zns

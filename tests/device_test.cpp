@@ -76,9 +76,9 @@ TEST(CsdDevice, GcPressureDeratesFlash) {
   // Churn the FTL into GC, then couple the pressure into the array.
   Rng rng(7);
   for (int i = 0; i < 5000; ++i) {
-    device.ftl().write(rng.uniform_u64(0, device.ftl().logical_pages() - 1));
+    device.storage().write(rng.uniform_u64(0, device.storage().logical_pages() - 1));
   }
-  ASSERT_GT(device.ftl().gc_pressure(), 0.0);
+  ASSERT_GT(device.storage().gc_pressure(), 0.0);
   device.apply_gc_pressure();
 
   const auto clean = device.flash_array().read_seconds(Bytes{1 << 20});

@@ -304,5 +304,47 @@ TEST(Cli, OnOffFlagParsesBothSpellingsAndFallsBack) {
   EXPECT_FALSE(on_off_flag(4, const_cast<char**>(argv), "--missing", false));
 }
 
+TEST(Cli, ParseEnumMatchesExactChoiceOnly) {
+  const std::vector<const char*> choices = {"ftl", "zns", "mixed"};
+  ASSERT_TRUE(parse_enum("ftl", choices).has_value());
+  EXPECT_EQ(*parse_enum("ftl", choices), 0u);
+  EXPECT_EQ(*parse_enum("zns", choices), 1u);
+  EXPECT_EQ(*parse_enum("mixed", choices), 2u);
+}
+
+TEST(Cli, ParseEnumRejectsEveryMalformedShape) {
+  const std::vector<const char*> choices = {"ftl", "zns", "mixed"};
+  const char* bad[] = {
+      "",       // empty
+      "FTL",    // no case folding
+      "Zns",    //
+      "ft",     // no prefixes
+      "ftlx",   // no trailing junk
+      " ftl",   // leading whitespace
+      "ftl ",   // trailing whitespace
+      "mix",    // partial choice
+      "random", // not a choice at all
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(parse_enum(text, choices).has_value())
+        << "\"" << text << "\"";
+  }
+  EXPECT_FALSE(parse_enum(nullptr, choices).has_value());
+}
+
+TEST(Cli, EnumFlagParsesBothSpellingsAndFallsBack) {
+  const std::vector<const char*> choices = {"ftl", "zns", "mixed"};
+  const char* argv[] = {"prog", "--backend", "zns", "--other=mixed"};
+  EXPECT_EQ(enum_flag(4, const_cast<char**>(argv), "--backend", choices, 0),
+            1u);
+  EXPECT_EQ(enum_flag(4, const_cast<char**>(argv), "--other", choices, 0),
+            2u);
+  // Absent flag: the fallback decides, whichever index it names.
+  EXPECT_EQ(enum_flag(4, const_cast<char**>(argv), "--missing", choices, 0),
+            0u);
+  EXPECT_EQ(enum_flag(4, const_cast<char**>(argv), "--missing", choices, 2),
+            2u);
+}
+
 }  // namespace
 }  // namespace isp::exec

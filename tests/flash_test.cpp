@@ -8,6 +8,7 @@
 #include "flash/flash_array.hpp"
 #include "flash/ftl.hpp"
 #include "flash/nand.hpp"
+#include "obs/metrics.hpp"
 
 namespace isp::flash {
 namespace {
@@ -273,6 +274,22 @@ TEST_P(FtlChurn, InvariantsUnderRandomOps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FtlChurn,
                          ::testing::Values(11, 23, 37, 41, 53, 67, 79, 97));
+
+TEST(Ftl, RecordMetricsExportsFreePagesAndWaGauges) {
+  Ftl ftl(small_ftl());
+  for (Lpn lpn = 0; lpn < 30; ++lpn) ftl.write(lpn);
+  for (Lpn lpn = 0; lpn < 30; ++lpn) ftl.write(lpn);  // force relocations
+  obs::MetricsRegistry registry;
+  ftl.stats().record_metrics(registry);
+  ASSERT_NE(registry.find_gauge("ftl.free_pages"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("ftl.free_pages")->value,
+                   static_cast<double>(ftl.stats().free_pages));
+  EXPECT_GT(registry.find_gauge("ftl.free_pages")->value, 0.0);
+  ASSERT_NE(registry.find_gauge("ftl.wa"), nullptr);
+  EXPECT_GE(registry.find_gauge("ftl.wa")->value, 1.0);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("ftl.wa")->value,
+                   ftl.stats().write_amplification());
+}
 
 }  // namespace
 }  // namespace isp::flash

@@ -122,6 +122,50 @@ TEST(Equation1, SideSplitRecombinesBitForBit) {
   }
 }
 
+TEST(Equation1, StorageTermsSubtractFromTheDeviceSide) {
+  // The backend-specific storage terms price exactly like queue wait: every
+  // second of expected reclaim stall or persist cost comes straight off the
+  // offload profit, and both land in device_side_cost for the bid cache's
+  // side split.
+  const Eq1Terms terms{.ds_raw = gigabytes(6.9),
+                       .ct_host = Seconds{2.0},
+                       .ct_device = Seconds{2.8},
+                       .ds_processed = gigabytes(0.05),
+                       .bw_d2h = gb_per_s(5.0)};
+  const auto base = net_profit(terms);
+
+  const auto reclaiming = net_profit_under_contention(
+      terms, {.reclaim_wait = Seconds{0.25}});
+  EXPECT_NEAR(reclaiming.value(), base.value() - 0.25, 1e-9);
+
+  const auto persisting = net_profit_under_contention(
+      terms, {.persist_cost = Seconds{0.4}});
+  EXPECT_NEAR(persisting.value(), base.value() - 0.4, 1e-9);
+
+  const Eq1Contention both{.reclaim_wait = Seconds{0.25},
+                           .persist_cost = Seconds{0.4}};
+  EXPECT_NEAR(net_profit_under_contention(terms, both).value(),
+              base.value() - 0.65, 1e-9);
+  const auto neutral_dev =
+      device_side_cost(terms, Eq1Contention{});
+  EXPECT_NEAR(device_side_cost(terms, both).value(),
+              neutral_dev.value() + 0.65, 1e-9);
+}
+
+TEST(Equation1, StorageTermsRejectNegatives) {
+  const Eq1Terms terms{.ds_raw = gigabytes(1.0),
+                       .ct_host = Seconds{1.0},
+                       .ct_device = Seconds{1.0},
+                       .ds_processed = Bytes{0},
+                       .bw_d2h = gb_per_s(5.0)};
+  EXPECT_THROW(static_cast<void>(net_profit_under_contention(
+                   terms, {.reclaim_wait = Seconds{-0.1}})),
+               Error);
+  EXPECT_THROW(static_cast<void>(net_profit_under_contention(
+                   terms, {.persist_cost = Seconds{-0.1}})),
+               Error);
+}
+
 TEST(Equation1, ContentionRejectsBadFractions) {
   const Eq1Terms terms{.ds_raw = gigabytes(1.0),
                        .ct_host = Seconds{1.0},

@@ -361,13 +361,13 @@ TEST(FirmwarePowerCycle, InterruptedFunctionRestartsAndCompletes) {
 TEST(DevicePowerCycle, RemountsJournaledFtlAndChargesMediaReads) {
   sim::Simulator simulator;
   csd::CsdDevice device(simulator, csd::CsdConfig{});
-  ASSERT_TRUE(device.ftl().journaling()) << "a real CSD journals by default";
+  ASSERT_TRUE(device.storage().journaling()) << "a real CSD journals by default";
 
-  for (Lpn lpn = 0; lpn < 64; ++lpn) device.ftl().write(lpn);
+  for (Lpn lpn = 0; lpn < 64; ++lpn) device.storage().write(lpn);
 
   const auto outcome = device.power_cycle();
-  EXPECT_TRUE(device.ftl().mounted());
-  EXPECT_EQ(device.ftl().stats().recoveries, 1u);
+  EXPECT_TRUE(device.storage().mounted());
+  EXPECT_EQ(device.storage().counters().recoveries, 1u);
   EXPECT_EQ(outcome.recovery.mappings_recovered, 64u);
   EXPECT_GT(outcome.recovery.media_reads(), 0u);
   // Remount time converts media reads through the device's NAND timing.
@@ -375,9 +375,9 @@ TEST(DevicePowerCycle, RemountsJournaledFtlAndChargesMediaReads) {
               device.config().nand_timing.page_read.value() *
                   static_cast<double>(outcome.recovery.media_reads()),
               1e-12);
-  device.ftl().check_invariants();
+  device.storage().check_invariants();
   for (Lpn lpn = 0; lpn < 64; ++lpn) {
-    EXPECT_TRUE(device.ftl().translate(lpn).has_value()) << "lpn " << lpn;
+    EXPECT_TRUE(device.storage().translate(lpn).has_value()) << "lpn " << lpn;
   }
 }
 

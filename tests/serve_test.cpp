@@ -1015,6 +1015,104 @@ TEST(FleetIndex, QueriesMatchTheLinearScans) {
   EXPECT_EQ(fleet.next_free(claimed), SimTime::infinity());
 }
 
+
+// --- Storage backends in the fleet (ZNS / FTL / mixed) -------------------
+
+/// A persisting workload on a heterogeneous fleet: even-indexed devices run
+/// the FTL, odd-indexed devices run ZNS, and one job class writes its
+/// outputs to flash so the lanes genuinely serve differently (reclaim
+/// stalls, metadata traffic, Eq.1 persist pricing).
+serve::ServeConfig mixed_backend_config(unsigned jobs) {
+  serve::ServeConfig config;
+  config.fleet =
+      serve::FleetConfig::make(4, 1, 0.0, serve::BackendMix::Mixed);
+  config.tenants = {serve::TenantConfig{.weight = 1.0, .queue_depth = 16},
+                    serve::TenantConfig{.weight = 2.0, .queue_depth = 16}};
+  config.job_classes = {
+      serve::JobClass{.app = "tpch-q6", .size_factor = 0.1, .persist = true},
+      serve::JobClass{.app = "kmeans", .size_factor = 0.05}};
+  config.total_jobs = 24;
+  config.offered_load = 8.0;
+  config.jobs = jobs;
+  return config;
+}
+
+TEST(ServeBackend, MixedFleetByteIdenticalAcrossJobsAndCaches) {
+  const auto serial = serve::serve(mixed_backend_config(1));
+  const auto parallel = serve::serve(mixed_backend_config(4));
+  expect_identical(serial, parallel);
+
+  auto uncached = mixed_backend_config(4);
+  uncached.sim_cache = false;
+  uncached.plan_cache = false;
+  expect_identical(serial, serve::serve(uncached));
+
+  // The persisting class must actually have driven the backends: some lane
+  // accumulated host page programs (and ZNS/FTL reclaim bookkeeping).
+  std::uint64_t host_pages = 0;
+  Seconds reclaim = Seconds::zero();
+  for (const auto& lane : serial.lanes) {
+    host_pages += lane.storage_host_pages;
+    reclaim = reclaim + lane.reclaim_time;
+    EXPECT_GE(lane.storage_write_amplification(), 1.0);
+  }
+  EXPECT_GT(host_pages, 0u);
+  EXPECT_GE(reclaim.value(), 0.0);
+}
+
+TEST(ServeBackend, PersistOffIsIndifferentToBackendMix) {
+  // Without a persisting class the backend never runs, so an all-FTL and an
+  // all-ZNS fleet must serve byte-identically — the seam is free until used.
+  auto ftl = mixed_backend_config(2);
+  ftl.job_classes[0].persist = false;
+  ftl.fleet = serve::FleetConfig::make(4, 1, 0.0, serve::BackendMix::Ftl);
+  auto zns = ftl;
+  zns.fleet = serve::FleetConfig::make(4, 1, 0.0, serve::BackendMix::Zns);
+  expect_identical(serve::serve(ftl), serve::serve(zns));
+}
+
+TEST(ServeBackend, BackendKindSplitsTheMemoKey) {
+  // Loud-collision regression: two dispatches that differ only in the
+  // lane's storage backend must never share a memo entry — an FTL service
+  // time replayed on a ZNS lane would silently corrupt the simulation.
+  serve::SimMemoCache cache(4);
+  serve::SimKey ftl_key;
+  ftl_key.job_class = 2;
+  ftl_key.backend = 1 + static_cast<std::uint32_t>(flash::BackendKind::Ftl);
+  serve::SimResult r;
+  r.service = Seconds{2.5};
+  cache.insert(ftl_key, r);
+
+  auto zns_key = ftl_key;
+  zns_key.backend = 1 + static_cast<std::uint32_t>(flash::BackendKind::Zns);
+  EXPECT_NE(ftl_key.digest(), zns_key.digest());
+  EXPECT_EQ(cache.find(zns_key), nullptr);
+  ASSERT_NE(cache.find(ftl_key), nullptr);
+  EXPECT_EQ(cache.find(ftl_key)->service, Seconds{2.5});
+
+  // Host lanes use the reserved 0 value: distinct from every device kind.
+  auto host_key = ftl_key;
+  host_key.backend = 0;
+  host_key.on_host = true;
+  EXPECT_EQ(cache.find(host_key), nullptr);
+}
+
+TEST(ServeBackend, MixAssignsAlternatingKinds) {
+  const auto config = serve::FleetConfig::make(5, 0, 0.0,
+                                               serve::BackendMix::Mixed);
+  for (std::size_t k = 0; k < config.devices.size(); ++k) {
+    EXPECT_EQ(config.devices[k].backend, (k % 2 == 0)
+                                             ? flash::BackendKind::Ftl
+                                             : flash::BackendKind::Zns)
+        << "device " << k;
+  }
+  const auto all_zns = serve::FleetConfig::make(3, 0, 0.0,
+                                                serve::BackendMix::Zns);
+  for (const auto& d : all_zns.devices) {
+    EXPECT_EQ(d.backend, flash::BackendKind::Zns);
+  }
+}
+
 TEST(FleetIndex, DoomedLaneNeverSchedulesAgain) {
   serve::Fleet fleet(serve::FleetConfig::make(2, 0));
   fleet.occupy(0, SimTime::zero(), Seconds{5.0});
