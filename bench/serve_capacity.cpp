@@ -20,6 +20,7 @@
 //   --fleet-skew S    per-device CSE availability skew             [0.05]
 //   --plan-cache on|off  incremental lane index + Eq.1 bid cache   [on]
 //   --sim-cache on|off   digest-verified engine-run memo cache     [on]
+//   --span on|off        extent storage data plane (exact)         [on]
 //   --jobs N          worker threads for the simulation batches
 //   --quick           one grid point per fleet size (sanitizer CI)
 //   --trace-out P     write the last grid point's fleet Perfetto timeline
@@ -53,6 +54,8 @@ struct DomainKnobs {
   // toggles exist for the off-arm of bench/serve_hotpath and bisecting.
   bool plan_cache = true;
   bool sim_cache = true;
+  // Extent storage data plane (PR 10) — same exactness contract.
+  bool span_io = true;
 };
 
 isp::serve::ServeConfig make_config(std::size_t fleet, double offered_load,
@@ -84,6 +87,7 @@ isp::serve::ServeConfig make_config(std::size_t fleet, double offered_load,
   config.breaker.threshold = domain.breaker_threshold;
   config.plan_cache = domain.plan_cache;
   config.sim_cache = domain.sim_cache;
+  config.span_io = domain.span_io;
   // ~1.7 s and ~2.6 s of virtual service: with the default middle load of
   // 1 job/s the sweep straddles the fleet's saturation point.
   config.job_classes = {serve::JobClass{.app = "tpch-q6", .size_factor = 0.2},
@@ -119,6 +123,7 @@ int main(int argc, char** argv) {
       exec::double_flag(argc, argv, "--fleet-skew", 0.05, 0.0, 0.33);
   domain.plan_cache = exec::on_off_flag(argc, argv, "--plan-cache", true);
   domain.sim_cache = exec::on_off_flag(argc, argv, "--sim-cache", true);
+  domain.span_io = exec::on_off_flag(argc, argv, "--span", true);
   const char* trace_out = exec::string_flag(argc, argv, "--trace-out", nullptr);
   const char* metrics_out =
       exec::string_flag(argc, argv, "--metrics-out", nullptr);

@@ -4,10 +4,12 @@
 // Sweeps fleet size x offered job count and, per grid point, runs the
 // identical workload three ways:
 //
-//   off     plan_cache=off, sim_cache=off — the legacy O(lanes) scans and
-//           one engine simulation per dispatch (the pre-PR 7 hot path).
+//   off     plan_cache=off, sim_cache=off, span_io=off — the legacy
+//           O(lanes) scans, one engine simulation per dispatch, and
+//           page-at-a-time storage loops (the pre-optimisation hot path).
 //   on      the incremental lane index + Eq.1 bid cache + digest-verified
-//           engine-run memo cache (whatever --plan-cache/--sim-cache say).
+//           engine-run memo cache + extent storage data plane (whatever
+//           --plan-cache/--sim-cache/--span say).
 //   serial  the on-arm re-run at --jobs 1.
 //
 // Two gates, both hard failures:
@@ -28,6 +30,7 @@
 //   --fleet-skew S       per-device CSE availability skew             [0.0]
 //   --plan-cache on|off  lane index + bid cache in the on-arm         [on]
 //   --sim-cache on|off   engine-run memo cache in the on-arm          [on]
+//   --span on|off        extent storage data plane in the on-arm     [on]
 //   --jobs N             worker threads for the simulation batches
 //   --quick              largest fleet only, one job count (sanitizer CI)
 #include <chrono>
@@ -103,6 +106,7 @@ int main(int argc, char** argv) {
       exec::double_flag(argc, argv, "--fleet-skew", 0.0, 0.0, 0.33);
   const bool plan_cache = exec::on_off_flag(argc, argv, "--plan-cache", true);
   const bool sim_cache = exec::on_off_flag(argc, argv, "--sim-cache", true);
+  const bool span_io = exec::on_off_flag(argc, argv, "--span", true);
 
   std::vector<std::size_t> fleets;
   if (!quick) {
@@ -117,9 +121,10 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Serving hot path: lane index + bid cache + engine-run memo, on vs "
       "off, identity-gated");
-  std::printf("on-arm: plan-cache %s, sim-cache %s; off-arm: both off; "
-              "identical digests required\n\n",
-              plan_cache ? "on" : "off", sim_cache ? "on" : "off");
+  std::printf("on-arm: plan-cache %s, sim-cache %s, span %s; off-arm: all "
+              "off (scalar data plane); identical digests required\n\n",
+              plan_cache ? "on" : "off", sim_cache ? "on" : "off",
+              span_io ? "on" : "off");
   std::printf("%5s %5s | %9s %9s %8s | %6s %6s %6s | %5s %5s\n", "fleet",
               "jobs", "off s", "on s", "speedup", "simhit", "simmis",
               "bidhit", "ident", "gate");
@@ -132,6 +137,9 @@ int main(int argc, char** argv) {
       auto off_config = make_config(fleet, total, skew, jobs);
       off_config.plan_cache = false;
       off_config.sim_cache = false;
+      // The off-arm also pins the scalar storage loops, so the identity
+      // gate below doubles as the span-vs-scalar byte-equality check.
+      off_config.span_io = false;
       const auto off0 = Clock::now();
       const auto off = serve::serve(off_config);
       const double wall_off =
@@ -140,6 +148,7 @@ int main(int argc, char** argv) {
       auto on_config = make_config(fleet, total, skew, jobs);
       on_config.plan_cache = plan_cache;
       on_config.sim_cache = sim_cache;
+      on_config.span_io = span_io;
       const auto on0 = Clock::now();
       const auto on = serve::serve(on_config);
       const double wall_on =

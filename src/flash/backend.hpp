@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/units.hpp"
 
@@ -132,6 +133,27 @@ class StorageBackend {
 
   /// Trim: drop the mapping, invalidating the physical page.
   virtual void trim(Lpn lpn) = 0;
+
+  // ---- Span (extent) operations ----------------------------------------
+  // Batched forms of write/trim/translate over a contiguous LPN extent
+  // [first, first + count).  The contract is exact equivalence: state,
+  // stats, journal contents and recovery outcome are bit-for-bit what the
+  // scalar loop `for (i) op(first + i)` would produce — a backend override
+  // is an algorithmic fast path (hoisted checks, run-at-a-time bookkeeping,
+  // bitmap walks), never a semantic change.  The defaults are the scalar
+  // loops, so a backend that doesn't override still honours the contract.
+
+  /// Write `count` pages starting at `first` (each out of place, in
+  /// ascending LPN order, with the same reclaim triggers as write()).
+  virtual void write_span(Lpn first, std::uint64_t count);
+
+  /// Trim `count` pages starting at `first`, in ascending LPN order.
+  virtual void trim_span(Lpn first, std::uint64_t count);
+
+  /// Translate the extent: returns how many pages are mapped and, when
+  /// `out` is non-null, appends each mapped page's Ppn in LPN order.
+  virtual std::uint64_t read_span(Lpn first, std::uint64_t count,
+                                  std::vector<Ppn>* out) const;
 
   [[nodiscard]] virtual bool journaling() const = 0;
   [[nodiscard]] virtual bool mounted() const = 0;

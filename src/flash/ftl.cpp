@@ -61,14 +61,21 @@ Ftl::Ftl(FtlConfig config) : config_(config) {
                 << logical_blocks << " logical blocks + 2 active + "
                 << config_.gc_high_watermark << " watermark > "
                 << g.total_blocks() << " total");
-  l2p_.assign(logical_pages_, std::nullopt);
-  p2l_.assign(physical_pages, std::nullopt);
+  l2p_.assign(logical_pages_, kNoPage);
+  p2l_.assign(physical_pages, kNoPage);
   blocks_.assign(g.total_blocks(), Block{});
   retired_.assign(g.total_blocks(), 0);
   free_count_ = static_cast<std::uint32_t>(g.total_blocks());
+  bits_resize(free_bits_, g.total_blocks());
+  for (std::uint64_t b = 0; b < g.total_blocks(); ++b) bit_set(free_bits_, b);
+  bits_resize(full_bits_, g.total_blocks());
+  bits_resize(valid_bits_, physical_pages);
+  bits_resize(dirty_bits_, g.total_blocks());
+  block_max_seq_.assign(g.total_blocks(), 0);
+  block_programmed_.assign(g.total_blocks(), 0);
   if (config_.journal.enabled) {
     media_.assign(physical_pages, std::nullopt);
-    checkpoint_.assign(logical_pages_, std::nullopt);
+    checkpoint_.assign(logical_pages_, kNoPage);
     // The buffers cycle at fixed sizes: one page of entries in the open
     // journal page, at most checkpoint_interval_pages of durable entries
     // before a fold clears them.  Reserve once instead of regrowing on the
@@ -99,21 +106,18 @@ std::uint32_t Ftl::journal_entries_per_page() const {
 
 std::uint64_t Ftl::allocate_free_block() {
   ISP_CHECK(free_count_ > 0, "FTL out of free blocks (GC starved)");
-  // Invariant: no block below free_scan_hint_ is free (every site that frees
-  // a block lowers the hint), so starting the scan there still yields the
-  // lowest-index free block — same choice, without re-walking the occupied
-  // prefix on every allocation.
-  for (std::uint64_t b = free_scan_hint_; b < blocks_.size(); ++b) {
-    if (blocks_[b].is_free) {
-      blocks_[b].is_free = false;
-      blocks_[b].next_free_page = 0;
-      blocks_[b].valid = 0;
-      --free_count_;
-      free_scan_hint_ = b + 1;
-      return b;
-    }
+  // Lowest-index free block via a ctz word walk over the free-block bitset:
+  // the same choice the old linear struct scan made, in O(blocks/64).
+  const std::uint64_t b = bits_find_first(free_bits_, 0, blocks_.size());
+  if (b == blocks_.size()) {
+    throw Error("free_count_ positive but no free block found");
   }
-  throw Error("free_count_ positive but no free block found");
+  blocks_[b].is_free = false;
+  blocks_[b].next_free_page = 0;
+  blocks_[b].valid = 0;
+  bit_clear(free_bits_, b);
+  --free_count_;
+  return b;
 }
 
 Ppn Ftl::append_to_active(bool for_gc) {
@@ -124,6 +128,11 @@ Ppn Ftl::append_to_active(bool for_gc) {
   Block& blk = blocks_[active];
   const Ppn ppn = block_first_page(active) + blk.next_free_page;
   ++blk.next_free_page;
+  block_programmed_[active] = blk.next_free_page;
+  mark_dirty(active);
+  if (blk.next_free_page == config_.geometry.pages_per_block) {
+    bit_set(full_bits_, active);
+  }
   ISP_DCHECK(stats_.free_pages > 0, "free-page gauge underflow");
   --stats_.free_pages;
   return ppn;
@@ -132,6 +141,10 @@ Ppn Ftl::append_to_active(bool for_gc) {
 void Ftl::journal_append(Lpn lpn, Ppn ppn, std::uint64_t seq) {
   if (!config_.journal.enabled) return;
   journal_buf_.push_back(JournalEntry{lpn, ppn, seq});
+  flush_journal_page_if_full();
+}
+
+void Ftl::flush_journal_page_if_full() {
   if (journal_buf_.size() < journal_entries_per_page()) return;
   // The open journal page filled: program it.  Its entries become durable
   // and the write is charged as real metadata traffic.
@@ -165,15 +178,20 @@ void Ftl::fold_checkpoint() {
   journal_buf_.clear();
   journal_pages_since_fold_ = 0;
   last_durable_seq_ = checkpoint_seq_;
+  // The checkpoint now covers everything: the dirty extent (the scope of
+  // incremental remount verification) restarts empty.
+  bits_clear_all(dirty_bits_);
 }
 
 void Ftl::install_mapping(Lpn lpn, Ppn ppn, bool for_gc) {
   l2p_[lpn] = ppn;
   p2l_[ppn] = lpn;
+  bit_set(valid_bits_, ppn);
   ++blocks_[page_block(ppn)].valid;
   const std::uint64_t seq = ++seq_;
   if (config_.journal.enabled) {
     media_[ppn] = Oob{lpn, seq};
+    block_max_seq_[page_block(ppn)] = seq;
     journal_append(lpn, ppn, seq);
   }
   (void)for_gc;
@@ -185,9 +203,10 @@ void Ftl::write(Lpn lpn) {
   // Invalidate the previous location, if any.  No journal entry is needed
   // for the invalidation itself: validity is derived from the newest
   // mapping during recovery.
-  if (const auto old = l2p_[lpn]) {
-    p2l_[*old] = std::nullopt;
-    Block& blk = blocks_[page_block(*old)];
+  if (const Ppn old = l2p_[lpn]; old != kNoPage) {
+    p2l_[old] = kNoPage;
+    bit_clear(valid_bits_, old);
+    Block& blk = blocks_[page_block(old)];
     ISP_DCHECK(blk.valid > 0, "valid-count underflow");
     --blk.valid;
   } else {
@@ -200,24 +219,165 @@ void Ftl::write(Lpn lpn) {
   if (free_count_ <= config_.gc_low_watermark) garbage_collect();
 }
 
+void Ftl::write_span(Lpn first, std::uint64_t count) {
+  ISP_CHECK(mounted_, "FTL not mounted (crashed; call recover() first)");
+  ISP_CHECK(first <= logical_pages_ && count <= logical_pages_ - first,
+            "span out of range: [" << first << ", +" << count << ")");
+  const auto pages_per_block = config_.geometry.pages_per_block;
+  const bool journal = config_.journal.enabled;
+  Lpn lpn = first;
+  std::uint64_t left = count;
+  while (left > 0) {
+    // Page-by-page regimes: at or below the GC low watermark the scalar
+    // path re-invokes the collector after every write (stand-downs included
+    // — they still count as gc_invocations), and a full active block means
+    // the next write allocates.  write() reproduces both exactly.
+    if (free_count_ <= config_.gc_low_watermark ||
+        blocks_[active_block_].next_free_page == pages_per_block) {
+      write(lpn);
+      ++lpn;
+      --left;
+      continue;
+    }
+    // Bulk regime: free_count_ cannot change inside the run (no allocation,
+    // and the journal page program / fold lands exactly at the run end), so
+    // the per-page watermark and block-full checks hoist out.
+    Block& blk = blocks_[active_block_];
+    std::uint64_t run =
+        std::min<std::uint64_t>(left, pages_per_block - blk.next_free_page);
+    if (journal) {
+      run = std::min<std::uint64_t>(
+          run, journal_entries_per_page() - journal_buf_.size());
+    }
+    const Ppn start = block_first_page(active_block_) + blk.next_free_page;
+    // The freshly-programmed pages form one contiguous PPN run: their valid
+    // bits go in with whole-word masks and the journal tail is sized once.
+    // An old mapping invalidated below can never land inside
+    // [start, start + run) — those pages were unprogrammed until now.
+    bits_set_range(valid_bits_, start, start + run);
+    std::size_t jbase = 0;
+    if (journal) {
+      jbase = journal_buf_.size();
+      journal_buf_.resize(jbase + run);
+    }
+    const Lpn lpn0 = lpn;
+    for (std::uint64_t i = 0; i < run; ++i, ++lpn) {
+      if (const Ppn old = l2p_[lpn]; old != kNoPage) {
+        p2l_[old] = kNoPage;
+        bit_clear(valid_bits_, old);
+        Block& ob = blocks_[page_block(old)];
+        ISP_DCHECK(ob.valid > 0, "valid-count underflow");
+        --ob.valid;
+      } else {
+        ++mapped_count_;
+      }
+      l2p_[lpn] = start + i;
+      p2l_[start + i] = lpn;
+    }
+    if (journal) {
+      // Second pass: lpn, ppn and seq all advance by one per page, so the
+      // OOB stamps and journal tail are straight sequential fills.
+      for (std::uint64_t i = 0; i < run; ++i) {
+        const std::uint64_t seq = seq_ + i + 1;
+        media_[start + i] = Oob{lpn0 + i, seq};
+        journal_buf_[jbase + i] = JournalEntry{lpn0 + i, start + i, seq};
+      }
+    }
+    seq_ += run;
+    blk.next_free_page += static_cast<std::uint32_t>(run);
+    blk.valid += static_cast<std::uint32_t>(run);
+    stats_.host_writes += run;
+    ISP_DCHECK(stats_.free_pages >= run, "free-page gauge underflow");
+    stats_.free_pages -= run;
+    block_programmed_[active_block_] = blk.next_free_page;
+    if (journal) block_max_seq_[active_block_] = seq_;
+    mark_dirty(active_block_);
+    if (blk.next_free_page == pages_per_block) {
+      bit_set(full_bits_, active_block_);
+    }
+    if (journal) flush_journal_page_if_full();
+    left -= run;
+  }
+}
+
 std::optional<Ppn> Ftl::translate(Lpn lpn) const {
   ISP_CHECK(mounted_, "FTL not mounted (crashed; call recover() first)");
   ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
-  return l2p_[lpn];
+  const Ppn ppn = l2p_[lpn];
+  if (ppn == kNoPage) return std::nullopt;
+  return ppn;
+}
+
+void Ftl::trim_one(Lpn lpn) {
+  if (const Ppn old = l2p_[lpn]; old != kNoPage) {
+    p2l_[old] = kNoPage;
+    bit_clear(valid_bits_, old);
+    Block& blk = blocks_[page_block(old)];
+    ISP_DCHECK(blk.valid > 0, "valid-count underflow");
+    --blk.valid;
+    l2p_[lpn] = kNoPage;
+    --mapped_count_;
+    journal_append(lpn, kTrimMark, ++seq_);
+  }
 }
 
 void Ftl::trim(Lpn lpn) {
   ISP_CHECK(mounted_, "FTL not mounted (crashed; call recover() first)");
   ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
-  if (const auto old = l2p_[lpn]) {
-    p2l_[*old] = std::nullopt;
-    Block& blk = blocks_[page_block(*old)];
-    ISP_DCHECK(blk.valid > 0, "valid-count underflow");
-    --blk.valid;
-    l2p_[lpn] = std::nullopt;
-    --mapped_count_;
-    journal_append(lpn, kTrimMark, ++seq_);
+  trim_one(lpn);
+}
+
+void Ftl::trim_span(Lpn first, std::uint64_t count) {
+  ISP_CHECK(mounted_, "FTL not mounted (crashed; call recover() first)");
+  ISP_CHECK(first <= logical_pages_ && count <= logical_pages_ - first,
+            "span out of range: [" << first << ", +" << count << ")");
+  for (std::uint64_t i = 0; i < count; ++i) trim_one(first + i);
+}
+
+std::uint64_t Ftl::read_span(Lpn first, std::uint64_t count,
+                             std::vector<Ppn>* out) const {
+  ISP_CHECK(mounted_, "FTL not mounted (crashed; call recover() first)");
+  ISP_CHECK(first <= logical_pages_ && count <= logical_pages_ - first,
+            "span out of range: [" << first << ", +" << count << ")");
+  std::uint64_t mapped = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (const Ppn ppn = l2p_[first + i]; ppn != kNoPage) {
+      ++mapped;
+      if (out != nullptr) out->push_back(ppn);
+    }
   }
+  return mapped;
+}
+
+void Ftl::relocate_block(std::uint64_t block) {
+  // Ascending valid-bit walk: the same page visit order (and therefore the
+  // same sequence-number assignment) as the old 0..pages_per_block loop.
+  const Ppn first = block_first_page(block);
+  bits_for_each(
+      valid_bits_, first, first + config_.geometry.pages_per_block,
+      [&](std::uint64_t src) {
+        const Lpn lpn = p2l_[src];
+        ISP_DCHECK(lpn != kNoPage, "valid bit set on unmapped page");
+        const Ppn dst = append_to_active(/*for_gc=*/true);
+        p2l_[src] = kNoPage;
+        bit_clear(valid_bits_, src);
+        --blocks_[block].valid;
+        install_mapping(lpn, dst, /*for_gc=*/true);
+        ++stats_.gc_writes;
+      });
+  ISP_DCHECK(blocks_[block].valid == 0, "block not fully relocated");
+}
+
+void Ftl::erase_block_media(std::uint64_t block) {
+  if (!media_.empty()) {
+    const Ppn first = block_first_page(block);
+    for (std::uint32_t p = 0; p < config_.geometry.pages_per_block; ++p) {
+      media_[first + p] = std::nullopt;
+    }
+  }
+  block_max_seq_[block] = 0;
+  block_programmed_[block] = 0;
+  mark_dirty(block);
 }
 
 void Ftl::retire_block(std::uint64_t block) {
@@ -241,33 +401,20 @@ void Ftl::retire_block(std::uint64_t block) {
     (block == active_block_ ? active_block_ : gc_active_block_) = replacement;
   }
   // Relocate whatever is still valid, exactly like a GC victim.
-  const Ppn first = block_first_page(block);
-  for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
-    const Ppn src = first + p;
-    if (const auto lpn = p2l_[src]) {
-      const Ppn dst = append_to_active(/*for_gc=*/true);
-      p2l_[src] = std::nullopt;
-      --blocks_[block].valid;
-      install_mapping(*lpn, dst, /*for_gc=*/true);
-      ++stats_.gc_writes;
-    }
-  }
-  ISP_DCHECK(blocks_[block].valid == 0, "retired block not fully relocated");
+  relocate_block(block);
   if (blocks_[block].is_free) {
+    bit_clear(free_bits_, block);
     --free_count_;
   } else if (had_data) {
     ++stats_.erases;  // decommission erase of a programmed block
   }
   // The retired block's unwritten remainder leaves the writable pool.
   stats_.free_pages -= g.pages_per_block - blocks_[block].next_free_page;
-  if (!media_.empty()) {
-    for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
-      media_[first + p] = std::nullopt;
-    }
-  }
+  erase_block_media(block);
   blocks_[block] = Block{};
   blocks_[block].is_free = false;
   blocks_[block].next_free_page = g.pages_per_block;  // never appendable
+  bit_clear(full_bits_, block);  // never a GC candidate again
   retired_[block] = 1;
   ++retired_count_;
   ++stats_.blocks_retired;
@@ -281,19 +428,18 @@ void Ftl::garbage_collect() {
   ++stats_.gc_invocations;
   const auto pages_per_block = config_.geometry.pages_per_block;
   while (free_count_ < config_.gc_high_watermark) {
-    // Greedy victim: the full, non-active block with the fewest valid pages.
+    // Greedy victim via the full-block bitset (full, non-free, non-retired
+    // by construction): the first strict minimum in ascending block order —
+    // the old O(blocks) struct scan's choice, in O(popcount).
     std::uint64_t victim = blocks_.size();
     std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
-    for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
-      if (blocks_[b].is_free || retired_[b] || b == active_block_ ||
-          b == gc_active_block_)
-        continue;
-      if (blocks_[b].next_free_page != pages_per_block) continue;
+    bits_for_each(full_bits_, 0, blocks_.size(), [&](std::uint64_t b) {
+      if (b == active_block_ || b == gc_active_block_) return;
       if (blocks_[b].valid < best_valid) {
         best_valid = blocks_[b].valid;
         victim = b;
       }
-    }
+    });
     if (victim == blocks_.size()) return;  // nothing reclaimable yet
     // A fully-valid victim yields no space: relocating it consumes exactly
     // what erasing frees.  Fresh-write (no-overwrite) workloads hit this
@@ -301,26 +447,12 @@ void Ftl::garbage_collect() {
     if (best_valid == pages_per_block) return;
 
     // Relocate valid pages, then erase.
-    const Ppn first = block_first_page(victim);
-    for (std::uint32_t p = 0; p < pages_per_block; ++p) {
-      const Ppn src = first + p;
-      if (const auto lpn = p2l_[src]) {
-        const Ppn dst = append_to_active(/*for_gc=*/true);
-        p2l_[src] = std::nullopt;
-        --blocks_[victim].valid;
-        install_mapping(*lpn, dst, /*for_gc=*/true);
-        ++stats_.gc_writes;
-      }
-    }
-    ISP_DCHECK(blocks_[victim].valid == 0, "victim not fully invalidated");
-    if (!media_.empty()) {
-      for (std::uint32_t p = 0; p < pages_per_block; ++p) {
-        media_[first + p] = std::nullopt;
-      }
-    }
+    relocate_block(victim);
+    erase_block_media(victim);
     blocks_[victim] = Block{};
+    bit_clear(full_bits_, victim);
+    bit_set(free_bits_, victim);
     ++free_count_;
-    if (victim < free_scan_hint_) free_scan_hint_ = victim;
     ++stats_.erases;
     stats_.free_pages += pages_per_block;  // the erase frees the whole block
   }
@@ -338,13 +470,17 @@ FtlCrash Ftl::power_loss() {
   // Everything volatile is gone.  The durable state — media OOB, programmed
   // journal pages, the checkpoint, and the bad-block table — survives.
   journal_buf_.clear();
-  l2p_.assign(logical_pages_, std::nullopt);
-  p2l_.assign(media_.size(), std::nullopt);
+  l2p_.assign(logical_pages_, kNoPage);
+  p2l_.assign(media_.size(), kNoPage);
   for (auto& b : blocks_) b = Block{};
+  bits_clear_all(free_bits_);
+  bits_clear_all(full_bits_);
+  bits_clear_all(valid_bits_);
   mapped_count_ = 0;
   free_count_ = 0;
-  free_scan_hint_ = 0;
   mounted_ = false;
+  // The durable per-block summaries (block_max_seq_, block_programmed_) and
+  // the dirty extent survive: they are the block headers remount reads.
   return crash;
 }
 
@@ -361,7 +497,9 @@ FtlRecovery Ftl::recover() {
   recover_scratch_.assign(logical_pages_, std::nullopt);
   auto& m = recover_scratch_;
   for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
-    if (checkpoint_[lpn]) m[lpn] = {*checkpoint_[lpn], checkpoint_seq_};
+    if (checkpoint_[lpn] != kNoPage) {
+      m[lpn] = {checkpoint_[lpn], checkpoint_seq_};
+    }
   }
   rec.checkpoint_pages_read = checkpoint_pages_;
 
@@ -379,21 +517,15 @@ FtlRecovery Ftl::recover() {
       journal_entries_per_page();
 
   // 3. OOB scan: only blocks holding pages programmed after the last
-  //    durable journal page need reading (their block headers carry the
-  //    program sequence, so the set is known without a full-device scan).
-  //    This is what rescues the journal's volatile tail: every data-page
+  //    durable journal page need reading.  The durable block header's max
+  //    program sequence answers "any page newer than the horizon?" in O(1)
+  //    per block (max > horizon iff some page's seq is — it is cleared on
+  //    erase), so the candidate set is found without touching page OOB.
+  //    The scan itself rescues the journal's volatile tail: every data-page
   //    program stamped its lpn+seq on the media.
   for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    if (block_max_seq_[b] <= last_durable_seq_) continue;
     const Ppn first = block_first_page(b);
-    bool has_new = false;
-    for (std::uint32_t p = 0; p < pages_per_block; ++p) {
-      const auto& oob = media_[first + p];
-      if (oob && oob->seq > last_durable_seq_) {
-        has_new = true;
-        break;
-      }
-    }
-    if (!has_new) continue;
     ++rec.blocks_scanned;
     rec.pages_scanned += pages_per_block;
     for (std::uint32_t p = 0; p < pages_per_block; ++p) {
@@ -420,8 +552,9 @@ FtlRecovery Ftl::recover() {
   }
 
   // 5. Rebuild the volatile state: forward/reverse map, per-block append
-  //    pointers (programmed pages are a prefix of each block), valid
-  //    counts, and the free pool.
+  //    pointers, valid counts, and the free pool.  The append pointer is
+  //    the durable programmed-prefix header — identical to the old per-page
+  //    media scan because programs land strictly prefix-ordered.
   for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
     Block nb;
     if (retired_[b]) {
@@ -430,29 +563,30 @@ FtlRecovery Ftl::recover() {
       blocks_[b] = nb;
       continue;
     }
-    const Ppn first = block_first_page(b);
-    std::uint32_t programmed = 0;
-    for (std::uint32_t p = 0; p < pages_per_block; ++p) {
-      if (media_[first + p]) programmed = p + 1;
-    }
-    nb.next_free_page = programmed;
-    nb.is_free = (programmed == 0);
+    nb.next_free_page = block_programmed_[b];
+    nb.is_free = (nb.next_free_page == 0);
     blocks_[b] = nb;
   }
-  free_scan_hint_ = 0;  // the free pool was just rebuilt from scratch
   mapped_count_ = 0;
   for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
     if (!m[lpn]) continue;
     const Ppn ppn = m[lpn]->first;
     l2p_[lpn] = ppn;
     p2l_[ppn] = lpn;
+    bit_set(valid_bits_, ppn);
     ++blocks_[page_block(ppn)].valid;
     ++mapped_count_;
   }
   rec.mappings_recovered = mapped_count_;
   free_count_ = 0;
   for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
-    if (blocks_[b].is_free) ++free_count_;
+    if (blocks_[b].is_free) {
+      bit_set(free_bits_, b);
+      ++free_count_;
+    } else if (!retired_[b] &&
+               blocks_[b].next_free_page == pages_per_block) {
+      bit_set(full_bits_, b);
+    }
   }
 
   // 6. Re-open the partially written blocks as the append points so they
@@ -477,21 +611,11 @@ FtlRecovery Ftl::recover() {
   }
   for (std::size_t i = 2; i < partial.size(); ++i) {
     const std::uint64_t b = partial[i];
-    const Ppn first = block_first_page(b);
-    for (std::uint32_t p = 0; p < pages_per_block; ++p) {
-      const Ppn src = first + p;
-      if (const auto lpn = p2l_[src]) {
-        const Ppn dst = append_to_active(/*for_gc=*/true);
-        p2l_[src] = std::nullopt;
-        --blocks_[b].valid;
-        install_mapping(*lpn, dst, /*for_gc=*/true);
-        ++stats_.gc_writes;
-      }
-      media_[src] = std::nullopt;
-    }
+    relocate_block(b);
+    erase_block_media(b);
     blocks_[b] = Block{};
+    bit_set(free_bits_, b);
     ++free_count_;
-    if (b < free_scan_hint_) free_scan_hint_ = b;
     ++stats_.erases;
   }
 
@@ -503,8 +627,15 @@ FtlRecovery Ftl::recover() {
   }
 
   ++stats_.recoveries;
-  // The remount contract: every invariant holds before the first IO.
-  check_invariants();
+  // The remount contract: every invariant holds before the first IO.  The
+  // default check is incremental (O(blocks) summaries + the dirty extent);
+  // the exhaustive sweep stays behind the config toggle, and the property
+  // suite proves the two agree.
+  if (config_.exhaustive_remount_verify) {
+    check_invariants();
+  } else {
+    check_invariants_incremental();
+  }
   return rec;
 }
 
@@ -523,31 +654,55 @@ void Ftl::check_invariants() const {
   // l2p / p2l are mutually consistent bijections on their valid domain.
   std::uint64_t mapped = 0;
   for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
-    if (const auto ppn = l2p_[lpn]) {
-      ISP_CHECK(*ppn < p2l_.size(), "ppn out of range");
-      ISP_CHECK(p2l_[*ppn].has_value() && *p2l_[*ppn] == lpn,
-                "reverse map disagrees for lpn " << lpn);
+    if (const Ppn ppn = l2p_[lpn]; ppn != kNoPage) {
+      ISP_CHECK(ppn < p2l_.size(), "ppn out of range");
+      ISP_CHECK(p2l_[ppn] == lpn, "reverse map disagrees for lpn " << lpn);
       ++mapped;
     }
   }
   std::uint64_t reverse_mapped = 0;
   for (Ppn ppn = 0; ppn < p2l_.size(); ++ppn) {
-    if (p2l_[ppn].has_value()) ++reverse_mapped;
+    ISP_CHECK(bit_test(valid_bits_, ppn) == (p2l_[ppn] != kNoPage),
+              "valid-page bitmap drift at ppn " << ppn);
+    if (p2l_[ppn] != kNoPage) ++reverse_mapped;
   }
   ISP_CHECK(mapped == reverse_mapped, "map cardinality mismatch");
   ISP_CHECK(mapped == mapped_count_, "mapped-count bookkeeping mismatch");
 
   // Per-block valid counts match the reverse map; free blocks hold nothing;
-  // retired blocks are out of service entirely.
+  // retired blocks are out of service entirely.  The bit indexes and the
+  // durable block headers must agree with the struct state they summarise.
   std::uint32_t free_seen = 0;
   std::uint32_t retired_seen = 0;
   for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
     std::uint32_t valid = 0;
+    std::uint64_t max_seq = 0;
+    std::uint32_t programmed = 0;
     for (std::uint32_t p = 0; p < pages_per_block; ++p) {
-      if (p2l_[block_first_page(b) + p].has_value()) ++valid;
+      if (p2l_[block_first_page(b) + p] != kNoPage) ++valid;
+      if (!media_.empty()) {
+        if (const auto& oob = media_[block_first_page(b) + p]) {
+          max_seq = std::max(max_seq, oob->seq);
+          programmed = p + 1;
+        }
+      }
     }
     ISP_CHECK(valid == blocks_[b].valid,
               "block " << b << " valid-count mismatch");
+    ISP_CHECK(bit_test(free_bits_, b) == blocks_[b].is_free,
+              "free-block bitset drift at block " << b);
+    ISP_CHECK(bit_test(full_bits_, b) ==
+                  (!blocks_[b].is_free && !retired_[b] &&
+                   blocks_[b].next_free_page == pages_per_block),
+              "full-block bitset drift at block " << b);
+    if (!media_.empty()) {
+      ISP_CHECK(block_max_seq_[b] == max_seq,
+                "block " << b << " max-seq header drift");
+      if (!retired_[b]) {
+        ISP_CHECK(block_programmed_[b] == programmed,
+                  "block " << b << " programmed-prefix header drift");
+      }
+    }
     if (retired_[b]) {
       ISP_CHECK(!blocks_[b].is_free, "retired block in the free pool");
       ISP_CHECK(valid == 0, "retired block holds valid pages");
@@ -577,6 +732,75 @@ void Ftl::check_invariants() const {
   ISP_CHECK(free_pages == stats_.free_pages,
             "free-page gauge drifted: " << stats_.free_pages << " != "
                                         << free_pages);
+}
+
+void Ftl::check_invariants_incremental() const {
+  ISP_CHECK(mounted_, "invariants undefined on an unmounted FTL");
+  const auto pages_per_block = config_.geometry.pages_per_block;
+
+  // O(blocks) summary pass: per-block valid counts against the valid-page
+  // bitmap (a popcount each), the free/full bit indexes against the block
+  // structs, the block partition, and the exported gauges.
+  std::uint64_t mapped = 0;
+  std::uint32_t free_seen = 0;
+  std::uint32_t retired_seen = 0;
+  std::uint64_t free_pages = 0;
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    const Ppn first = block_first_page(b);
+    const auto valid = static_cast<std::uint32_t>(
+        bits_count(valid_bits_, first, first + pages_per_block));
+    ISP_CHECK(valid == blocks_[b].valid,
+              "block " << b << " valid-count mismatch");
+    mapped += valid;
+    ISP_CHECK(blocks_[b].next_free_page <= pages_per_block,
+              "append pointer past block end");
+    ISP_CHECK(bit_test(free_bits_, b) == blocks_[b].is_free,
+              "free-block bitset drift at block " << b);
+    ISP_CHECK(bit_test(full_bits_, b) ==
+                  (!blocks_[b].is_free && !retired_[b] &&
+                   blocks_[b].next_free_page == pages_per_block),
+              "full-block bitset drift at block " << b);
+    if (retired_[b]) {
+      ISP_CHECK(!blocks_[b].is_free, "retired block in the free pool");
+      ISP_CHECK(valid == 0, "retired block holds valid pages");
+      ++retired_seen;
+      continue;
+    }
+    if (blocks_[b].is_free) {
+      ISP_CHECK(valid == 0, "free block contains valid pages");
+      ISP_CHECK(blocks_[b].next_free_page == 0, "free block partially written");
+      ++free_seen;
+    }
+    free_pages += pages_per_block - blocks_[b].next_free_page;
+  }
+  ISP_CHECK(mapped == mapped_count_, "mapped-count bookkeeping mismatch");
+  ISP_CHECK(free_seen == free_count_, "free-count bookkeeping mismatch");
+  ISP_CHECK(retired_seen == retired_count_,
+            "retired-count bookkeeping mismatch");
+  ISP_CHECK(free_seen + retired_seen <= blocks_.size(),
+            "block partition overflow");
+  ISP_CHECK(free_pages == stats_.free_pages,
+            "free-page gauge drifted: " << stats_.free_pages << " != "
+                                        << free_pages);
+
+  // Deep per-page checks only on the dirty extent: blocks touched since the
+  // last checkpoint fold.  The clean extent is covered by the summary pass
+  // above and, when configured, by the exhaustive sweep.
+  bits_for_each(dirty_bits_, 0, blocks_.size(), [&](std::uint64_t b) {
+    const Ppn first = block_first_page(b);
+    for (std::uint32_t p = 0; p < pages_per_block; ++p) {
+      const Ppn ppn = first + p;
+      ISP_CHECK(bit_test(valid_bits_, ppn) == (p2l_[ppn] != kNoPage),
+                "valid-page bitmap drift at ppn " << ppn);
+      if (const Lpn lpn = p2l_[ppn]; lpn != kNoPage) {
+        ISP_CHECK(l2p_[lpn] == ppn, "reverse map disagrees for lpn " << lpn);
+      }
+      if (!media_.empty() && !retired_[b]) {
+        ISP_CHECK(media_[ppn].has_value() == (p < block_programmed_[b]),
+                  "block " << b << " programmed pages are not a prefix");
+      }
+    }
+  });
 }
 
 }  // namespace isp::flash

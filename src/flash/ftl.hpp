@@ -21,6 +21,14 @@
 // relocations are recoverable from the OOB scan, the only updates a crash
 // can actually lose are trims buffered since the last journal page program.
 //
+// Data plane (PR 10): the hot loops are extent-oriented.  write_span/
+// trim_span/read_span process contiguous LPN runs with per-run bookkeeping,
+// allocation and GC victim selection walk word-packed bitsets (free blocks,
+// full blocks, valid pages) via ctz/popcount, and remount consults durable
+// per-block summaries (max OOB sequence + programmed-prefix length) instead
+// of scanning every page.  All of it is bit-for-bit equivalent to the scalar
+// page-by-page paths — the win is algorithmic, not semantic.
+//
 // Invariants (enforced and property-tested):
 //   * a logical page maps to at most one valid physical page;
 //   * no two logical pages share a physical page;
@@ -32,6 +40,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "common/units.hpp"
 #include "flash/backend.hpp"
 #include "flash/nand.hpp"
@@ -45,6 +54,12 @@ namespace isp::flash {
 /// Pre-seam name for the shared journal knobs (flash/backend.hpp).
 using FtlJournalConfig = JournalConfig;
 
+/// "No mapping" sentinel for the flat l2p/p2l/checkpoint arrays.  The maps
+/// are the data plane's hottest stores; a flat word with an impossible page
+/// number is half the width of std::optional and keeps the fill loops to
+/// plain 8-byte traffic.  No device geometry reaches 2^64 - 1 pages.
+inline constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+
 struct FtlConfig {
   NandGeometry geometry;
   /// Fraction of physical blocks hidden from the logical space.
@@ -54,6 +69,13 @@ struct FtlConfig {
   /// Stop GC when free blocks recover to this many.
   std::uint32_t gc_high_watermark = 4;
   FtlJournalConfig journal;
+  /// Remount verification mode.  false (default): incremental — O(blocks)
+  /// summary cross-checks over the whole device plus deep per-page checks
+  /// only on the blocks dirtied since the last checkpoint fold.  true: the
+  /// exhaustive check_invariants() sweep on every remount — same outcome
+  /// (the property suite proves the two agree), O(device) cost; the debug
+  /// toggle for soak runs.
+  bool exhaustive_remount_verify = false;
 };
 
 struct FtlStats {
@@ -107,6 +129,14 @@ class Ftl final : public StorageBackend {
 
   /// Trim: drop the mapping, invalidating the physical page.
   void trim(Lpn lpn) override;
+
+  /// Batched extent ops (flash/backend.hpp contract: bit-for-bit the scalar
+  /// loop's state, stats and journal, reached via run-at-a-time bookkeeping
+  /// instead of per-page re-checks).
+  void write_span(Lpn first, std::uint64_t count) override;
+  void trim_span(Lpn first, std::uint64_t count) override;
+  std::uint64_t read_span(Lpn first, std::uint64_t count,
+                          std::vector<Ppn>* out) const override;
 
   /// Decommission a block (grown-bad media): relocate its valid pages, add
   /// it to the durable bad-block table, and exclude it from allocation
@@ -167,6 +197,13 @@ class Ftl final : public StorageBackend {
   /// to call from property tests after every operation.
   void check_invariants() const override;
 
+  /// The remount-time subset of check_invariants(): O(blocks) bitmap
+  /// popcount cross-checks over the whole device, deep per-page checks only
+  /// on the blocks dirtied since the last checkpoint fold.  recover() runs
+  /// this by default (FtlConfig::exhaustive_remount_verify switches to the
+  /// full sweep); public so tests can prove the two modes agree.
+  void check_invariants_incremental() const;
+
  private:
   struct Block {
     std::uint32_t valid = 0;
@@ -197,30 +234,52 @@ class Ftl final : public StorageBackend {
   void garbage_collect();
   void install_mapping(Lpn lpn, Ppn ppn, bool for_gc);
   void journal_append(Lpn lpn, Ppn ppn, std::uint64_t seq);
+  void flush_journal_page_if_full();
   void fold_checkpoint();
+  void trim_one(Lpn lpn);
+  /// Shared block walks: GC victims, retirement and remount compaction all
+  /// relocate a block's valid pages (walking the valid-page bitmap) and then
+  /// clear its media + durable block header the same way.
+  void relocate_block(std::uint64_t block);
+  void erase_block_media(std::uint64_t block);
+  void mark_dirty(std::uint64_t block) { bit_set(dirty_bits_, block); }
 
   FtlConfig config_;
   std::uint64_t logical_pages_;
   bool mounted_ = true;
 
   // ---- volatile state (lost on power_loss) ----------------------------
-  std::vector<std::optional<Ppn>> l2p_;
-  std::vector<std::optional<Lpn>> p2l_;  // valid reverse map (nullopt = invalid/free)
+  // Flat sentinel-coded maps (kNoPage = unmapped): see the note on kNoPage.
+  std::vector<Ppn> l2p_;
+  std::vector<Lpn> p2l_;  // valid reverse map (kNoPage = invalid/free)
   std::vector<Block> blocks_;
   std::uint64_t active_block_;     // current host append block
   std::uint64_t gc_active_block_;  // current GC relocation block
   std::uint32_t free_count_;
   std::uint64_t mapped_count_ = 0;
-  // Allocation scan hint: no block below this index is free.  Pure cache —
-  // allocate_free_block() still returns the lowest-index free block, it
-  // just stops rescanning the permanently-occupied prefix on every call.
-  std::uint64_t free_scan_hint_ = 0;
   std::vector<JournalEntry> journal_buf_;  // entries in the open journal page
+  // Hot-path bit indexes (volatile; rebuilt on recover).  Allocation walks
+  // free_bits_ with ctz for the lowest free block, GC victim selection walks
+  // full_bits_ (full, non-free, non-retired blocks), and relocation walks
+  // valid_bits_ (one bit per ppn with a reverse mapping) instead of probing
+  // p2l_ page by page.
+  std::vector<std::uint64_t> free_bits_;
+  std::vector<std::uint64_t> full_bits_;
+  std::vector<std::uint64_t> valid_bits_;
 
   // ---- durable state (survives power_loss) ----------------------------
   std::vector<std::optional<Oob>> media_;  // OOB of every programmed page
+  // Per-block durable summaries — the "block header" a real device reads
+  // instead of scanning every page's OOB: the highest program sequence in
+  // the block (cleared on erase; max > horizon iff any page is newer) and
+  // the programmed-prefix length.  Remount consults these in O(blocks).
+  std::vector<std::uint64_t> block_max_seq_;
+  std::vector<std::uint32_t> block_programmed_;
+  // Blocks touched (programmed/erased/retired) since the last checkpoint
+  // fold: the scope of incremental remount verification.
+  std::vector<std::uint64_t> dirty_bits_;
   std::vector<JournalEntry> journal_;      // entries on programmed pages
-  std::vector<std::optional<Ppn>> checkpoint_;
+  std::vector<Ppn> checkpoint_;            // kNoPage = unmapped at fold time
   std::uint64_t checkpoint_seq_ = 0;
   std::uint64_t checkpoint_pages_ = 0;
   std::uint64_t last_durable_seq_ = 0;

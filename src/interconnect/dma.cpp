@@ -45,6 +45,28 @@ SimTime DmaEngine::transfer(SimTime t0, Bytes bytes, TransferKind kind) {
   return done;
 }
 
+SimTime DmaEngine::transfer_span(SimTime t0, Bytes chunk, std::uint64_t chunks,
+                                 TransferKind kind) {
+  if (chunks == 0) return t0;
+  const auto idx = static_cast<std::size_t>(kind);
+  ISP_DCHECK(idx < stats_.bytes.size(), "bad transfer kind");
+  const Bytes total = chunk * chunks;
+  stats_.bytes[idx] += total;
+  stats_.transfers[idx] += chunks;
+  link_->note_bytes_moved(total);
+  const Seconds span_service =
+      link_->transfer_seconds(chunk) * static_cast<double>(chunks);
+  SimTime done = link_->availability().finish_time(t0, span_service);
+  if (injector_ != nullptr) {
+    const auto op =
+        injector_->attempt(fault::Site::DmaTransfer, t0,
+                           link_->config().base_latency,
+                           injector_->config().link_reset);
+    done += op.penalty;
+  }
+  return done;
+}
+
 SimTime DmaEngine::transfer_sg(SimTime t0, std::span<const Bytes> segments,
                                TransferKind kind) {
   Bytes total{0};

@@ -47,6 +47,16 @@ class DmaEngine {
   SimTime transfer_sg(SimTime t0, std::span<const Bytes> segments,
                       TransferKind kind);
 
+  /// Span issue: `chunks` equal-sized transfers dispatched back-to-back as
+  /// one command.  Total cost is identical to the sequential loop — the
+  /// byte and per-transfer stats match it exactly, and the service time is
+  /// the sum of the per-chunk times, spent against the availability
+  /// schedule in a single pass — but the engine is entered once, so a fault
+  /// injector sees one DmaTransfer attempt for the whole span instead of
+  /// one per chunk.
+  SimTime transfer_span(SimTime t0, Bytes chunk, std::uint64_t chunks,
+                        TransferKind kind);
+
   [[nodiscard]] const DmaStats& stats() const { return stats_; }
   void reset_stats() { stats_ = DmaStats{}; }
 

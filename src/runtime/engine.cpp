@@ -238,6 +238,29 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
   const flash::StorageCounters storage_base =
       backend != nullptr ? backend->counters() : flash::StorageCounters{};
   std::uint64_t wb_cursor = 0;
+  // Write-back traffic walks the logical space with a wrapping cursor, so
+  // it is naturally extent-shaped: whole contiguous runs go through the
+  // backend's span fast path (bit-for-bit the scalar loop by the
+  // StorageBackend contract; options.span_io = false keeps the scalar loop
+  // for differential testing).
+  auto backend_write_pages = [&](std::uint64_t pages) {
+    const std::uint64_t logical = backend->logical_pages();
+    if (options.span_io) {
+      while (pages > 0) {
+        const flash::Lpn first = wb_cursor % logical;
+        const std::uint64_t run =
+            std::min<std::uint64_t>(pages, logical - first);
+        backend->write_span(first, run);
+        wb_cursor += run;
+        pages -= run;
+      }
+    } else {
+      for (std::uint64_t p = 0; p < pages; ++p) {
+        backend->write(wb_cursor % logical);
+        ++wb_cursor;
+      }
+    }
+  };
   if (backend != nullptr && backend->mounted()) {
     // Mount the program's storage datasets: their pages become live
     // mappings, charged as host writes (journal/checkpoint or zone-append
@@ -248,10 +271,7 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
       const auto& obj = store.at(name);
       const std::uint64_t pages =
           (obj.virtual_bytes.count() + page - 1) / page;
-      for (std::uint64_t p = 0; p < pages; ++p) {
-        backend->write(wb_cursor % backend->logical_pages());
-        ++wb_cursor;
-      }
+      backend_write_pages(pages);
     }
   }
   // In drive_storage mode the backend-internal traffic a write-back
@@ -769,10 +789,7 @@ ExecutionReport Engine::run(const ir::Program& program, const ir::Plan& plan,
         const auto page = flash.geometry().page_bytes.count();
         const std::uint64_t pages = (rec.out_bytes.count() + page - 1) / page;
         const auto before = backend->counters();
-        for (std::uint64_t p = 0; p < pages; ++p) {
-          backend->write(wb_cursor % backend->logical_pages());
-          ++wb_cursor;
-        }
+        backend_write_pages(pages);
         if (options.drive_storage) {
           const Seconds stall = reclaim_stall(before);
           if (stall.value() > 0.0) {

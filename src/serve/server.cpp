@@ -157,6 +157,7 @@ SimResult simulate_dispatch(const ServeConfig& config, const Profile& profile,
   // backend-internal reclaim traffic stalls the device inside the measured
   // service time.
   rc.engine.drive_storage = profile.persist;
+  rc.engine.span_io = config.span_io;
   rc.engine.fault = config.fault;
   rc.engine.fault.seed = splitmix64(config.seed ^ (0xf1ee7000ULL + d.job.id));
   if (config.power_loss_job >= 0 &&

@@ -137,6 +137,12 @@ struct ServeConfig {
   bool sim_cache = true;
   /// Bound on distinct memoized engine runs (FIFO eviction, deterministic).
   std::size_t sim_cache_capacity = 512;
+  /// Extent-shaped storage traffic (PR 10): persisting dispatches issue
+  /// their dataset mounts and write-backs through the backends' span fast
+  /// path.  Exact like the caches above — the span paths are bit-for-bit
+  /// the scalar loops, so every report/metrics/trace artifact is
+  /// byte-identical with this on or off.
+  bool span_io = true;
   ObsOptions obs;
 };
 

@@ -77,6 +77,15 @@ ZnsDevice::ZnsDevice(ZnsConfig config) : config_(config) {
   zones_.assign(zone_count, Zone{});
   retired_.assign(zone_count, 0);
   free_count_ = static_cast<std::uint32_t>(data_zone_count);
+  bits_resize(free_bits_, zone_count);
+  bits_resize(full_bits_, zone_count);
+  bits_resize(valid_bits_, g.total_pages());
+  bits_resize(dirty_bits_, zone_count);
+  for (std::uint64_t z = config_.meta_zones; z < zone_count; ++z) {
+    bit_set(free_bits_, z);
+  }
+  zone_max_seq_.assign(zone_count, 0);
+  zone_programmed_.assign(zone_count, 0);
   if (config_.journal.enabled) {
     media_.assign(g.total_pages(), std::nullopt);
     checkpoint_.assign(logical_pages_, std::nullopt);
@@ -157,6 +166,7 @@ void ZnsDevice::make_open(std::uint64_t zone, ZoneState state) {
   if (z.state == ZoneState::Empty) {
     ISP_DCHECK(free_count_ > 0, "free-zone count underflow");
     --free_count_;
+    bit_clear(free_bits_, zone);
   }
   z.state = state;
   z.opened_at = ++open_stamp_;
@@ -165,18 +175,21 @@ void ZnsDevice::make_open(std::uint64_t zone, ZoneState state) {
 
 std::uint64_t ZnsDevice::allocate_append_zone() {
   ISP_CHECK(free_count_ > 0, "ZNS out of empty zones (reclaim starved)");
-  for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
-    if (zones_[z].state == ZoneState::Empty && !retired_[z]) {
-      make_open(z, ZoneState::ImplicitlyOpen);
-      return z;
-    }
+  // The free-zone bitmap holds exactly the Empty (never-retired) data zones,
+  // so the lowest set bit is the zone the old linear state scan chose.
+  const std::uint64_t z =
+      bits_find_first(free_bits_, config_.meta_zones, zones_.size());
+  if (z == zones_.size()) {
+    throw Error("free_count_ positive but no empty zone found");
   }
-  throw Error("free_count_ positive but no empty zone found");
+  make_open(z, ZoneState::ImplicitlyOpen);
+  return z;
 }
 
 void ZnsDevice::invalidate(flash::Lpn lpn) {
   if (const auto old = l2p_[lpn]) {
     p2l_[*old] = std::nullopt;
+    bit_clear(valid_bits_, *old);
     Zone& z = zones_[page_zone(*old)];
     ISP_DCHECK(z.live > 0, "live-count underflow");
     --z.live;
@@ -188,6 +201,7 @@ void ZnsDevice::invalidate(flash::Lpn lpn) {
 void ZnsDevice::install_mapping(flash::Lpn lpn, flash::Ppn ppn) {
   l2p_[lpn] = ppn;
   p2l_[ppn] = lpn;
+  bit_set(valid_bits_, ppn);
   ++zones_[page_zone(ppn)].live;
   const std::uint64_t seq = ++seq_;
   if (config_.journal.enabled) {
@@ -195,6 +209,9 @@ void ZnsDevice::install_mapping(flash::Lpn lpn, flash::Ppn ppn) {
     // update recoverable, so — unlike the FTL — no journal record is
     // written.  This is the structural metadata saving of ZNS.
     media_[ppn] = Oob{lpn, seq};
+    // Appends stamp increasing sequences, so the last stamp is the zone's
+    // max — the durable summary remount consults instead of scanning OOB.
+    zone_max_seq_[page_zone(ppn)] = seq;
   }
   ++appends_since_fold_;
   maybe_fold();
@@ -215,11 +232,14 @@ flash::Ppn ZnsDevice::do_append(std::uint64_t zone, flash::Lpn lpn) {
   invalidate(lpn);
   const flash::Ppn ppn = zone_first_page(zone) + z.write_pointer;
   ++z.write_pointer;
+  zone_programmed_[zone] = z.write_pointer;
+  mark_dirty(zone);
   install_mapping(lpn, ppn);
   if (z.write_pointer == zone_pages_) {
     // The zone filled: it leaves the open-resource set on its own.
     --open_count_;
     z.state = ZoneState::Full;
+    bit_set(full_bits_, zone);
   }
   return ppn;
 }
@@ -260,8 +280,13 @@ std::optional<flash::Ppn> ZnsDevice::translate(flash::Lpn lpn) const {
 void ZnsDevice::trim(flash::Lpn lpn) {
   ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
   ISP_CHECK(lpn < logical_pages_, "lpn out of range: " << lpn);
+  trim_one(lpn);
+}
+
+void ZnsDevice::trim_one(flash::Lpn lpn) {
   if (const auto old = l2p_[lpn]) {
     p2l_[*old] = std::nullopt;
+    bit_clear(valid_bits_, *old);
     Zone& z = zones_[page_zone(*old)];
     ISP_DCHECK(z.live > 0, "live-count underflow");
     --z.live;
@@ -323,6 +348,9 @@ void ZnsDevice::fold_checkpoint() {
   journal_buf_.clear();
   journal_pages_since_fold_ = 0;
   appends_since_fold_ = 0;
+  // Everything up to here is durably summarised by checkpoint + journal, so
+  // the incremental remount check restarts its dirty-zone scope.
+  bits_clear_all(dirty_bits_);
 }
 
 void ZnsDevice::open_zone(std::uint64_t zone) {
@@ -357,8 +385,10 @@ void ZnsDevice::finish_zone(std::uint64_t zone) {
   if (z.state == ZoneState::Empty) {
     ISP_DCHECK(free_count_ > 0, "free-zone count underflow");
     --free_count_;
+    bit_clear(free_bits_, zone);
   }
   z.state = ZoneState::Full;
+  bit_set(full_bits_, zone);
 }
 
 void ZnsDevice::reset_zone(std::uint64_t zone) {
@@ -390,8 +420,25 @@ void ZnsDevice::reset_zone_internal(std::uint64_t zone) {
     }
   }
   z = Zone{};
+  bit_set(free_bits_, zone);
+  bit_clear(full_bits_, zone);
+  zone_max_seq_[zone] = 0;
+  zone_programmed_[zone] = 0;
+  mark_dirty(zone);
   ++free_count_;
   ++stats_.zone_resets;
+}
+
+void ZnsDevice::copy_forward_live(std::uint64_t zone) {
+  // Walk the valid-page bitmap over the programmed prefix instead of probing
+  // p2l_ page by page.  append_internal() clears the source bit (it sits
+  // under the cursor) and sets the destination bit in the reclaim zone
+  // (outside this range — the victim is never the reclaim target), both of
+  // which bits_for_each tolerates.
+  const flash::Ppn first = zone_first_page(zone);
+  bits_for_each(valid_bits_, first, first + zones_[zone].write_pointer,
+                [&](flash::Ppn src) { append_internal(*p2l_[src]); });
+  ISP_DCHECK(zones_[zone].live == 0, "zone not fully relocated");
 }
 
 void ZnsDevice::retire_zone(std::uint64_t zone) {
@@ -413,20 +460,18 @@ void ZnsDevice::retire_zone(std::uint64_t zone) {
   if (zone == active_zone_) active_zone_ = allocate_append_zone();
   Zone& z = zones_[zone];
   // Copy-forward whatever is still live, exactly like a reclaim victim.
-  const flash::Ppn first = zone_first_page(zone);
-  for (std::uint32_t p = 0; p < z.write_pointer; ++p) {
-    if (const auto lpn = p2l_[first + p]) append_internal(*lpn);
-  }
-  ISP_DCHECK(z.live == 0, "retired zone not fully relocated");
+  copy_forward_live(zone);
   if (is_open(z)) --open_count_;
   if (z.state == ZoneState::Empty) {
     ISP_DCHECK(free_count_ > 0, "free-zone count underflow");
     --free_count_;
+    bit_clear(free_bits_, zone);
   }
   if (z.write_pointer > 0) {
     const auto ppb = config_.geometry.pages_per_block;
     stats_.erases += (z.write_pointer + ppb - 1) / ppb;  // decommission erase
     if (!media_.empty()) {
+      const flash::Ppn first = zone_first_page(zone);
       for (std::uint32_t p = 0; p < z.write_pointer; ++p) {
         media_[first + p] = std::nullopt;
       }
@@ -434,6 +479,10 @@ void ZnsDevice::retire_zone(std::uint64_t zone) {
   }
   z = Zone{};
   z.state = ZoneState::Offline;
+  bit_clear(full_bits_, zone);
+  zone_max_seq_[zone] = 0;
+  zone_programmed_[zone] = 0;
+  mark_dirty(zone);
   retired_[zone] = 1;
   ++retired_count_;
   ++stats_.zones_retired;
@@ -449,28 +498,27 @@ void ZnsDevice::reclaim() {
   while (free_count_ < config_.reclaim_high_watermark) {
     // Host-coordinated victim policy: the Full zone with the fewest live
     // pages (Closed partials stay appendable, so only Full zones qualify —
-    // the mirror of the FTL's full-block-only GC).
+    // the mirror of the FTL's full-block-only GC).  The full-zone bitmap
+    // holds exactly the Full zones (retired zones are Offline, never Full),
+    // and the ascending bit walk preserves the old scan's first-strict-min
+    // tie-break.
     std::uint64_t victim = zones_.size();
     std::uint32_t best_live = std::numeric_limits<std::uint32_t>::max();
-    for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
-      if (retired_[z] || z == active_zone_ || z == reclaim_zone_) continue;
-      if (zones_[z].state != ZoneState::Full) continue;
-      if (zones_[z].live < best_live) {
-        best_live = zones_[z].live;
-        victim = z;
-      }
-    }
+    bits_for_each(full_bits_, config_.meta_zones, zones_.size(),
+                  [&](std::uint64_t z) {
+                    if (z == active_zone_ || z == reclaim_zone_) return;
+                    if (zones_[z].live < best_live) {
+                      best_live = zones_[z].live;
+                      victim = z;
+                    }
+                  });
     if (victim == zones_.size()) return;  // nothing reclaimable yet
     // A fully-live victim yields no space: copying it forward consumes
     // exactly what the reset frees.  Stand down until something goes stale.
     if (best_live == zone_pages_) return;
 
     // Copy the live extents forward, then reset.
-    const flash::Ppn first = zone_first_page(victim);
-    for (std::uint32_t p = 0; p < zones_[victim].write_pointer; ++p) {
-      if (const auto lpn = p2l_[first + p]) append_internal(*lpn);
-    }
-    ISP_DCHECK(zones_[victim].live == 0, "victim not fully relocated");
+    copy_forward_live(victim);
     reset_zone_internal(victim);
   }
 }
@@ -483,13 +531,17 @@ flash::StorageCrash ZnsDevice::power_loss() {
   crash.lost_tail_updates = journal_buf_.size();
   crash.lost_trims = journal_buf_.size();  // the ZNS journal is trims only
   // Everything volatile is gone: the map, the reverse map, every zone's
-  // state/write pointer/live count, and the buffered journal tail.  The
-  // durable state — page OOB stamps, programmed journal pages, the
-  // checkpoint, and the offline-zone table — survives.
+  // state/write pointer/live count, the hot-path bit indexes, and the
+  // buffered journal tail.  The durable state — page OOB stamps, programmed
+  // journal pages, the checkpoint, the offline-zone table, and the per-zone
+  // summaries (zone_max_seq_ / zone_programmed_ / dirty_bits_) — survives.
   journal_buf_.clear();
   l2p_.assign(logical_pages_, std::nullopt);
   p2l_.assign(media_.size(), std::nullopt);
   for (auto& z : zones_) z = Zone{};
+  bits_clear_all(free_bits_);
+  bits_clear_all(full_bits_);
+  bits_clear_all(valid_bits_);
   mapped_count_ = 0;
   free_count_ = 0;
   open_count_ = 0;
@@ -535,16 +587,12 @@ flash::StorageRecovery ZnsDevice::recover() {
   //    a sequence-ordered prefix and the newest mapping for an lpn is the
   //    highest-seq stamp.
   for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
+    // The durable per-zone summary answers "any stamp newer than the
+    // checkpoint?" in O(1): zone_max_seq_ is the max OOB sequence in the
+    // zone (stamps only grow; reset/retire clear it with the media), so
+    // max > horizon iff any page is newer.  Only zones that pass are read.
+    if (zone_max_seq_[z] <= checkpoint_seq_) continue;
     const flash::Ppn first = zone_first_page(z);
-    bool has_new = false;
-    for (std::uint32_t p = 0; p < zone_pages_; ++p) {
-      const auto& oob = media_[first + p];
-      if (oob && oob->seq > checkpoint_seq_) {
-        has_new = true;
-        break;
-      }
-    }
-    if (!has_new) continue;
     ++rec.blocks_scanned;  // zones, for this backend
     rec.pages_scanned += zone_pages_;
     for (std::uint32_t p = 0; p < zone_pages_; ++p) {
@@ -581,11 +629,10 @@ flash::StorageRecovery ZnsDevice::recover() {
       zones_[z] = nz;
       continue;
     }
-    const flash::Ppn first = zone_first_page(z);
-    std::uint32_t programmed = 0;
-    for (std::uint32_t p = 0; p < zone_pages_; ++p) {
-      if (media_[first + p]) programmed = p + 1;
-    }
+    // Programs advance the write pointer in order, so the programmed pages
+    // are a prefix and the durable summary zone_programmed_ is its length —
+    // no media scan needed to rebuild the pointer.
+    const std::uint32_t programmed = zone_programmed_[z];
     nz.write_pointer = programmed;
     if (programmed == 0) {
       nz.state = ZoneState::Empty;
@@ -602,13 +649,18 @@ flash::StorageRecovery ZnsDevice::recover() {
     const flash::Ppn ppn = m[lpn]->first;
     l2p_[lpn] = ppn;
     p2l_[ppn] = lpn;
+    bit_set(valid_bits_, ppn);
     ++zones_[page_zone(ppn)].live;
     ++mapped_count_;
   }
   rec.mappings_recovered = mapped_count_;
   free_count_ = 0;
   for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
-    if (zones_[z].state == ZoneState::Empty) ++free_count_;
+    if (zones_[z].state == ZoneState::Empty) {
+      ++free_count_;
+      bit_set(free_bits_, z);
+    }
+    if (zones_[z].state == ZoneState::Full) bit_set(full_bits_, z);
   }
   open_count_ = 0;
   open_stamp_ = 0;
@@ -637,8 +689,15 @@ flash::StorageRecovery ZnsDevice::recover() {
   for (std::size_t i = 2; i < partial.size(); ++i) finish_zone(partial[i]);
 
   ++stats_.recoveries;
-  // The remount contract: every invariant holds before the first IO.
-  check_invariants();
+  // The remount contract: every invariant holds before the first IO.  The
+  // default check is incremental (summaries for all zones, deep page checks
+  // only where the device wrote since the last fold); the exhaustive sweep
+  // stays available as a debug mode.
+  if (config_.exhaustive_remount_verify) {
+    check_invariants();
+  } else {
+    check_invariants_incremental();
+  }
   return rec;
 }
 
@@ -706,6 +765,8 @@ void ZnsDevice::check_invariants() const {
   }
   std::uint64_t reverse_mapped = 0;
   for (flash::Ppn ppn = 0; ppn < p2l_.size(); ++ppn) {
+    ISP_CHECK(bit_test(valid_bits_, ppn) == p2l_[ppn].has_value(),
+              "valid-page bitmap drift at ppn " << ppn);
     if (p2l_[ppn].has_value()) ++reverse_mapped;
   }
   ISP_CHECK(mapped == reverse_mapped, "map cardinality mismatch");
@@ -727,12 +788,28 @@ void ZnsDevice::check_invariants() const {
     }
     ISP_CHECK(live == zn.live, "zone " << z << " live-count mismatch");
     ISP_CHECK(zn.write_pointer <= zone_pages_, "write pointer past zone cap");
+    ISP_CHECK(zone_programmed_[z] == zn.write_pointer,
+              "zone " << z << " durable programmed-count drift");
+    ISP_CHECK(bit_test(free_bits_, z) == (zn.state == ZoneState::Empty),
+              "free-zone bitmap drift at zone " << z);
+    ISP_CHECK(bit_test(full_bits_, z) == (zn.state == ZoneState::Full),
+              "full-zone bitmap drift at zone " << z);
     if (!media_.empty() && !retired_[z]) {
-      // Programmed pages are exactly the prefix [0, write_pointer).
+      // Programmed pages are exactly the prefix [0, write_pointer), and the
+      // durable summary holds the newest stamp among them.
+      std::uint64_t max_seq = 0;
       for (std::uint32_t p = 0; p < zone_pages_; ++p) {
-        ISP_CHECK(media_[first + p].has_value() == (p < zn.write_pointer),
+        const auto& oob = media_[first + p];
+        ISP_CHECK(oob.has_value() == (p < zn.write_pointer),
                   "zone " << z << " programmed pages are not a prefix");
+        if (oob) max_seq = std::max(max_seq, oob->seq);
       }
+      ISP_CHECK(zone_max_seq_[z] == max_seq,
+                "zone " << z << " durable max-seq drift");
+    }
+    if (retired_[z]) {
+      ISP_CHECK(zone_max_seq_[z] == 0 && zone_programmed_[z] == 0,
+                "retired zone " << z << " kept durable summaries");
     }
     switch (zn.state) {
       case ZoneState::Empty:
@@ -778,6 +855,202 @@ void ZnsDevice::check_invariants() const {
   for (flash::Ppn ppn = 0; ppn < zone_first_page(config_.meta_zones); ++ppn) {
     ISP_CHECK(!p2l_[ppn].has_value(), "data mapping in the metadata zone");
   }
+}
+
+void ZnsDevice::check_invariants_incremental() const {
+  ISP_CHECK(mounted_, "invariants undefined on an unmounted ZNS device");
+
+  // Summary pass, O(zones): per-zone counters against the valid-page bitmap
+  // (popcount, no page loop), state machine, bit indexes and durable
+  // summaries against the volatile bookkeeping.
+  std::uint64_t live_total = 0;
+  std::uint32_t free_seen = 0;
+  std::uint32_t open_seen = 0;
+  std::uint32_t retired_seen = 0;
+  for (std::uint64_t z = config_.meta_zones; z < zones_.size(); ++z) {
+    const Zone& zn = zones_[z];
+    const flash::Ppn first = zone_first_page(z);
+    const std::uint64_t live =
+        bits_count(valid_bits_, first, first + zone_pages_);
+    ISP_CHECK(live == zn.live, "zone " << z << " live-count mismatch");
+    live_total += live;
+    ISP_CHECK(zn.write_pointer <= zone_pages_, "write pointer past zone cap");
+    ISP_CHECK(zone_programmed_[z] == zn.write_pointer,
+              "zone " << z << " durable programmed-count drift");
+    ISP_CHECK(bit_test(free_bits_, z) == (zn.state == ZoneState::Empty),
+              "free-zone bitmap drift at zone " << z);
+    ISP_CHECK(bit_test(full_bits_, z) == (zn.state == ZoneState::Full),
+              "full-zone bitmap drift at zone " << z);
+    switch (zn.state) {
+      case ZoneState::Empty:
+        ISP_CHECK(zn.write_pointer == 0 && zn.live == 0,
+                  "empty zone " << z << " holds data");
+        ++free_seen;
+        break;
+      case ZoneState::ImplicitlyOpen:
+      case ZoneState::ExplicitlyOpen:
+        ISP_CHECK(zn.write_pointer < zone_pages_,
+                  "open zone " << z << " is at capacity");
+        ++open_seen;
+        break;
+      case ZoneState::Closed:
+        ISP_CHECK(zn.write_pointer < zone_pages_,
+                  "closed zone " << z << " is at capacity");
+        break;
+      case ZoneState::Full:
+        break;
+      case ZoneState::Offline:
+        ISP_CHECK(retired_[z], "offline zone " << z << " not in the table");
+        ISP_CHECK(zn.live == 0 && zn.write_pointer == 0,
+                  "offline zone " << z << " holds data");
+        break;
+    }
+    if (retired_[z]) {
+      ISP_CHECK(zn.state == ZoneState::Offline,
+                "retired zone " << z << " not offline");
+      ++retired_seen;
+    }
+  }
+  ISP_CHECK(live_total == mapped_count_, "mapped-count bookkeeping mismatch");
+  ISP_CHECK(free_seen == free_count_, "free-zone bookkeeping mismatch");
+  ISP_CHECK(open_seen == open_count_, "open-zone bookkeeping mismatch");
+  ISP_CHECK(open_count_ <= config_.max_open_zones,
+            "open-zone limit exceeded: " << open_count_);
+  ISP_CHECK(retired_seen == retired_count_,
+            "retired-count bookkeeping mismatch");
+  ISP_CHECK(free_seen + retired_seen <= data_zones(),
+            "zone partition overflow");
+  // The metadata zones never hold valid data pages.
+  ISP_CHECK(bits_count(valid_bits_, 0, zone_first_page(config_.meta_zones)) ==
+                0,
+            "data mapping in the metadata zone");
+
+  // Deep pass, only over zones the device touched since the last checkpoint
+  // fold: per-page bitmap/map round trips and the programmed-prefix + OOB
+  // summary properties.
+  bits_for_each(
+      dirty_bits_, config_.meta_zones, zones_.size(), [&](std::uint64_t z) {
+        const Zone& zn = zones_[z];
+        const flash::Ppn first = zone_first_page(z);
+        std::uint64_t max_seq = 0;
+        for (std::uint32_t p = 0; p < zone_pages_; ++p) {
+          const flash::Ppn ppn = first + p;
+          ISP_CHECK(bit_test(valid_bits_, ppn) == p2l_[ppn].has_value(),
+                    "valid-page bitmap drift at ppn " << ppn);
+          if (const auto lpn = p2l_[ppn]) {
+            ISP_CHECK(p < zn.write_pointer, "live page past the write pointer");
+            ISP_CHECK(l2p_[*lpn].has_value() && *l2p_[*lpn] == ppn,
+                      "map round trip broken at ppn " << ppn);
+          }
+          if (!media_.empty() && !retired_[z]) {
+            const auto& oob = media_[ppn];
+            ISP_CHECK(oob.has_value() == (p < zn.write_pointer),
+                      "zone " << z << " programmed pages are not a prefix");
+            if (oob) max_seq = std::max(max_seq, oob->seq);
+          }
+        }
+        if (!media_.empty() && !retired_[z]) {
+          ISP_CHECK(zone_max_seq_[z] == max_seq,
+                    "zone " << z << " durable max-seq drift");
+        }
+      });
+}
+
+void ZnsDevice::write_span(flash::Lpn first, std::uint64_t count) {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(first <= logical_pages_ && count <= logical_pages_ - first,
+            "write_span out of range: [" << first << ", +" << count << ")");
+  const std::uint64_t fold_interval =
+      config_.journal.enabled
+          ? static_cast<std::uint64_t>(
+                config_.journal.checkpoint_interval_pages) *
+                journal_entries_per_page()
+          : 0;
+  flash::Lpn lpn = first;
+  std::uint64_t left = count;
+  while (left > 0) {
+    Zone& az = zones_[active_zone_];
+    // Fall back to the scalar path whenever a single append could do more
+    // than advance the write pointer: the active zone needs replacing or
+    // (re)opening, or the device sits at the reclaim watermark — write()
+    // invokes reclaim() after every append there, and the invocation count
+    // is observable in the stats even when reclaim stands down.
+    if (free_count_ <= config_.reclaim_low_watermark ||
+        az.state == ZoneState::Full || az.state == ZoneState::Offline ||
+        !is_open(az)) {
+      write(lpn);
+      ++lpn;
+      --left;
+      continue;
+    }
+    // Bulk run: the active zone is open with room and no append in the run
+    // opens a zone or triggers reclaim, so the per-page checks hoist out
+    // and the zone/journal bookkeeping lands once for the whole run.
+    std::uint64_t run =
+        std::min<std::uint64_t>(left, zone_pages_ - az.write_pointer);
+    if (config_.journal.enabled) {
+      // maybe_fold() keeps appends_since_fold_ below the interval between
+      // appends; capping the run makes the fold land exactly where the
+      // scalar loop folds.
+      ISP_DCHECK(appends_since_fold_ < fold_interval, "missed a fold");
+      run = std::min<std::uint64_t>(run, fold_interval - appends_since_fold_);
+    }
+    const flash::Ppn base = zone_first_page(active_zone_);
+    for (std::uint64_t i = 0; i < run; ++i, ++lpn) {
+      if (const auto old = l2p_[lpn]) {
+        p2l_[*old] = std::nullopt;
+        bit_clear(valid_bits_, *old);
+        Zone& oz = zones_[page_zone(*old)];
+        ISP_DCHECK(oz.live > 0, "live-count underflow");
+        --oz.live;
+      } else {
+        ++mapped_count_;
+      }
+      const flash::Ppn ppn = base + az.write_pointer;
+      ++az.write_pointer;
+      l2p_[lpn] = ppn;
+      p2l_[ppn] = lpn;
+      bit_set(valid_bits_, ppn);
+      ++az.live;
+      const std::uint64_t seq = ++seq_;
+      if (config_.journal.enabled) media_[ppn] = Oob{lpn, seq};
+    }
+    left -= run;
+    stats_.host_appends += run;
+    zone_programmed_[active_zone_] = az.write_pointer;
+    if (config_.journal.enabled) zone_max_seq_[active_zone_] = seq_;
+    mark_dirty(active_zone_);
+    appends_since_fold_ += run;
+    if (az.write_pointer == zone_pages_) {
+      // The zone filled: it leaves the open-resource set on its own.
+      --open_count_;
+      az.state = ZoneState::Full;
+      bit_set(full_bits_, active_zone_);
+    }
+    maybe_fold();
+  }
+}
+
+void ZnsDevice::trim_span(flash::Lpn first, std::uint64_t count) {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(first <= logical_pages_ && count <= logical_pages_ - first,
+            "trim_span out of range: [" << first << ", +" << count << ")");
+  for (std::uint64_t i = 0; i < count; ++i) trim_one(first + i);
+}
+
+std::uint64_t ZnsDevice::read_span(flash::Lpn first, std::uint64_t count,
+                                   std::vector<flash::Ppn>* out) const {
+  ISP_CHECK(mounted_, "ZNS not mounted (crashed; call recover() first)");
+  ISP_CHECK(first <= logical_pages_ && count <= logical_pages_ - first,
+            "read_span out of range: [" << first << ", +" << count << ")");
+  std::uint64_t mapped = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (const auto ppn = l2p_[first + i]) {
+      ++mapped;
+      if (out != nullptr) out->push_back(*ppn);
+    }
+  }
+  return mapped;
 }
 
 }  // namespace isp::zns

@@ -54,6 +54,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "common/units.hpp"
 #include "flash/backend.hpp"
 #include "flash/nand.hpp"
@@ -91,6 +92,11 @@ struct ZnsConfig {
   /// Stop reclaiming when Empty data zones recover to this many.
   std::uint32_t reclaim_high_watermark = 4;
   flash::JournalConfig journal;
+  /// Remount verification mode, mirroring FtlConfig: false (default) runs
+  /// the incremental check (O(zones) summaries + deep checks on the zones
+  /// dirtied since the last fold); true runs the exhaustive
+  /// check_invariants() sweep on every remount.
+  bool exhaustive_remount_verify = false;
 };
 
 struct ZnsStats {
@@ -131,6 +137,13 @@ class ZnsDevice final : public flash::StorageBackend {
   [[nodiscard]] std::optional<flash::Ppn> translate(
       flash::Lpn lpn) const override;
   void trim(flash::Lpn lpn) override;
+  /// Batched extent ops (flash/backend.hpp contract: bit-for-bit the scalar
+  /// loop's state, stats and journal, with the per-page open/watermark/fold
+  /// checks hoisted out of the bulk runs).
+  void write_span(flash::Lpn first, std::uint64_t count) override;
+  void trim_span(flash::Lpn first, std::uint64_t count) override;
+  std::uint64_t read_span(flash::Lpn first, std::uint64_t count,
+                          std::vector<flash::Ppn>* out) const override;
   [[nodiscard]] bool journaling() const override {
     return config_.journal.enabled;
   }
@@ -144,6 +157,12 @@ class ZnsDevice final : public flash::StorageBackend {
   [[nodiscard]] flash::StorageCounters counters() const override;
   void record_metrics(obs::MetricsRegistry& registry) const override;
   void check_invariants() const override;
+  /// The remount-time subset of check_invariants(): O(zones) summary
+  /// cross-checks, deep per-page checks only on zones dirtied since the
+  /// last checkpoint fold.  recover() runs this by default
+  /// (ZnsConfig::exhaustive_remount_verify switches to the full sweep);
+  /// public so tests can prove the two modes agree.
+  void check_invariants_incremental() const;
 
   // ---- Zone management (the ZNS command set) ---------------------------
   [[nodiscard]] std::uint64_t zone_count() const { return zones_.size(); }
@@ -234,10 +253,16 @@ class ZnsDevice final : public flash::StorageBackend {
   flash::Ppn append_internal(flash::Lpn lpn);
   void install_mapping(flash::Lpn lpn, flash::Ppn ppn);
   void invalidate(flash::Lpn lpn);
+  void trim_one(flash::Lpn lpn);
   void journal_trim(flash::Lpn lpn, std::uint64_t seq);
   void fold_checkpoint();
   void maybe_fold();
   void reset_zone_internal(std::uint64_t zone);
+  /// Shared zone walk: reclaim and retirement copy a victim's live extents
+  /// forward the same way, walking the valid-page bitmap instead of probing
+  /// p2l_ across the whole write-pointer prefix.
+  void copy_forward_live(std::uint64_t zone);
+  void mark_dirty(std::uint64_t zone) { bit_set(dirty_bits_, zone); }
 
   ZnsConfig config_;
   std::uint32_t zone_pages_ = 0;
@@ -255,9 +280,24 @@ class ZnsDevice final : public flash::StorageBackend {
   std::uint64_t open_stamp_ = 0;   // LRU clock for implicit shedding
   std::uint64_t mapped_count_ = 0;
   std::vector<JournalEntry> journal_buf_;  // trims in the open journal page
+  // Hot-path bit indexes (volatile; rebuilt on recover): Empty data zones
+  // (allocation), Full zones (reclaim victim selection) and valid pages
+  // (copy-forward walks), mirroring the FTL's free/full/valid bitsets.
+  std::vector<std::uint64_t> free_bits_;
+  std::vector<std::uint64_t> full_bits_;
+  std::vector<std::uint64_t> valid_bits_;
 
   // ---- durable state (survives power_loss) ----------------------------
   std::vector<std::optional<Oob>> media_;  // OOB of every programmed page
+  // Per-zone durable summaries (the "zone header"): highest program
+  // sequence (cleared on reset; max > horizon iff any page is newer) and
+  // the programmed-prefix length the write pointer rebuilds from.  Remount
+  // consults these in O(zones) instead of scanning page OOB.
+  std::vector<std::uint64_t> zone_max_seq_;
+  std::vector<std::uint32_t> zone_programmed_;
+  // Zones touched (programmed/reset/retired) since the last checkpoint
+  // fold: the scope of incremental remount verification.
+  std::vector<std::uint64_t> dirty_bits_;
   std::vector<JournalEntry> journal_;      // trim records on programmed pages
   std::vector<std::optional<flash::Ppn>> checkpoint_;
   std::uint64_t checkpoint_seq_ = 0;

@@ -304,6 +304,23 @@ TEST(Cli, OnOffFlagParsesBothSpellingsAndFallsBack) {
   EXPECT_FALSE(on_off_flag(4, const_cast<char**>(argv), "--missing", false));
 }
 
+TEST(Cli, SpanFlagParsesStrictlyAndDefaultsOn) {
+  // The benches expose the storage data plane toggle as `--span on|off`
+  // through on_off_flag, so it inherits the strict exit-2 grammar: both
+  // spellings parse, anything else is rejected by parse_on_off.
+  const char* argv[] = {"prog", "--span", "off"};
+  EXPECT_FALSE(on_off_flag(3, const_cast<char**>(argv), "--span", true));
+  const char* argv_eq[] = {"prog", "--span=on"};
+  EXPECT_TRUE(on_off_flag(2, const_cast<char**>(argv_eq), "--span", false));
+  // Absent: spans stay on, matching EngineOptions/ServeConfig defaults.
+  const char* argv_none[] = {"prog"};
+  EXPECT_TRUE(on_off_flag(1, const_cast<char**>(argv_none), "--span", true));
+  const char* span_bad[] = {"On", "Off", "spans", "on,off", "enabled"};
+  for (const char* text : span_bad) {
+    EXPECT_FALSE(parse_on_off(text).has_value()) << "\"" << text << "\"";
+  }
+}
+
 TEST(Cli, ParseEnumMatchesExactChoiceOnly) {
   const std::vector<const char*> choices = {"ftl", "zns", "mixed"};
   ASSERT_TRUE(parse_enum("ftl", choices).has_value());

@@ -99,6 +99,42 @@ TEST(Dma, ScatterGatherAggregates) {
             1u);
 }
 
+TEST(Dma, TransferSpanMatchesSequentialLoopExactly) {
+  Link loop_link(simple_config());
+  Link span_link(simple_config());
+  DmaEngine loop(loop_link);
+  DmaEngine span(span_link);
+
+  const Bytes chunk{48 * 1024};
+  const std::uint64_t chunks = 37;
+  SimTime loop_done{0.0};
+  for (std::uint64_t i = 0; i < chunks; ++i) {
+    loop_done = loop.transfer(loop_done, chunk, TransferKind::RawInput);
+  }
+  const SimTime span_done =
+      span.transfer_span(SimTime{0.0}, chunk, chunks, TransferKind::RawInput);
+
+  const auto idx = static_cast<int>(TransferKind::RawInput);
+  EXPECT_EQ(loop.stats().bytes[idx].count(), span.stats().bytes[idx].count());
+  EXPECT_EQ(loop.stats().transfers[idx], span.stats().transfers[idx]);
+  EXPECT_EQ(span.stats().transfers[idx], chunks);
+  EXPECT_EQ(loop_link.bytes_moved().count(), span_link.bytes_moved().count());
+  // One availability pass vs. N — the totals differ only by floating-point
+  // re-association.
+  EXPECT_NEAR(span_done.seconds(), loop_done.seconds(),
+              1e-9 * loop_done.seconds());
+}
+
+TEST(Dma, TransferSpanZeroChunksIsFree) {
+  Link link(simple_config());
+  DmaEngine dma(link);
+  const SimTime done =
+      dma.transfer_span(SimTime{2.5}, Bytes{4096}, 0, TransferKind::RawInput);
+  EXPECT_DOUBLE_EQ(done.seconds(), 2.5);
+  EXPECT_EQ(dma.stats().total_bytes().count(), 0u);
+  EXPECT_EQ(link.bytes_moved().count(), 0u);
+}
+
 TEST(Dma, TransferKindNames) {
   EXPECT_EQ(to_string(TransferKind::RawInput), "raw-input");
   EXPECT_EQ(to_string(TransferKind::ProcessedOutput), "processed-output");

@@ -10,6 +10,7 @@
 //     land on the no-crash digest at every point).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -424,6 +425,202 @@ TEST_P(ZnsCrashChurn, RemountsStayConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ZnsCrashChurn,
                          ::testing::Values(3, 19, 31, 47, 71));
+
+// ---------------------------------------------------------------------------
+// Extent (span) data plane: the batched ops must be bit-for-bit the scalar
+// loops, through zone fills, implicit opens, reclaim and crash/remount.
+
+struct SpanOp {
+  bool is_trim = false;
+  flash::Lpn first = 0;
+  std::uint64_t count = 0;
+};
+
+std::vector<SpanOp> random_span_ops(std::uint64_t seed, std::uint64_t logical,
+                                    int n, double trim_share) {
+  Rng rng(seed);
+  std::vector<SpanOp> ops;
+  ops.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    SpanOp op;
+    op.first = rng.uniform_u64(0, logical - 1);
+    op.count =
+        rng.uniform_u64(1, std::min<std::uint64_t>(24, logical - op.first));
+    op.is_trim = rng.next_double() < trim_share;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+void apply_scalar(flash::StorageBackend& dev, const SpanOp& op) {
+  for (std::uint64_t i = 0; i < op.count; ++i) {
+    if (op.is_trim) {
+      dev.trim(op.first + i);
+    } else {
+      dev.write(op.first + i);
+    }
+  }
+}
+
+void apply_span(flash::StorageBackend& dev, const SpanOp& op) {
+  if (op.is_trim) {
+    dev.trim_span(op.first, op.count);
+  } else {
+    dev.write_span(op.first, op.count);
+  }
+}
+
+void expect_identical(const ZnsDevice& scalar, const ZnsDevice& span) {
+  ASSERT_EQ(scalar.logical_pages(), span.logical_pages());
+  for (flash::Lpn lpn = 0; lpn < scalar.logical_pages(); ++lpn) {
+    ASSERT_EQ(scalar.translate(lpn), span.translate(lpn))
+        << "mapping diverged at lpn " << lpn;
+  }
+  for (std::uint64_t z = 0; z < scalar.zone_count(); ++z) {
+    EXPECT_EQ(scalar.zone_state(z), span.zone_state(z)) << "zone " << z;
+    EXPECT_EQ(scalar.write_pointer(z), span.write_pointer(z)) << "zone " << z;
+    EXPECT_EQ(scalar.live_pages(z), span.live_pages(z)) << "zone " << z;
+  }
+  const auto& a = scalar.stats();
+  const auto& b = span.stats();
+  EXPECT_EQ(a.host_appends, b.host_appends);
+  EXPECT_EQ(a.reclaim_copies, b.reclaim_copies);
+  EXPECT_EQ(a.meta_appends, b.meta_appends);
+  EXPECT_EQ(a.zone_resets, b.zone_resets);
+  EXPECT_EQ(a.erases, b.erases);
+  EXPECT_EQ(a.reclaim_invocations, b.reclaim_invocations);
+  EXPECT_EQ(a.checkpoint_folds, b.checkpoint_folds);
+  EXPECT_EQ(a.implicit_closes, b.implicit_closes);
+  EXPECT_EQ(a.zones_retired, b.zones_retired);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_DOUBLE_EQ(a.write_amplification(), b.write_amplification());
+  EXPECT_EQ(scalar.open_zones(), span.open_zones());
+  EXPECT_EQ(scalar.free_zones(), span.free_zones());
+  scalar.check_invariants();
+  span.check_invariants();
+  scalar.check_invariants_incremental();
+  span.check_invariants_incremental();
+}
+
+// Mixed write/trim extents through zone fills and watermark reclaim: the
+// reclaim invocation count must match exactly, including the per-append
+// invocations of the scalar path in the at-watermark regime.
+class ZnsSpanDiff : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZnsSpanDiff, SpanOpsMatchScalarOpsExactly) {
+  ZnsDevice scalar(small_zns(/*journal=*/true));
+  ZnsDevice span(small_zns(/*journal=*/true));
+  const auto ops =
+      random_span_ops(GetParam(), scalar.logical_pages(), 400, 0.15);
+  for (const auto& op : ops) {
+    apply_scalar(scalar, op);
+    apply_span(span, op);
+  }
+  EXPECT_GT(span.stats().reclaim_invocations, 0u)
+      << "workload too light to exercise the watermark fallback";
+  expect_identical(scalar, span);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZnsSpanDiff,
+                         ::testing::Values(5, 17, 43, 61, 89));
+
+// The acceptance sweep on the span path: >= 50 crash points in a
+// span-driven workload, each compared against a scalar twin crash-driven at
+// the same point — recovery counters, stats, zone table and mapping all
+// bit-for-bit equal.
+TEST(ZnsSpanCrash, FiftyPointSweepMatchesScalarTwin) {
+  constexpr int kPoints = 50;
+  std::vector<SpanOp> ops;
+  {
+    const ZnsDevice probe(small_zns(/*journal=*/true));
+    ops = random_span_ops(0xfeedULL, probe.logical_pages(), 120, 0.1);
+  }
+  for (int point = 0; point < kPoints; ++point) {
+    const std::size_t crash_after = 2 + static_cast<std::size_t>(point) * 2;
+    ASSERT_LT(crash_after, ops.size());
+    ZnsDevice scalar(small_zns(/*journal=*/true));
+    ZnsDevice span(small_zns(/*journal=*/true));
+    for (std::size_t i = 0; i < crash_after; ++i) {
+      apply_scalar(scalar, ops[i]);
+      apply_span(span, ops[i]);
+    }
+    const auto crash_a = scalar.power_loss();
+    const auto crash_b = span.power_loss();
+    EXPECT_EQ(crash_a.lost_tail_updates, crash_b.lost_tail_updates);
+    EXPECT_EQ(crash_a.lost_trims, crash_b.lost_trims);
+    const auto rec_a = scalar.recover();
+    const auto rec_b = span.recover();
+    EXPECT_EQ(rec_a.checkpoint_pages_read, rec_b.checkpoint_pages_read);
+    EXPECT_EQ(rec_a.journal_pages_read, rec_b.journal_pages_read);
+    EXPECT_EQ(rec_a.journal_entries_replayed, rec_b.journal_entries_replayed);
+    EXPECT_EQ(rec_a.blocks_scanned, rec_b.blocks_scanned);
+    EXPECT_EQ(rec_a.pages_scanned, rec_b.pages_scanned);
+    EXPECT_EQ(rec_a.mappings_recovered, rec_b.mappings_recovered);
+    EXPECT_EQ(rec_a.tail_updates_rescued, rec_b.tail_updates_rescued);
+    EXPECT_EQ(rec_a.stale_mappings_dropped, rec_b.stale_mappings_dropped);
+    for (std::size_t i = crash_after; i < ops.size(); ++i) {
+      apply_scalar(scalar, ops[i]);
+      apply_span(span, ops[i]);
+    }
+    expect_identical(scalar, span);
+  }
+}
+
+// The incremental remount check (default) and the exhaustive sweep agree:
+// same recovery outcome and both checkers pass at every remount.
+TEST(ZnsSpanCrash, IncrementalAndExhaustiveRemountVerifyAgree) {
+  auto exhaustive_config = small_zns(/*journal=*/true);
+  exhaustive_config.exhaustive_remount_verify = true;
+  ZnsDevice incremental(small_zns(/*journal=*/true));
+  ZnsDevice exhaustive(exhaustive_config);
+  const auto ops =
+      random_span_ops(0xabcdULL, incremental.logical_pages(), 150, 0.2);
+  std::size_t cursor = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (std::size_t i = 0; i < 40; ++i, ++cursor) {
+      apply_span(incremental, ops[cursor % ops.size()]);
+      apply_span(exhaustive, ops[cursor % ops.size()]);
+    }
+    incremental.power_loss();
+    exhaustive.power_loss();
+    const auto rec_a = incremental.recover();
+    const auto rec_b = exhaustive.recover();
+    EXPECT_EQ(rec_a.mappings_recovered, rec_b.mappings_recovered);
+    EXPECT_EQ(rec_a.pages_scanned, rec_b.pages_scanned);
+    incremental.check_invariants();
+    incremental.check_invariants_incremental();
+    exhaustive.check_invariants();
+    exhaustive.check_invariants_incremental();
+  }
+  expect_identical(incremental, exhaustive);
+}
+
+TEST(ZnsSpan, ReadSpanMatchesTranslateLoop) {
+  ZnsDevice zns(small_zns());
+  for (flash::Lpn lpn = 10; lpn < 40; ++lpn) zns.write(lpn);
+  zns.trim(15);
+  zns.trim(33);
+  std::vector<flash::Ppn> collected;
+  const auto mapped = zns.read_span(0, zns.logical_pages(), &collected);
+  std::vector<flash::Ppn> expected;
+  for (flash::Lpn lpn = 0; lpn < zns.logical_pages(); ++lpn) {
+    if (const auto ppn = zns.translate(lpn)) expected.push_back(*ppn);
+  }
+  EXPECT_EQ(mapped, expected.size());
+  EXPECT_EQ(collected, expected);
+  EXPECT_EQ(zns.read_span(0, zns.logical_pages(), nullptr), mapped);
+}
+
+TEST(ZnsSpan, RejectsOutOfRangeExtents) {
+  ZnsDevice zns(small_zns());
+  EXPECT_THROW(zns.write_span(zns.logical_pages() - 2, 5), Error);
+  EXPECT_THROW(zns.trim_span(zns.logical_pages(), 1), Error);
+  EXPECT_THROW(
+      static_cast<void>(zns.read_span(0, zns.logical_pages() + 1, nullptr)),
+      Error);
+  EXPECT_NO_THROW(zns.write_span(zns.logical_pages(), 0));
+  zns.check_invariants();
+}
 
 }  // namespace
 }  // namespace isp::zns
